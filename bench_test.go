@@ -1,0 +1,339 @@
+// Benchmarks regenerating the measured quantity behind every figure of
+// the paper's evaluation (one benchmark family per figure; see DESIGN.md
+// §3 and EXPERIMENTS.md for the full sweeps produced by the cmd/ tools).
+//
+// Real-runtime benchmarks run on the zero-delay conduit, so they measure
+// the software path of this implementation (injection, progress,
+// serialization, matching) rather than the modeled wire; the model
+// benchmarks evaluate the calibrated machine models used for the
+// at-scale figures.
+package upcxx_test
+
+import (
+	"fmt"
+	"testing"
+
+	"upcxx"
+	"upcxx/internal/dht"
+	"upcxx/internal/expmodel"
+	"upcxx/internal/matgen"
+	"upcxx/internal/mpi"
+	"upcxx/internal/sparse"
+)
+
+// --- Fig 3a: blocking put latency (software path) ---------------------
+
+func benchRPutLatency(b *testing.B, size int) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2, SegmentSize: 64 << 20})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		var dst upcxx.GPtr[uint8]
+		if rk.Me() == 1 {
+			dst = upcxx.MustNewArray[uint8](rk, size)
+		}
+		obj := upcxx.NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			dst = upcxx.FetchDist[upcxx.GPtr[uint8]](rk, obj.ID(), 1).Wait()
+			src := make([]uint8, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upcxx.RPut(rk, src, dst).Wait()
+			}
+			b.StopTimer()
+			b.SetBytes(int64(size))
+		}
+		rk.Barrier()
+	})
+}
+
+func BenchmarkFig3aRPut8B(b *testing.B)   { benchRPutLatency(b, 8) }
+func BenchmarkFig3aRPut1KB(b *testing.B)  { benchRPutLatency(b, 1<<10) }
+func BenchmarkFig3aRPut64KB(b *testing.B) { benchRPutLatency(b, 64<<10) }
+
+func benchMPIPutFlush(b *testing.B, size int) {
+	w := mpi.NewWorld(mpi.Config{Ranks: 2, SegmentSize: 64 << 20})
+	defer w.Close()
+	w.Run(func(p *mpi.Proc) {
+		win := mpi.CreateWin(p, size)
+		p.Barrier()
+		if p.Rank() == 0 {
+			src := make([]byte, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				win.Put(src, 1, 0)
+				win.Flush(1)
+			}
+			b.StopTimer()
+			b.SetBytes(int64(size))
+		}
+		p.Barrier()
+	})
+}
+
+func BenchmarkFig3aMPIPut8B(b *testing.B)  { benchMPIPutFlush(b, 8) }
+func BenchmarkFig3aMPIPut1KB(b *testing.B) { benchMPIPutFlush(b, 1<<10) }
+
+// --- Fig 3b: flood bandwidth (software path) ---------------------------
+
+func BenchmarkFig3bRPutFlood4KB(b *testing.B) {
+	const size = 4 << 10
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2, SegmentSize: 64 << 20})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		var dst upcxx.GPtr[uint8]
+		if rk.Me() == 1 {
+			dst = upcxx.MustNewArray[uint8](rk, size)
+		}
+		obj := upcxx.NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			dst = upcxx.FetchDist[upcxx.GPtr[uint8]](rk, obj.ID(), 1).Wait()
+			src := make([]uint8, size)
+			b.ResetTimer()
+			p := upcxx.NewPromise[upcxx.Unit](rk)
+			for i := 0; i < b.N; i++ {
+				upcxx.RPutPromise(rk, src, dst, p)
+				if i%10 == 0 {
+					rk.Progress()
+				}
+			}
+			p.Finalize().Wait()
+			b.StopTimer()
+			b.SetBytes(size)
+		}
+		rk.Barrier()
+	})
+}
+
+// --- Fig 3 model evaluation --------------------------------------------
+
+func BenchmarkFig3Model(b *testing.B) {
+	m := expmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		for _, n := range expmodel.Fig3Sizes() {
+			_ = m.UPCXXPutLatency(n)
+			_ = m.MPIPutLatency(n)
+			_ = m.UPCXXFloodBW(n)
+			_ = m.MPIFloodBW(n)
+		}
+	}
+}
+
+// --- Fig 4: DHT insertion ------------------------------------------------
+
+func benchDHTInsert(b *testing.B, mode dht.Mode, valSize int) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 4, SegmentSize: 256 << 20})
+	defer w.Close()
+	var rate float64
+	w.Run(func(rk *upcxx.Rank) {
+		d := dht.New(rk, mode)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			val := make([]byte, valSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Insert(uint64(i)*2654435761, val).Wait()
+			}
+			b.StopTimer()
+			rate = float64(b.N)
+		}
+		rk.Barrier()
+	})
+	_ = rate
+	b.SetBytes(int64(valSize))
+}
+
+func BenchmarkFig4InsertRPCOnly64B(b *testing.B)     { benchDHTInsert(b, dht.RPCOnly, 64) }
+func BenchmarkFig4InsertLandingZone4KB(b *testing.B) { benchDHTInsert(b, dht.LandingZone, 4<<10) }
+
+func BenchmarkFig4SerialBaseline(b *testing.B) {
+	res := dht.RunSerialBench(dht.BenchConfig{ElemSize: 4 << 10, VolumePerRank: (4 << 10) * b.N, Seed: 1})
+	b.ReportMetric(res.InsertsPerSec(), "inserts/s")
+}
+
+func BenchmarkFig4Model1024Procs(b *testing.B) {
+	m := expmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		expmodel.SimulateDHT(expmodel.DHTConfig{
+			M: m, P: 1024, ElemSize: 2048, InsertsPerRank: 32, Seed: uint64(i),
+		})
+	}
+}
+
+// --- Fig 8: extend-add ----------------------------------------------------
+
+var fig8Tree *sparse.FrontTree
+
+func fig8BenchPlan(p int) *sparse.EAddPlan {
+	if fig8Tree == nil {
+		prob := matgen.Generate("bench", matgen.Grid3D{NX: 10, NY: 10, NZ: 10}, 16)
+		fig8Tree = sparse.Amalgamate(sparse.BuildFrontTree(prob.A, 0), 0.3)
+	}
+	return sparse.NewEAddPlan(fig8Tree, p, 8)
+}
+
+func BenchmarkFig8EAddUPCXX(b *testing.B) {
+	plan := fig8BenchPlan(4)
+	for i := 0; i < b.N; i++ {
+		w := upcxx.NewWorld(upcxx.Config{Ranks: 4, SegmentSize: 64 << 20})
+		w.Run(func(rk *upcxx.Rank) {
+			_, _ = sparse.EAddUPCXX(rk, plan)
+		})
+		w.Close()
+	}
+	b.ReportMetric(float64(plan.TotalEntries), "entries")
+}
+
+func BenchmarkFig8EAddMPIAlltoallv(b *testing.B) {
+	plan := fig8BenchPlan(4)
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(mpi.Config{Ranks: 4, SegmentSize: 64 << 20})
+		w.Run(func(p *mpi.Proc) {
+			_, _ = sparse.EAddMPIAlltoallv(p, plan)
+		})
+		w.Close()
+	}
+}
+
+func BenchmarkFig8EAddMPIP2P(b *testing.B) {
+	plan := fig8BenchPlan(4)
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(mpi.Config{Ranks: 4, SegmentSize: 64 << 20})
+		w.Run(func(p *mpi.Proc) {
+			_, _ = sparse.EAddMPIP2P(p, plan)
+		})
+		w.Close()
+	}
+}
+
+func BenchmarkFig8Model256Procs(b *testing.B) {
+	plan := fig8BenchPlan(256)
+	m := expmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		_ = expmodel.SimulateEAddUPCXX(m, plan)
+		_ = expmodel.SimulateEAddA2A(m, plan)
+		_ = expmodel.SimulateEAddP2P(m, plan)
+	}
+}
+
+// --- Fig 9: mini-symPACK ----------------------------------------------------
+
+func benchChol(b *testing.B, variant string) {
+	prob := matgen.Generate("cholbench", matgen.Grid3D{NX: 6, NY: 6, NZ: 6}, 8)
+	tree := sparse.Amalgamate(sparse.BuildFrontTree(prob.A, 0), 0.3)
+	plan := sparse.NewCholPlan(prob.A, tree, 4)
+	for i := 0; i < b.N; i++ {
+		w := upcxx.NewWorld(upcxx.Config{Ranks: 4, SegmentSize: 128 << 20})
+		w.Run(func(rk *upcxx.Rank) {
+			if variant == "v1" {
+				_ = sparse.CholV1(rk, plan)
+			} else {
+				_ = sparse.CholV01(rk, plan)
+			}
+		})
+		w.Close()
+	}
+}
+
+func BenchmarkFig9CholV1(b *testing.B)  { benchChol(b, "v1") }
+func BenchmarkFig9CholV01(b *testing.B) { benchChol(b, "v01") }
+
+func BenchmarkFig9Model(b *testing.B) {
+	prob := matgen.Generate("f9m", matgen.Grid3D{NX: 8, NY: 8, NZ: 8}, 16)
+	tree := sparse.Amalgamate(sparse.BuildFrontTree(prob.A, 0), 0.3)
+	m := expmodel.Haswell()
+	for i := 0; i < b.N; i++ {
+		_ = expmodel.SimulateSymPACK(m, tree, 64, expmodel.V1)
+		_ = expmodel.SimulateSymPACK(m, tree, 64, expmodel.V01)
+	}
+}
+
+// --- runtime primitives (supporting microbenchmarks) ---------------------
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		if rk.Me() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upcxx.RPC(rk, 1, func(trk *upcxx.Rank, x int64) int64 { return x + 1 }, int64(i)).Wait()
+			}
+			b.StopTimer()
+		}
+		rk.Barrier()
+	})
+}
+
+func BenchmarkRPCFFThroughput(b *testing.B) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		if rk.Me() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upcxx.RPCFF(rk, 1, func(trk *upcxx.Rank, x int64) {}, int64(i))
+			}
+			b.StopTimer()
+		}
+		rk.Barrier()
+	})
+}
+
+func BenchmarkAtomicFetchAdd(b *testing.B) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		var cell upcxx.GPtr[uint64]
+		if rk.Me() == 1 {
+			cell = upcxx.MustNewArray[uint64](rk, 1)
+		}
+		obj := upcxx.NewDistObject(rk, cell)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			cell = upcxx.FetchDist[upcxx.GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			ad := upcxx.NewAtomicU64(rk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ad.FetchAdd(cell, 1).Wait()
+			}
+			b.StopTimer()
+		}
+		rk.Barrier()
+	})
+}
+
+func BenchmarkBarrier8Ranks(b *testing.B) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 8})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rk.Barrier()
+		}
+	})
+}
+
+func BenchmarkViewSerializationRPC(b *testing.B) {
+	for _, n := range []int{128, 4096} {
+		b.Run(fmt.Sprintf("floats=%d", n), func(b *testing.B) {
+			w := upcxx.NewWorld(upcxx.Config{Ranks: 2})
+			defer w.Close()
+			w.Run(func(rk *upcxx.Rank) {
+				if rk.Me() == 0 {
+					data := make([]float64, n)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						upcxx.RPC(rk, 1, func(trk *upcxx.Rank, v upcxx.View[float64]) int {
+							return v.Len()
+						}, upcxx.MakeView(data)).Wait()
+					}
+					b.StopTimer()
+					b.SetBytes(int64(8 * n))
+				}
+				rk.Barrier()
+			})
+		})
+	}
+}

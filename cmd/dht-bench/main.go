@@ -1,0 +1,107 @@
+// dht-bench regenerates Fig 4 of the paper: weak scaling of distributed
+// hash table insertion on Cori Haswell (4a, up to 16384 processes) and
+// Cori KNL (4b, up to 34816 processes), for a range of element sizes
+// with a fixed inserted volume per process.
+//
+// The full sweep runs in the calibrated discrete-event model
+// (internal/expmodel); in addition, -real runs the actual in-process
+// runtime (internal/dht over internal/core) at small process counts to
+// cross-check the model's small-P behaviour, and the P=1 point is the
+// paper's serial std-map baseline.
+//
+// Usage:
+//
+//	go run ./cmd/dht-bench [-machine haswell|knl|both] [-inserts n] [-real]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upcxx/internal/dht"
+	"upcxx/internal/expmodel"
+	"upcxx/internal/stats"
+
+	core "upcxx/internal/core"
+)
+
+var (
+	machine = flag.String("machine", "both", "haswell, knl, or both")
+	inserts = flag.Int("inserts", 64, "blocking inserts per process per data point")
+	real    = flag.Bool("real", false, "also run the real in-process runtime at small P")
+)
+
+// elemSizes are the value sizes swept (same total volume per size, per
+// the paper's setup).
+var elemSizes = []int{512, 2048, 8192}
+
+func modelTable(m expmodel.Machine, maxP int) *stats.Table {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Fig 4 — DHT weak scaling, %s (model): aggregate inserts/s", m.Name),
+		XLabel: "procs",
+		XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.3g", v) },
+	}
+	for _, elem := range elemSizes {
+		s := &stats.Series{Name: fmt.Sprintf("%s values", stats.BytesHuman(elem))}
+		for _, p := range expmodel.Fig4ProcessCounts(maxP) {
+			res := expmodel.SimulateDHT(expmodel.DHTConfig{
+				M: m, P: p, ElemSize: elem, InsertsPerRank: *inserts, Seed: 20190520,
+			})
+			s.Add(float64(p), res.Aggregate)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+func realRuns() *stats.Table {
+	t := &stats.Table{
+		Title:  "Cross-check — real in-process runtime, correctness + trend only\n(zero-delay conduit: wall times measure this Go runtime's software paths,\nnot the modeled Aries network): aggregate inserts/s",
+		XLabel: "procs",
+		XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.3g", v) },
+	}
+	for _, elem := range elemSizes {
+		s := &stats.Series{Name: fmt.Sprintf("%s values", stats.BytesHuman(elem))}
+		for _, p := range []int{1, 2, 4, 8} {
+			cfg := dht.BenchConfig{ElemSize: elem, VolumePerRank: elem * *inserts, Seed: 7}
+			if p == 1 {
+				res := dht.RunSerialBench(cfg)
+				s.Add(1, res.InsertsPerSec())
+				continue
+			}
+			rates := make([]float64, p)
+			core.RunConfig(core.Config{Ranks: p, SegmentSize: 64 << 20}, func(rk *core.Rank) {
+				d := dht.New(rk, dht.LandingZone)
+				rk.Barrier()
+				res := dht.RunInsertBench(rk, d, cfg)
+				rates[rk.Me()] = res.InsertsPerSec()
+				rk.Barrier()
+			})
+			agg := 0.0
+			for _, r := range rates {
+				agg += r
+			}
+			s.Add(float64(p), agg)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+func main() {
+	flag.Parse()
+	if *machine == "haswell" || *machine == "both" {
+		modelTable(expmodel.Haswell(), 16384).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *machine == "knl" || *machine == "both" {
+		modelTable(expmodel.KNL(), 34816).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *real {
+		realRuns().Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,304 @@
+// rma-bench regenerates Fig 3 of the paper: round-trip put latency (3a)
+// and flood put bandwidth (3b) for UPC++ rput versus MPI-3 RMA
+// (MPI_Put + MPI_Win_flush, passive target), swept over transfer sizes
+// from 8 B to 4 MB.
+//
+// Two evaluation modes are reported side by side:
+//
+//   - measured: both runtimes execute on the real-time Aries-calibrated
+//     conduit (one initiator, one passive target on distinct simulated
+//     nodes), timed with the wall clock — the analogue of the paper's
+//     IMB-RMA runs;
+//   - model: the closed-form LogGP/protocol model of
+//     internal/expmodel, which the measured numbers should track.
+//
+// Usage:
+//
+//	go run ./cmd/rma-bench [-mode latency|flood|both] [-model-only]
+//	                       [-max-size bytes] [-reps n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"upcxx/internal/expmodel"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/mpi"
+	"upcxx/internal/serial"
+	"upcxx/internal/stats"
+
+	core "upcxx/internal/core"
+)
+
+var (
+	mode      = flag.String("mode", "both", "latency, flood, or both")
+	modelOnly = flag.Bool("model-only", false, "skip the real-time measurement (fast)")
+	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
+	reps      = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
+	dilation  = flag.Int("dilation", 100, "time-dilation factor for measured runs: the simulated network runs k times slower than Aries and results are divided by k, so Go harness jitter (a few us) becomes negligible relative to the modeled microsecond latencies")
+)
+
+// dilatedAries returns the Aries model slowed by the dilation factor.
+func dilatedAries() *gasnet.LogGP {
+	k := time.Duration(*dilation)
+	m := gasnet.Aries()
+	m.O *= k
+	m.L *= k
+	m.Gp *= k
+	m.GNsPerB *= float64(k)
+	m.IntraO *= k
+	m.IntraL *= k
+	m.IntraGp *= k
+	m.IntraGNsPerB *= float64(k)
+	return m
+}
+
+// dilatedProto returns the MPI protocol costs slowed to match.
+func dilatedProto() *mpi.Protocol {
+	k := time.Duration(*dilation)
+	p := mpi.DefaultProtocol()
+	p.SendOverhead *= k
+	p.RecvOverhead *= k
+	p.MatchCost *= k
+	p.RMAPutBase *= k
+	p.RMAFlushBase *= k
+	p.RMAFlushSync *= k
+	for i := range p.NsPerB {
+		p.NsPerB[i] *= float64(k)
+	}
+	return &p
+}
+
+func sizes() []int {
+	var out []int
+	for n := 8; n <= *maxSize; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// latencyIters bounds the per-size iteration count so large transfers
+// don't dominate wall time.
+func latencyIters(size int) int {
+	it := (1 << 21) / size
+	if it < 6 {
+		it = 6
+	}
+	if it > 200 {
+		it = 200
+	}
+	return it
+}
+
+func floodIters(size int) int {
+	it := (8 << 20) / size
+	if it < 6 {
+		it = 6
+	}
+	if it > 400 {
+		it = 400
+	}
+	return it
+}
+
+// measureUPCXXLatency times blocking rputs between two single-rank nodes.
+func measureUPCXXLatency(size int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var perOp float64
+		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+			var dst core.GPtr[uint8]
+			if rk.Me() == 1 {
+				dst = core.MustNewArray[uint8](rk, size)
+			}
+			obj := core.NewDistObject(rk, dst)
+			rk.Barrier()
+			if rk.Me() == 0 {
+				dst = core.FetchDist[core.GPtr[uint8]](rk, obj.ID(), 1).Wait()
+				src := make([]uint8, size)
+				iters := latencyIters(size)
+				core.RPut(rk, src, dst).Wait() // warm up
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					core.RPut(rk, src, dst).Wait()
+				}
+				perOp = time.Since(t0).Seconds() / float64(iters) / float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if best == 0 || (perOp > 0 && perOp < best) {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// measureUPCXXFlood times the paper's flood loop: non-blocking rputs
+// tracked by one promise, with occasional progress.
+func measureUPCXXFlood(size int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var bw float64
+		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			SegmentSize: 32 << 20}, func(rk *core.Rank) {
+			var dst core.GPtr[uint8]
+			if rk.Me() == 1 {
+				dst = core.MustNewArray[uint8](rk, size)
+			}
+			obj := core.NewDistObject(rk, dst)
+			rk.Barrier()
+			if rk.Me() == 0 {
+				dst = core.FetchDist[core.GPtr[uint8]](rk, obj.ID(), 1).Wait()
+				src := make([]uint8, size)
+				iters := floodIters(size)
+				p := core.NewPromise[core.Unit](rk)
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					core.RPutPromise(rk, src, dst, p)
+					if i%10 == 0 {
+						rk.Progress()
+					}
+				}
+				p.Finalize().Wait()
+				bw = float64(size*iters) / time.Since(t0).Seconds() * float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if bw > best {
+			best = bw
+		}
+	}
+	return best
+}
+
+// measureMPILatency times MPI_Put + MPI_Win_flush per operation.
+func measureMPILatency(size int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var perOp float64
+		w := mpi.NewWorld(mpi.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			Protocol: dilatedProto(), SegmentSize: 16 << 20})
+		w.Run(func(p *mpi.Proc) {
+			win := mpi.CreateWin(p, size)
+			p.Barrier()
+			if p.Rank() == 0 {
+				src := make([]byte, size)
+				iters := latencyIters(size)
+				win.Put(src, 1, 0)
+				win.Flush(1)
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					win.Put(src, 1, 0)
+					win.Flush(1)
+				}
+				perOp = time.Since(t0).Seconds() / float64(iters) / float64(*dilation)
+			}
+			p.Barrier()
+		})
+		w.Close()
+		if best == 0 || (perOp > 0 && perOp < best) {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// measureMPIFlood times the IMB-style aggregate mode: many puts, one
+// flush.
+func measureMPIFlood(size int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var bw float64
+		w := mpi.NewWorld(mpi.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			Protocol: dilatedProto(), SegmentSize: 32 << 20})
+		w.Run(func(p *mpi.Proc) {
+			win := mpi.CreateWin(p, size)
+			p.Barrier()
+			if p.Rank() == 0 {
+				src := make([]byte, size)
+				iters := floodIters(size)
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					win.Put(src, 1, 0)
+				}
+				win.Flush(1)
+				bw = float64(size*iters) / time.Since(t0).Seconds() * float64(*dilation)
+			}
+			p.Barrier()
+		})
+		w.Close()
+		if bw > best {
+			best = bw
+		}
+	}
+	return best
+}
+
+func main() {
+	flag.Parse()
+	_ = serial.SizeOf[byte] // keep import graph honest under pruning
+	m := expmodel.Haswell()
+
+	if *mode == "latency" || *mode == "both" {
+		t := &stats.Table{
+			Title:  "Fig 3a — round-trip put latency, us (Cori Haswell model; lower is better)",
+			XLabel: "size",
+			XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+			YFmt:   func(v float64) string { return fmt.Sprintf("%.2f", v) },
+		}
+		up := &stats.Series{Name: "UPC++ (model)"}
+		mp := &stats.Series{Name: "MPI RMA (model)"}
+		var upM, mpM *stats.Series
+		if !*modelOnly {
+			upM = &stats.Series{Name: "UPC++ (measured)"}
+			mpM = &stats.Series{Name: "MPI RMA (measured)"}
+		}
+		for _, n := range sizes() {
+			up.Add(float64(n), m.UPCXXPutLatency(n)*1e6)
+			mp.Add(float64(n), m.MPIPutLatency(n)*1e6)
+			if !*modelOnly {
+				upM.Add(float64(n), measureUPCXXLatency(n)*1e6)
+				mpM.Add(float64(n), measureMPILatency(n)*1e6)
+			}
+		}
+		t.Series = []*stats.Series{up, mp}
+		if !*modelOnly {
+			t.Series = append(t.Series, upM, mpM)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	if *mode == "flood" || *mode == "both" {
+		t := &stats.Table{
+			Title:  "Fig 3b — flood put bandwidth, GB/s (Cori Haswell model; higher is better)",
+			XLabel: "size",
+			XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+			YFmt:   func(v float64) string { return fmt.Sprintf("%.3f", v) },
+		}
+		up := &stats.Series{Name: "UPC++ (model)"}
+		mp := &stats.Series{Name: "MPI RMA (model)"}
+		var upM, mpM *stats.Series
+		if !*modelOnly {
+			upM = &stats.Series{Name: "UPC++ (measured)"}
+			mpM = &stats.Series{Name: "MPI RMA (measured)"}
+		}
+		for _, n := range sizes() {
+			up.Add(float64(n), m.UPCXXFloodBW(n)/1e9)
+			mp.Add(float64(n), m.MPIFloodBW(n)/1e9)
+			if !*modelOnly {
+				upM.Add(float64(n), measureUPCXXFlood(n)/1e9)
+				mpM.Add(float64(n), measureMPIFlood(n)/1e9)
+			}
+		}
+		t.Series = []*stats.Series{up, mp}
+		if !*modelOnly {
+			t.Series = append(t.Series, upM, mpM)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

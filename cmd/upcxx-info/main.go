@@ -1,0 +1,61 @@
+// upcxx-info prints the runtime and conduit configuration: the machine
+// models available to the benchmark drivers, their calibrated parameters,
+// and a small self-test of the runtime (a hello-world epoch over a few
+// ranks).
+//
+// Usage:
+//
+//	go run ./cmd/upcxx-info
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"upcxx"
+	"upcxx/internal/expmodel"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/mpi"
+)
+
+func describeLogGP(name string, m *gasnet.LogGP) {
+	fmt.Printf("%s conduit model:\n", name)
+	fmt.Printf("  inter-node: o=%v  L=%v  g=%v  G=%.3f ns/B (%.1f GB/s)\n",
+		m.O, m.L, m.Gp, m.GNsPerB, 1.0/m.GNsPerB)
+	fmt.Printf("  intra-node: o=%v  L=%v  g=%v  G=%.3f ns/B (%.1f GB/s)\n",
+		m.IntraO, m.IntraL, m.IntraGp, m.IntraGNsPerB, 1.0/m.IntraGNsPerB)
+}
+
+func main() {
+	fmt.Printf("upcxx-go — reproduction of UPC++ (IPDPS 2019) — Go %s, GOMAXPROCS=%d\n\n",
+		runtime.Version(), runtime.GOMAXPROCS(0))
+
+	describeLogGP("Aries (Cori Haswell)", gasnet.Aries())
+	describeLogGP("Aries (Cori KNL)", gasnet.AriesKNL())
+
+	p := mpi.DefaultProtocol()
+	fmt.Printf("\nMPI protocol model (Cray-MPICH-calibrated):\n")
+	fmt.Printf("  eager max %d B, send/recv/match overheads %v/%v/%v\n",
+		p.EagerMax, p.SendOverhead, p.RecvOverhead, p.MatchCost)
+	fmt.Printf("  RMA put base %v, flush %v (+%v sync >=256B), FMA bands %v @ %v ns/B\n",
+		p.RMAPutBase, p.RMAFlushBase, p.RMAFlushSync, p.Knees, p.NsPerB)
+
+	for _, m := range []expmodel.Machine{expmodel.Haswell(), expmodel.KNL()} {
+		fmt.Printf("\n%s: %d ranks/node, CPU scale %.1fx, %.2g s/flop\n",
+			m.Name, m.RanksPerNode, m.CPUScale, m.FlopSecs)
+		fmt.Printf("  modeled blocking rput(8B) RTT: %.2f us; flood BW(1MB): %.2f GB/s\n",
+			m.UPCXXPutLatency(8)*1e6, m.UPCXXFloodBW(1<<20)/1e9)
+	}
+
+	fmt.Printf("\nruntime self-test: ")
+	sum := int64(0)
+	upcxx.Run(4, func(rk *upcxx.Rank) {
+		got := upcxx.AllReduce(rk.WorldTeam(), int64(rk.Me())+1,
+			func(a, b int64) int64 { return a + b }).Wait()
+		if rk.Me() == 0 {
+			sum = got
+		}
+		rk.Barrier()
+	})
+	fmt.Printf("allreduce over 4 ranks = %d (want 10)\n", sum)
+}

@@ -1,0 +1,90 @@
+// Quickstart: the core UPC++ vocabulary in one runnable program —
+// shared-segment allocation, global pointers, distributed objects,
+// one-sided RMA (rput/rget), RPC with a chained completion handler,
+// promises as completion counters, remote atomics, and a collective.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"upcxx"
+)
+
+func main() {
+	const ranks = 4
+	var mu sync.Mutex
+	say := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Printf(format+"\n", args...)
+		mu.Unlock()
+	}
+
+	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+		// --- Global memory -------------------------------------------
+		// Every rank allocates an array in its shared segment and
+		// publishes the global pointer through a distributed object.
+		mine := upcxx.MustNewArray[uint64](rk, ranks)
+		ptrs := upcxx.NewDistObject(rk, mine)
+		rk.Barrier()
+
+		// --- One-sided RMA -------------------------------------------
+		// Write my rank id into slot Me() of my right neighbour, with a
+		// blocking put (future.Wait), then read it back with rget.
+		right := (rk.Me() + 1) % rk.N()
+		remote := upcxx.FetchDist[upcxx.GPtr[uint64]](rk, ptrs.ID(), right).Wait()
+		upcxx.RPut(rk, []uint64{uint64(rk.Me())}, remote.Add(int(rk.Me()))).Wait()
+		rk.Barrier()
+
+		left := (rk.Me() - 1 + rk.N()) % rk.N()
+		got := upcxx.GetValue(rk, upcxx.ToGlobal(rk, upcxx.Local(rk, mine, ranks)).Add(int(left))).Wait()
+		say("rank %d: left neighbour %d deposited %d", rk.Me(), left, got)
+
+		// --- RPC with completion chaining ------------------------------
+		// Ask the right neighbour to allocate a landing zone, then rput
+		// into it once the pointer arrives (the paper's DHT idiom).
+		lzf := upcxx.RPC(rk, right, func(trk *upcxx.Rank, n int) upcxx.GPtr[float64] {
+			return upcxx.MustNewArray[float64](trk, n)
+		}, 3)
+		done := upcxx.ThenFut(lzf, func(lz upcxx.GPtr[float64]) upcxx.Future[upcxx.Unit] {
+			return upcxx.RPut(rk, []float64{1.5, 2.5, 3.5}, lz)
+		})
+		done.Wait()
+
+		// --- Promises as completion counters ---------------------------
+		// Issue many puts tracked by one promise (the flood idiom).
+		p := upcxx.NewPromise[upcxx.Unit](rk)
+		for i := 0; i < ranks; i++ {
+			upcxx.RPutPromise(rk, []uint64{uint64(100 + i)}, remote.Add(i), p)
+		}
+		p.Finalize().Wait()
+		rk.Barrier()
+
+		// --- Remote atomics --------------------------------------------
+		// Everybody increments a counter on rank 0.
+		var counter upcxx.GPtr[uint64]
+		if rk.Me() == 0 {
+			counter = upcxx.MustNewArray[uint64](rk, 1)
+		}
+		cobj := upcxx.NewDistObject(rk, counter)
+		rk.Barrier()
+		counter = upcxx.FetchDist[upcxx.GPtr[uint64]](rk, cobj.ID(), 0).Wait()
+		ad := upcxx.NewAtomicU64(rk)
+		old := ad.FetchAdd(counter, 1).Wait()
+		say("rank %d: fetch-add observed %d", rk.Me(), old)
+		rk.Barrier()
+
+		// --- Collectives ------------------------------------------------
+		total := upcxx.AllReduce(rk.WorldTeam(), int64(rk.Me()+1),
+			func(a, b int64) int64 { return a + b }).Wait()
+		if rk.Me() == 0 {
+			say("allreduce(1..%d) = %d; counter = %d",
+				ranks, total, ad.Load(counter).Wait())
+		}
+		rk.Barrier()
+	})
+}

@@ -1,0 +1,127 @@
+// Stencil example: a 2D Jacobi iteration with halo exchange over
+// one-sided RMA — the regular-section data movement the paper's VIS
+// (vector/indexed/strided) support exists for — using promise-based
+// completion to overlap both halo directions, and a non-blocking
+// allreduce for the residual.
+//
+// The global (N x N) grid is split into P horizontal slabs. Each rank
+// stores its slab plus two ghost rows in its shared segment; neighbours
+// write their boundary rows directly into the ghost rows with rput
+// (one-sided: the receiver's CPU never participates in the transfer).
+//
+// Run with:
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"upcxx"
+)
+
+const (
+	ranks = 4
+	n     = 64 // global rows (and columns)
+	iters = 200
+)
+
+func main() {
+	rows := n / ranks
+	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+		me := int(rk.Me())
+		// Slab with ghost rows at local row 0 and rows+1, in the shared
+		// segment so neighbours can rput into it.
+		field := upcxx.MustNewArray[float64](rk, (rows+2)*n)
+		ptrs := upcxx.NewDistObject(rk, field)
+		rk.Barrier()
+
+		g := upcxx.Local(rk, field, (rows+2)*n)
+		scratch := make([]float64, (rows+2)*n) // private compute buffer
+		// Boundary condition: the global top edge is hot.
+		if me == 0 {
+			for j := 0; j < n; j++ {
+				g[1*n+j] = 100
+			}
+		}
+
+		var up, down upcxx.GPtr[float64]
+		if me > 0 {
+			up = upcxx.FetchDist[upcxx.GPtr[float64]](rk, ptrs.ID(), rk.Me()-1).Wait()
+		}
+		if me < ranks-1 {
+			down = upcxx.FetchDist[upcxx.GPtr[float64]](rk, ptrs.ID(), rk.Me()+1).Wait()
+		}
+		rk.Barrier()
+
+		var residual float64
+		for it := 0; it < iters; it++ {
+			// Halo exchange: push my boundary rows into the neighbours'
+			// ghost rows, both directions tracked by one promise.
+			p := upcxx.NewPromise[upcxx.Unit](rk)
+			if me > 0 {
+				upcxx.RPutPromise(rk, g[1*n:2*n], up.Add((rows+1)*n), p)
+			}
+			if me < ranks-1 {
+				upcxx.RPutPromise(rk, g[rows*n:(rows+1)*n], down.Add(0), p)
+			}
+			p.Finalize().Wait()
+			rk.Barrier() // all ghosts stable before reading
+
+			// Jacobi sweep into the private buffer (skip the global
+			// boundary, which is held fixed).
+			diff := 0.0
+			for i := 1; i <= rows; i++ {
+				gi := me*rows + i - 1
+				if gi == 0 || gi == n-1 {
+					copy(scratch[i*n:(i+1)*n], g[i*n:(i+1)*n])
+					continue
+				}
+				for j := 1; j < n-1; j++ {
+					v := 0.25 * (g[(i-1)*n+j] + g[(i+1)*n+j] + g[i*n+j-1] + g[i*n+j+1])
+					scratch[i*n+j] = v
+					diff += math.Abs(v - g[i*n+j])
+				}
+			}
+			for i := 1; i <= rows; i++ {
+				gi := me*rows + i - 1
+				if gi == 0 || gi == n-1 {
+					continue
+				}
+				copy(g[i*n+1:(i+1)*n-1], scratch[i*n+1:(i+1)*n-1])
+			}
+			// Non-blocking allreduce of the residual.
+			residual = upcxx.AllReduce(rk.WorldTeam(), diff,
+				func(a, b float64) float64 { return a + b }).Wait()
+			rk.Barrier()
+		}
+		if rk.Me() == 0 {
+			fmt.Printf("after %d iterations: residual %.6f\n", iters, residual)
+		}
+
+		// Sanity: heat diffuses downward, so the first interior row's sum
+		// must not increase with distance from the hot edge. Rank 0 reads
+		// every slab's first interior row with one-sided gets.
+		rk.Barrier()
+		if rk.Me() == 0 {
+			prev := math.Inf(1)
+			ok := true
+			for r := int32(0); r < int32(ranks); r++ {
+				gp := upcxx.FetchDist[upcxx.GPtr[float64]](rk, ptrs.ID(), r).Wait()
+				buf := make([]float64, n)
+				upcxx.RGet(rk, gp.Add(1*n), buf).Wait()
+				s := 0.0
+				for _, v := range buf {
+					s += v
+				}
+				if s > prev+1e-9 {
+					ok = false
+				}
+				prev = s
+			}
+			fmt.Printf("monotone diffusion check: %v\n", ok)
+		}
+		rk.Barrier()
+	})
+}

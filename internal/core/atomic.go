@@ -1,0 +1,106 @@
+package upcxx
+
+import "upcxx/internal/gasnet"
+
+// Remote atomics (upcxx::atomic_domain): read-modify-write operations on
+// 64-bit words in shared segments, executed by the target NIC without
+// target CPU attentiveness — the Aries offload the paper credits for
+// latency and scalability in lock-free data structures. All operations are
+// non-blocking and return futures.
+
+// amoOp issues one offloaded atomic through the progress engine.
+func (rk *Rank) amoOp(owner Intrank, off uint64, op gasnet.AMOOp, a, b uint64) Future[uint64] {
+	p := NewPromise[uint64](rk)
+	rk.deferOp(func() {
+		rk.actCount++
+		rk.ep.AMO(gasnetRank(owner), off, op, a, b, func(old uint64) {
+			rk.actCount--
+			rk.enqueueCompletion(func() { p.FulfillResult(old) })
+		})
+	})
+	return p.Future()
+}
+
+// AtomicU64 is an atomic domain over uint64 shared objects.
+type AtomicU64 struct{ rk *Rank }
+
+// NewAtomicU64 creates the uint64 atomic domain for this rank.
+func NewAtomicU64(rk *Rank) *AtomicU64 { return &AtomicU64{rk: rk} }
+
+// Load atomically reads the remote word.
+func (a *AtomicU64) Load(p GPtr[uint64]) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOLoad, 0, 0)
+}
+
+// Store atomically writes v to the remote word.
+func (a *AtomicU64) Store(p GPtr[uint64], v uint64) Future[Unit] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOStore, v, 0), func(uint64) Unit { return Unit{} })
+}
+
+// FetchAdd atomically adds v, returning the previous value.
+func (a *AtomicU64) FetchAdd(p GPtr[uint64], v uint64) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAdd, v, 0)
+}
+
+// FetchAnd atomically ANDs v, returning the previous value.
+func (a *AtomicU64) FetchAnd(p GPtr[uint64], v uint64) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAnd, v, 0)
+}
+
+// FetchOr atomically ORs v, returning the previous value.
+func (a *AtomicU64) FetchOr(p GPtr[uint64], v uint64) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOOr, v, 0)
+}
+
+// FetchXor atomically XORs v, returning the previous value.
+func (a *AtomicU64) FetchXor(p GPtr[uint64], v uint64) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOXor, v, 0)
+}
+
+// CompareExchange atomically stores desired if the word equals expected,
+// returning the previous value (success iff result == expected).
+func (a *AtomicU64) CompareExchange(p GPtr[uint64], expected, desired uint64) Future[uint64] {
+	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOCompSwap, expected, desired)
+}
+
+// AtomicI64 is an atomic domain over int64 shared objects, adding the
+// signed min/max operations Aries offloads.
+type AtomicI64 struct{ rk *Rank }
+
+// NewAtomicI64 creates the int64 atomic domain for this rank.
+func NewAtomicI64(rk *Rank) *AtomicI64 { return &AtomicI64{rk: rk} }
+
+// Load atomically reads the remote word.
+func (a *AtomicI64) Load(p GPtr[int64]) Future[int64] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOLoad, 0, 0), u2i)
+}
+
+// Store atomically writes v to the remote word.
+func (a *AtomicI64) Store(p GPtr[int64], v int64) Future[Unit] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOStore, uint64(v), 0), func(uint64) Unit { return Unit{} })
+}
+
+// FetchAdd atomically adds v, returning the previous value.
+func (a *AtomicI64) FetchAdd(p GPtr[int64], v int64) Future[int64] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAdd, uint64(v), 0), u2i)
+}
+
+// FetchMin atomically replaces the word with min(word, v), returning the
+// previous value.
+func (a *AtomicI64) FetchMin(p GPtr[int64], v int64) Future[int64] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOMin, uint64(v), 0), u2i)
+}
+
+// FetchMax atomically replaces the word with max(word, v), returning the
+// previous value.
+func (a *AtomicI64) FetchMax(p GPtr[int64], v int64) Future[int64] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOMax, uint64(v), 0), u2i)
+}
+
+// CompareExchange atomically stores desired if the word equals expected,
+// returning the previous value.
+func (a *AtomicI64) CompareExchange(p GPtr[int64], expected, desired int64) Future[int64] {
+	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOCompSwap, uint64(expected), uint64(desired)), u2i)
+}
+
+func u2i(v uint64) int64 { return int64(v) }

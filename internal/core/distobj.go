@@ -1,0 +1,75 @@
+package upcxx
+
+// Distributed objects (upcxx::dist_object<T>): one logical object with one
+// local representative per rank, identified by a job-wide ID with no
+// non-scalable per-rank bookkeeping anywhere (paper §II). Construction is
+// collective in ordering only: every rank must construct its distributed
+// objects in the same sequence, which assigns matching IDs without
+// communication. Fetching a remote representative is explicit
+// communication (an RPC), honoring the no-implicit-communication principle.
+
+// DistID identifies a distributed object across the job.
+type DistID uint64
+
+// DistObject is one rank's representative of a distributed object.
+type DistObject[T any] struct {
+	rk  *Rank
+	id  DistID
+	val T
+}
+
+// NewDistObject registers this rank's representative. Ranks must construct
+// distributed objects in matching order (the UPC++ requirement).
+func NewDistObject[T any](rk *Rank, val T) *DistObject[T] {
+	id := rk.distSeq
+	rk.distSeq++
+	d := &DistObject[T]{rk: rk, id: DistID(id), val: val}
+	rk.distObjs[id] = d
+	if waiters, ok := rk.distWaits[id]; ok {
+		delete(rk.distWaits, id)
+		for _, f := range waiters {
+			f(d)
+		}
+	}
+	return d
+}
+
+// ID returns the job-wide identifier.
+func (d *DistObject[T]) ID() DistID { return d.id }
+
+// Value returns a pointer to the local representative.
+func (d *DistObject[T]) Value() *T { return &d.val }
+
+// Fetch retrieves rank from's representative of this distributed object.
+// If the remote rank has not yet constructed its representative the reply
+// is deferred until it does, matching upcxx::dist_object::fetch semantics.
+func (d *DistObject[T]) Fetch(from Intrank) Future[T] {
+	return FetchDist[T](d.rk, d.id, from)
+}
+
+// FetchDist retrieves rank from's representative of the distributed object
+// with the given ID.
+func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
+	return RPCFut(rk, from, func(trk *Rank, id DistID) Future[T] {
+		if o, ok := trk.distObjs[uint64(id)]; ok {
+			return ReadyFuture(trk, o.(*DistObject[T]).val)
+		}
+		p := NewPromise[T](trk)
+		trk.distWaits[uint64(id)] = append(trk.distWaits[uint64(id)], func(obj any) {
+			p.FulfillResult(obj.(*DistObject[T]).val)
+		})
+		return p.Future()
+	}, id)
+}
+
+// LookupDist resolves a DistID to this rank's local representative, the
+// binding an RPC body performs after receiving a DistID argument (the
+// analogue of UPC++'s automatic dist_object translation).
+func LookupDist[T any](rk *Rank, id DistID) (*DistObject[T], bool) {
+	o, ok := rk.distObjs[uint64(id)]
+	if !ok {
+		return nil, false
+	}
+	d, ok := o.(*DistObject[T])
+	return d, ok
+}

@@ -1,0 +1,305 @@
+// Package upcxx implements the UPC++ v1.0 programming model from the paper
+// "UPC++: A High-Performance Communication Framework for Asynchronous
+// Computation" (IPDPS 2019) on top of the gasnet conduit package.
+//
+// The package provides SPMD execution (World/Run), a partitioned global
+// address space of per-rank segments addressed by global pointers (GPtr),
+// one-sided RMA (RPut/RGet and the vector/indexed/strided variants),
+// remote procedure calls (RPC/RPCFF) with view-based serialization,
+// future/promise asynchrony, teams with non-blocking collectives,
+// distributed objects and NIC-offloaded remote atomics.
+//
+// Asynchrony model (paper §II–III): every communication operation is
+// non-blocking and returns a Future (or feeds a Promise). Completions and
+// incoming RPCs execute only during user-level progress — Progress, Wait —
+// on the owning rank's goroutine; there are no hidden progress threads.
+// Futures and promises are deliberately NOT thread-safe: like their UPC++
+// counterparts they manage asynchrony within a rank, not communication
+// between threads.
+package upcxx
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Unit is the empty payload of futures that convey only readiness, the
+// analogue of upcxx::future<>.
+type Unit = struct{}
+
+// futCore is the shared state behind a Future/Promise pair.
+type futCore[T any] struct {
+	rk    *Rank
+	ready bool
+	val   T
+	cbs   []func(T)
+}
+
+func (c *futCore[T]) fulfill(v T) {
+	if c.ready {
+		panic("upcxx: future fulfilled twice")
+	}
+	c.val = v
+	c.ready = true
+	cbs := c.cbs
+	c.cbs = nil
+	for _, cb := range cbs {
+		cb(v)
+	}
+}
+
+// onReady runs cb when the value is available: immediately if already
+// ready, otherwise at fulfillment (which happens during user progress for
+// communication-backed futures).
+func (c *futCore[T]) onReady(cb func(T)) {
+	if c.ready {
+		cb(c.val)
+		return
+	}
+	c.cbs = append(c.cbs, cb)
+}
+
+// Future is the consumer side of a non-blocking operation: the interface
+// through which status is queried, results retrieved, and callbacks
+// chained. The zero Future is invalid; futures are created by
+// communication operations, promises, and the combinators in this package.
+//
+// A future is owned by the rank that created it and must only be touched
+// from that rank's goroutine.
+type Future[T any] struct {
+	c *futCore[T]
+}
+
+// Valid reports whether f refers to an operation (non-zero).
+func (f Future[T]) Valid() bool { return f.c != nil }
+
+// Ready reports whether the result is available.
+func (f Future[T]) Ready() bool { return f.c.ready }
+
+// Result returns the value; it panics if the future is not ready.
+func (f Future[T]) Result() T {
+	if !f.c.ready {
+		panic("upcxx: Result on unready future")
+	}
+	return f.c.val
+}
+
+// Wait spins user-level progress until the future is ready and returns its
+// value. It must not be called from inside a callback or RPC body
+// (UPC++'s restricted context); doing so panics, since progress cannot
+// recurse and the wait could never complete.
+func (f Future[T]) Wait() T {
+	c := f.c
+	rk := c.rk
+	if !c.ready && rk.inUserProgress {
+		panic("upcxx: Wait inside restricted context (callback or RPC body)")
+	}
+	deadline := time.Time{}
+	spins := 0
+	for !c.ready {
+		rk.Progress()
+		if c.ready {
+			break
+		}
+		runtime.Gosched()
+		spins++
+		if spins%(1<<16) == 0 {
+			if deadline.IsZero() {
+				deadline = time.Now().Add(rk.w.cfg.WaitTimeout)
+			} else if time.Now().After(deadline) {
+				panic(fmt.Sprintf("upcxx: rank %d Wait exceeded %v (deadlock?)",
+					rk.me, rk.w.cfg.WaitTimeout))
+			}
+		}
+	}
+	return c.val
+}
+
+// Then chains fn onto f: fn runs with f's value once ready (during user
+// progress for communication-backed futures) and its return value readies
+// the resulting future — upcxx's future::then.
+func Then[T, U any](f Future[T], fn func(T) U) Future[U] {
+	out := &futCore[U]{rk: f.c.rk}
+	f.c.onReady(func(v T) { out.fulfill(fn(v)) })
+	return Future[U]{out}
+}
+
+// ThenDo chains a callback that produces no value; the result conveys
+// readiness only.
+func ThenDo[T any](f Future[T], fn func(T)) Future[Unit] {
+	return Then(f, func(v T) Unit {
+		fn(v)
+		return Unit{}
+	})
+}
+
+// ThenFut chains a future-returning callback, flattening the result: the
+// returned future readies when the callback's future does. This is the
+// paper's pattern of an RPC callback that launches an rput (§IV-C).
+func ThenFut[T, U any](f Future[T], fn func(T) Future[U]) Future[U] {
+	out := &futCore[U]{rk: f.c.rk}
+	f.c.onReady(func(v T) {
+		inner := fn(v)
+		inner.c.onReady(func(u U) { out.fulfill(u) })
+	})
+	return Future[U]{out}
+}
+
+// ReadyFuture returns an already-fulfilled future carrying v
+// (upcxx::make_future with a value).
+func ReadyFuture[T any](rk *Rank, v T) Future[T] {
+	return Future[T]{&futCore[T]{rk: rk, ready: true, val: v}}
+}
+
+// EmptyFuture returns an already-fulfilled empty future — the starting
+// point for conjoining chains, as in the paper's extend-add sketch
+// (Fig 7, line 6).
+func EmptyFuture(rk *Rank) Future[Unit] { return ReadyFuture(rk, Unit{}) }
+
+// AnyFuture is the type-erased view of a Future, accepted by WhenAll.
+type AnyFuture interface {
+	Valid() bool
+	anyOnReady(cb func())
+	owner() *Rank
+}
+
+func (f Future[T]) anyOnReady(cb func()) { f.c.onReady(func(T) { cb() }) }
+func (f Future[T]) owner() *Rank         { return f.c.rk }
+
+// WhenAll conjoins futures: the result readies when all inputs have
+// (upcxx::when_all, readiness only). With no inputs it is ready
+// immediately.
+func WhenAll(rk *Rank, fs ...AnyFuture) Future[Unit] {
+	out := &futCore[Unit]{rk: rk}
+	remaining := len(fs)
+	if remaining == 0 {
+		out.fulfill(Unit{})
+		return Future[Unit]{out}
+	}
+	for _, f := range fs {
+		f.anyOnReady(func() {
+			remaining--
+			if remaining == 0 {
+				out.fulfill(Unit{})
+			}
+		})
+	}
+	return Future[Unit]{out}
+}
+
+// Pair carries the two values produced by WhenAll2.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// WhenAll2 conjoins two value-carrying futures, preserving both values.
+func WhenAll2[A, B any](fa Future[A], fb Future[B]) Future[Pair[A, B]] {
+	out := &futCore[Pair[A, B]]{rk: fa.c.rk}
+	remaining := 2
+	var p Pair[A, B]
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			out.fulfill(p)
+		}
+	}
+	fa.c.onReady(func(v A) { p.First = v; done() })
+	fb.c.onReady(func(v B) { p.Second = v; done() })
+	return Future[Pair[A, B]]{out}
+}
+
+// WhenAllSlice conjoins a homogeneous slice of futures into a future of
+// the collected values (in input order).
+func WhenAllSlice[T any](rk *Rank, fs []Future[T]) Future[[]T] {
+	out := &futCore[[]T]{rk: rk}
+	vals := make([]T, len(fs))
+	remaining := len(fs)
+	if remaining == 0 {
+		out.fulfill(vals)
+		return Future[[]T]{out}
+	}
+	for i, f := range fs {
+		i := i
+		f.c.onReady(func(v T) {
+			vals[i] = v
+			remaining--
+			if remaining == 0 {
+				out.fulfill(vals)
+			}
+		})
+	}
+	return Future[[]T]{out}
+}
+
+// Promise is the producer side of a non-blocking operation. It carries a
+// dependency counter: the promise's future readies when the count reaches
+// zero. A fresh promise holds one dependency (consumed by FulfillResult or
+// Finalize); communication operations register further dependencies via
+// RequireAnonymous and discharge them as they complete. Passing one
+// promise to many operations and waiting on its single future is the
+// paper's flood-bandwidth idiom (§IV-B).
+type Promise[T any] struct {
+	c         *futCore[T]
+	deps      int64
+	resultSet bool
+	finalized bool
+}
+
+// NewPromise creates a promise with one unfulfilled dependency.
+func NewPromise[T any](rk *Rank) *Promise[T] {
+	return &Promise[T]{c: &futCore[T]{rk: rk}, deps: 1}
+}
+
+// Future returns a future associated with this promise. Multiple calls
+// return futures sharing the same state.
+func (p *Promise[T]) Future() Future[T] { return Future[T]{p.c} }
+
+// RequireAnonymous registers n additional dependencies.
+func (p *Promise[T]) RequireAnonymous(n int) {
+	if p.c.ready {
+		panic("upcxx: RequireAnonymous on satisfied promise")
+	}
+	p.deps += int64(n)
+}
+
+// FulfillAnonymous discharges n dependencies, readying the future when the
+// count reaches zero.
+func (p *Promise[T]) FulfillAnonymous(n int) {
+	p.deps -= int64(n)
+	if p.deps < 0 {
+		panic("upcxx: promise over-fulfilled")
+	}
+	if p.deps == 0 {
+		var zero T
+		if p.resultSet {
+			zero = p.c.val
+		}
+		p.c.val = zero
+		p.c.fulfill(zero)
+	}
+}
+
+// FulfillResult supplies the result value and discharges the promise's
+// original dependency.
+func (p *Promise[T]) FulfillResult(v T) {
+	if p.resultSet || p.finalized {
+		panic("upcxx: FulfillResult after result/finalize")
+	}
+	p.resultSet = true
+	p.c.val = v
+	p.FulfillAnonymous(1)
+}
+
+// Finalize discharges the promise's original dependency, declaring that no
+// further dependencies will be registered, and returns the future
+// (upcxx::promise::finalize). Used with empty promises that act as
+// completion counters.
+func (p *Promise[T]) Finalize() Future[T] {
+	if !p.finalized && !p.resultSet {
+		p.finalized = true
+		p.FulfillAnonymous(1)
+	}
+	return Future[T]{p.c}
+}

@@ -1,0 +1,150 @@
+package upcxx
+
+import (
+	"fmt"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/serial"
+)
+
+// GPtr is a global pointer: a reference to an object of type T in some
+// rank's shared segment. Like upcxx::global_ptr and unlike a raw pointer,
+// it cannot be dereferenced — all access to remote memory is through
+// explicit communication (RPut/RGet/atomics), keeping data motion visible
+// in the source. Global pointers support arithmetic, comparison, passing
+// by value, and serialization (they may travel inside RPC arguments, as
+// the paper's distributed hash table does with landing zones).
+//
+// T is restricted to fixed-size scalar kinds: the element types that can
+// legally cross the network as raw memory.
+type GPtr[T serial.Scalar] struct {
+	Owner Intrank // rank whose segment holds the object; -1 for nil
+	Off   uint64  // byte offset within the owner's segment
+}
+
+// NilGPtr returns the null global pointer.
+func NilGPtr[T serial.Scalar]() GPtr[T] { return GPtr[T]{Owner: -1} }
+
+// IsNil reports whether p is the null global pointer.
+func (p GPtr[T]) IsNil() bool { return p.Owner < 0 }
+
+// Add returns p displaced by n elements (pointer arithmetic).
+func (p GPtr[T]) Add(n int) GPtr[T] {
+	if p.IsNil() {
+		panic("upcxx: arithmetic on nil GPtr")
+	}
+	off := int64(p.Off) + int64(n)*int64(serial.SizeOf[T]())
+	if off < 0 {
+		panic("upcxx: GPtr arithmetic underflow")
+	}
+	return GPtr[T]{Owner: p.Owner, Off: uint64(off)}
+}
+
+// Diff returns the element distance p - q; both must point into the same
+// rank's segment.
+func (p GPtr[T]) Diff(q GPtr[T]) int {
+	if p.Owner != q.Owner {
+		panic("upcxx: GPtr difference across ranks")
+	}
+	return int((int64(p.Off) - int64(q.Off)) / int64(serial.SizeOf[T]()))
+}
+
+// Where returns the rank with affinity to the referenced memory.
+func (p GPtr[T]) Where() Intrank { return p.Owner }
+
+func (p GPtr[T]) String() string {
+	if p.IsNil() {
+		return fmt.Sprintf("gptr<%s>(nil)", typeName[T]())
+	}
+	return fmt.Sprintf("gptr<%s>(rank %d, off %d)", typeName[T](), p.Owner, p.Off)
+}
+
+func typeName[T any]() string {
+	var z T
+	return fmt.Sprintf("%T", z)
+}
+
+// New allocates one T in this rank's shared segment
+// (upcxx::new_<T>), zero-initialized.
+func New[T serial.Scalar](rk *Rank) (GPtr[T], error) {
+	return NewArray[T](rk, 1)
+}
+
+// NewArray allocates n contiguous Ts in this rank's shared segment
+// (upcxx::new_array<T>), zero-initialized.
+func NewArray[T serial.Scalar](rk *Rank, n int) (GPtr[T], error) {
+	sz := n * serial.SizeOf[T]()
+	off, err := rk.ep.Segment().Alloc(sz)
+	if err != nil {
+		return NilGPtr[T](), fmt.Errorf("upcxx: rank %d: %w", rk.me, err)
+	}
+	b := rk.ep.Segment().Bytes(off, sz)
+	for i := range b {
+		b[i] = 0
+	}
+	return GPtr[T]{Owner: rk.me, Off: off}, nil
+}
+
+// MustNewArray is NewArray, panicking on segment exhaustion.
+func MustNewArray[T serial.Scalar](rk *Rank, n int) GPtr[T] {
+	p, err := NewArray[T](rk, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Delete frees an allocation in this rank's own segment. Freeing remote
+// memory requires an RPC to the owner, in keeping with explicit
+// communication.
+func Delete[T serial.Scalar](rk *Rank, p GPtr[T]) error {
+	if p.Owner != rk.me {
+		return fmt.Errorf("upcxx: rank %d cannot Delete memory owned by rank %d", rk.me, p.Owner)
+	}
+	return rk.ep.Segment().Free(p.Off)
+}
+
+// Local converts a global pointer with affinity to this rank into a
+// directly-usable slice of n elements (the global-to-local conversion the
+// paper permits for the owning process). It panics if p is remote.
+func Local[T serial.Scalar](rk *Rank, p GPtr[T], n int) []T {
+	if p.Owner != rk.me {
+		panic(fmt.Sprintf("upcxx: Local on %v from rank %d", p, rk.me))
+	}
+	b := rk.ep.Segment().Bytes(p.Off, n*serial.SizeOf[T]())
+	return serial.FromBytes[T](b)
+}
+
+// ToGlobal converts a slice previously obtained from Local back into a
+// global pointer rooted at its first element. It is the local-to-global
+// conversion; s must alias this rank's segment.
+func ToGlobal[T serial.Scalar](rk *Rank, s []T) GPtr[T] {
+	if len(s) == 0 {
+		return NilGPtr[T]()
+	}
+	seg := rk.ep.Segment()
+	base := seg.Bytes(0, seg.Size())
+	sb := serial.AsBytes(s)
+	off := offsetWithin(base, sb)
+	if off < 0 {
+		panic("upcxx: ToGlobal of memory outside the shared segment")
+	}
+	return GPtr[T]{Owner: rk.me, Off: uint64(off)}
+}
+
+// offsetWithin returns the byte offset of sub within base, or -1 if sub
+// does not alias base.
+func offsetWithin(base, sub []byte) int {
+	if len(sub) == 0 || len(base) == 0 {
+		return -1
+	}
+	b0 := uintptrOf(base)
+	s0 := uintptrOf(sub)
+	if s0 < b0 || s0+uintptr(len(sub)) > b0+uintptr(len(base)) {
+		return -1
+	}
+	return int(s0 - b0)
+}
+
+// gasnetRank converts for clarity at call sites.
+func gasnetRank(r Intrank) gasnet.Rank { return r }

@@ -1,0 +1,91 @@
+package upcxx
+
+import "upcxx/internal/serial"
+
+// Remote completions (upcxx remote_cx::as_rpc): attach an RPC to the
+// *remote* completion of a one-sided put — the target-side notification
+// fires only after the transferred data is globally visible in its
+// segment. The paper's §V-A singles this ability out ("attach an
+// operation which effectively serves as a completion handler") as a key
+// advantage of the v1.0 design over v0.1, where nothing could be chained
+// to an RMA.
+//
+// Implementation: the data travels as a conduit put; once the initiator
+// observes remote completion (the ack), it ships the notification RPC.
+// Because the conduit delivers point-to-point traffic in order, an
+// equally valid strategy would piggyback the notification, but acks give
+// the simplest correct ordering with the simulated NIC. The notification
+// function runs at the put's target rank.
+
+// RPutThenRemote performs RPut(src, dst) and, once the data is remotely
+// visible, invokes fn(arg) on dst's owner. The returned future readies
+// when the remote notification has executed (its acknowledgment
+// returned).
+func RPutThenRemote[T serial.Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
+	put := RPut(rk, src, dst)
+	return ThenFut(put, func(Unit) Future[Unit] {
+		return RPC(rk, dst.Owner, func(trk *Rank, a A) Unit {
+			fn(trk, a)
+			return Unit{}
+		}, arg)
+	})
+}
+
+// RPutSignal is the fire-and-forget form: the notification RPC runs at
+// the target after the data lands, with no acknowledgment to the
+// initiator (remote_cx::as_rpc with no operation completion requested).
+// The returned future tracks only the put's remote completion.
+func RPutSignal[T serial.Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
+	put := RPut(rk, src, dst)
+	return ThenDo(put, func(Unit) {
+		RPCFF(rk, dst.Owner, fn, arg)
+	})
+}
+
+// Gather collects every team member's value at the root (flat, for
+// modest team sizes; the binomial collectives cover the scalable cases).
+// The root's future yields values indexed by team rank; other members'
+// futures ready once their contribution is sent.
+func Gather[T any](t *Team, root Intrank, val T) Future[[]T] {
+	rk := t.rk
+	// Rotate so gatherBytes' fixed root 0 maps onto the requested root.
+	// Implemented directly: non-roots RPC their value to the root's
+	// collector keyed by a collective sequence number.
+	seq := rk.nextCollSeq(t.id)
+	p := int(t.RankN())
+	prom := NewPromise[[]T](rk)
+	if p == 1 {
+		prom.FulfillResult([]T{val})
+		return prom.Future()
+	}
+	key := collKey{t.id, seq}
+	if t.me != root {
+		rk.sendColl(t, root, seq, collGather, 0, mustMarshal(val))
+		prom.FulfillResult(nil)
+		return prom.Future()
+	}
+	st := rk.getColl(key)
+	check := func() {
+		if len(st.parts) == p-1 {
+			out := make([]T, p)
+			out[root] = val
+			for r, b := range st.parts {
+				mustUnmarshal(b, &out[r])
+			}
+			delete(rk.collStates, key)
+			prom.FulfillResult(out)
+		}
+	}
+	st.onPart = check
+	check()
+	return prom.Future()
+}
+
+// AllGather collects every member's value everywhere (gather to team
+// rank 0, then broadcast).
+func AllGather[T any](t *Team, val T) Future[[]T] {
+	g := Gather(t, 0, val)
+	return ThenFut(g, func(vals []T) Future[[]T] {
+		return Broadcast(t, 0, vals)
+	})
+}

@@ -1,0 +1,190 @@
+package upcxx
+
+import (
+	"fmt"
+
+	"upcxx/internal/serial"
+)
+
+// One-sided Remote Memory Access. All operations are non-blocking and
+// asynchronous by default (paper principle #1); each returns a Future or
+// registers with a caller-supplied Promise (operation_cx::as_promise).
+// Source buffers are captured before the call returns; destination buffers
+// of gets must not be touched until the operation completes.
+
+// RPut copies src into the remote memory at dst, returning a future that
+// readies at operation completion (data globally visible at the target).
+func RPut[T serial.Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	rputInto(rk, src, dst, func() { p.FulfillResult(Unit{}) })
+	return p.Future()
+}
+
+// RPutPromise is RPut with promise-based completion: the operation
+// registers one anonymous dependency on p and fulfills it at completion —
+// the paper's flood-bandwidth idiom.
+func RPutPromise[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], p *Promise[Unit]) {
+	p.RequireAnonymous(1)
+	rputInto(rk, src, dst, func() { p.FulfillAnonymous(1) })
+}
+
+func rputInto[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], onDone func()) {
+	if dst.IsNil() {
+		panic("upcxx: RPut to nil GPtr")
+	}
+	bytes := serial.AsBytes(src)
+	rk.deferOp(func() {
+		rk.actCount++
+		rk.ep.Put(gasnetRank(dst.Owner), dst.Off, bytes, func() {
+			rk.actCount--
+			rk.enqueueCompletion(onDone)
+		})
+	})
+}
+
+// PutValue writes a single value to remote memory.
+func PutValue[T serial.Scalar](rk *Rank, v T, dst GPtr[T]) Future[Unit] {
+	return RPut(rk, []T{v}, dst)
+}
+
+// RGet copies from the remote memory at src into the local buffer dst,
+// returning a future that readies once dst holds the data. dst may be
+// ordinary private memory.
+func RGet[T serial.Scalar](rk *Rank, src GPtr[T], dst []T) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	rgetInto(rk, src, dst, func() { p.FulfillResult(Unit{}) })
+	return p.Future()
+}
+
+// RGetPromise is RGet with promise-based completion.
+func RGetPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, p *Promise[Unit]) {
+	p.RequireAnonymous(1)
+	rgetInto(rk, src, dst, func() { p.FulfillAnonymous(1) })
+}
+
+func rgetInto[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, onDone func()) {
+	if src.IsNil() {
+		panic("upcxx: RGet from nil GPtr")
+	}
+	bytes := serial.AsBytes(dst)
+	rk.deferOp(func() {
+		rk.actCount++
+		rk.ep.Get(gasnetRank(src.Owner), src.Off, bytes, func() {
+			rk.actCount--
+			rk.enqueueCompletion(onDone)
+		})
+	})
+}
+
+// GetValue fetches a single value from remote memory.
+func GetValue[T serial.Scalar](rk *Rank, src GPtr[T]) Future[T] {
+	buf := make([]T, 1)
+	return Then(RGet(rk, src, buf), func(Unit) T { return buf[0] })
+}
+
+// CopyGG copies n elements from one global location to another. When the
+// source is local it degenerates to a put; when the destination is local,
+// to a get; otherwise it stages through the initiator (get then put), as
+// upcxx::copy does for third-party transfers.
+func CopyGG[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int) Future[Unit] {
+	switch {
+	case src.Owner == rk.me:
+		return RPut(rk, Local[T](rk, src, n), dst)
+	case dst.Owner == rk.me:
+		return RGet(rk, src, Local[T](rk, dst, n))
+	default:
+		stage := make([]T, n)
+		return ThenFut(RGet(rk, src, stage), func(Unit) Future[Unit] {
+			return RPut(rk, stage, dst)
+		})
+	}
+}
+
+// PutPair names one (local source, remote destination) fragment of a
+// vector put.
+type PutPair[T serial.Scalar] struct {
+	Src []T
+	Dst GPtr[T]
+}
+
+// GetPair names one (remote source, local destination) fragment of a
+// vector get.
+type GetPair[T serial.Scalar] struct {
+	Src GPtr[T]
+	Dst []T
+}
+
+// RPutV issues a vector put: every fragment transfers independently and
+// the returned future readies when all have completed. This is the
+// VIS (vector/indexed/strided) entry point the paper lists among UPC++'s
+// non-contiguous RMA support.
+func RPutV[T serial.Scalar](rk *Rank, frags []PutPair[T]) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	for _, f := range frags {
+		RPutPromise(rk, f.Src, f.Dst, p)
+	}
+	return p.Finalize()
+}
+
+// RGetV issues a vector get; the future readies when every fragment has
+// landed.
+func RGetV[T serial.Scalar](rk *Rank, frags []GetPair[T]) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	for _, f := range frags {
+		RGetPromise(rk, f.Src, f.Dst, p)
+	}
+	return p.Finalize()
+}
+
+// RPutIndexed scatters equally-sized blocks of src to element offsets
+// within a remote base pointer: block i (blockElems elements) lands at
+// base.Add(indices[i]). len(src) must equal len(indices)*blockElems.
+func RPutIndexed[T serial.Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int) Future[Unit] {
+	if len(src) != len(indices)*blockElems {
+		panic(fmt.Sprintf("upcxx: RPutIndexed size mismatch: %d src elems, %d blocks of %d",
+			len(src), len(indices), blockElems))
+	}
+	p := NewPromise[Unit](rk)
+	for i, idx := range indices {
+		RPutPromise(rk, src[i*blockElems:(i+1)*blockElems], base.Add(idx), p)
+	}
+	return p.Finalize()
+}
+
+// RGetIndexed gathers equally-sized blocks from element offsets within a
+// remote base pointer into dst.
+func RGetIndexed[T serial.Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T) Future[Unit] {
+	if len(dst) != len(indices)*blockElems {
+		panic(fmt.Sprintf("upcxx: RGetIndexed size mismatch: %d dst elems, %d blocks of %d",
+			len(dst), len(indices), blockElems))
+	}
+	p := NewPromise[Unit](rk)
+	for i, idx := range indices {
+		RGetPromise(rk, base.Add(idx), dst[i*blockElems:(i+1)*blockElems], p)
+	}
+	return p.Finalize()
+}
+
+// RPutStrided2D puts rows blocks of rowLen elements: block i is
+// src[i*srcStride : i*srcStride+rowLen] and lands at dst.Add(i*dstStride).
+// This expresses the regular sections multidimensional-array halo
+// exchanges need.
+func RPutStrided2D[T serial.Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	for i := 0; i < rows; i++ {
+		lo := i * srcStride
+		RPutPromise(rk, src[lo:lo+rowLen], dst.Add(i*dstStride), p)
+	}
+	return p.Finalize()
+}
+
+// RGetStrided2D gathers rows blocks of rowLen elements from a strided
+// remote section into a strided local buffer.
+func RGetStrided2D[T serial.Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int) Future[Unit] {
+	p := NewPromise[Unit](rk)
+	for i := 0; i < rows; i++ {
+		lo := i * dstStride
+		RGetPromise(rk, src.Add(i*srcStride), dst[lo:lo+rowLen], p)
+	}
+	return p.Finalize()
+}

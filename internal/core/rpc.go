@@ -1,0 +1,199 @@
+package upcxx
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/serial"
+)
+
+// Remote Procedure Call: ship a function with arguments to a target rank
+// for execution there, optionally returning a result to the initiator
+// (paper §II). The function value itself travels as a code reference —
+// valid everywhere because SPMD ranks share one binary, the same property
+// C++ UPC++ relies on for function pointers. Arguments are serialized into
+// the message payload (a true deep copy across the "wire"); results travel
+// back the same way. Closures are permitted, but anything they capture is
+// shared by reference with the target execution — capture only immutable
+// values, exactly as UPC++ requires lambda captures to be trivially
+// serializable.
+//
+// The RPC executes at the target only during its user-level progress: an
+// inattentive target (one computing without calling Progress) stalls
+// incoming RPCs, as the paper emphasizes.
+
+// rpcInvoker runs at the target inside the AM handler: decode arguments,
+// call the user function, and send the reply (immediately, or when a
+// returned future readies).
+type rpcInvoker func(trk *Rank, src Intrank, seq uint64, args []byte)
+
+// rpcFFInvoker is the fire-and-forget variant: no sequence, no reply.
+type rpcFFInvoker func(trk *Rank, src Intrank, args []byte)
+
+func mustMarshal(v any) []byte {
+	b, err := serial.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("upcxx: RPC argument not serializable: %v", err))
+	}
+	return b
+}
+
+func mustUnmarshal(b []byte, ptr any) {
+	if err := serial.Unmarshal(b, ptr); err != nil {
+		panic(fmt.Sprintf("upcxx: RPC payload decode failed: %v", err))
+	}
+}
+
+// handleRPC is the conduit AM handler for requests (runs at the target in
+// user-level progress).
+func (w *World) handleRPC(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
+	trk := w.ranks[ep.Rank()]
+	seq := binary.LittleEndian.Uint64(payload)
+	aux.(rpcInvoker)(trk, src, seq, payload[8:])
+}
+
+// handleFF is the conduit AM handler for fire-and-forget RPCs.
+func (w *World) handleFF(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
+	trk := w.ranks[ep.Rank()]
+	aux.(rpcFFInvoker)(trk, src, payload)
+}
+
+// handleReply is the conduit AM handler for RPC results (runs at the
+// initiator in user-level progress).
+func (w *World) handleReply(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, _ any) {
+	rk := w.ranks[ep.Rank()]
+	seq := binary.LittleEndian.Uint64(payload)
+	cont, ok := rk.rpcPending[seq]
+	if !ok {
+		panic(fmt.Sprintf("upcxx: rank %d received RPC reply for unknown sequence %d", rk.me, seq))
+	}
+	delete(rk.rpcPending, seq)
+	rk.actCount--
+	cont(payload[8:])
+}
+
+// sendReply ships an RPC result back to the initiator. The result payload
+// travels through the regular injection path (defQ → conduit), mirroring
+// Fig 2's return flow through the target's queues.
+func (rk *Rank) sendReply(dst Intrank, seq uint64, result []byte) {
+	payload := make([]byte, 8+len(result))
+	binary.LittleEndian.PutUint64(payload, seq)
+	copy(payload[8:], result)
+	rk.deferOp(func() {
+		rk.ep.AM(gasnetRank(dst), rk.w.amReply, payload, nil)
+	})
+}
+
+// rpcSend performs the initiator side shared by every RPC variant.
+func rpcSend[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker) Future[R] {
+	seq := rk.rpcSeq
+	rk.rpcSeq++
+	p := NewPromise[R](rk)
+	rk.rpcPending[seq] = func(res []byte) {
+		var r R
+		mustUnmarshal(res, &r)
+		p.FulfillResult(r)
+	}
+	payload := make([]byte, 8+len(argBytes))
+	binary.LittleEndian.PutUint64(payload, seq)
+	copy(payload[8:], argBytes)
+	rk.deferOp(func() {
+		rk.actCount++
+		rk.ep.AM(gasnetRank(target), rk.w.amRPC, payload, inv)
+	})
+	return p.Future()
+}
+
+// RPC invokes fn(arg) on the target rank and returns a future for its
+// result.
+func RPC[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A) Future[R] {
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		trk.sendReply(src, seq, mustMarshal(fn(trk, a)))
+	})
+	return rpcSend[R](rk, target, mustMarshal(arg), inv)
+}
+
+// RPC0 invokes a no-argument fn on the target rank.
+func RPC0[R any](rk *Rank, target Intrank, fn func(*Rank) R) Future[R] {
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, _ []byte) {
+		trk.sendReply(src, seq, mustMarshal(fn(trk)))
+	})
+	return rpcSend[R](rk, target, nil, inv)
+}
+
+// RPC2 invokes a two-argument fn on the target rank.
+func RPC2[A, B, R any](rk *Rank, target Intrank, fn func(*Rank, A, B) R, a A, b B) Future[R] {
+	argBytes := mustMarshal(a)
+	argBytes = append(argBytes, mustMarshal(b)...)
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
+		var av A
+		var bv B
+		n, err := serial.DecodeInto(args, &av)
+		if err != nil {
+			panic(fmt.Sprintf("upcxx: RPC2 first argument decode: %v", err))
+		}
+		mustUnmarshal(args[n:], &bv)
+		trk.sendReply(src, seq, mustMarshal(fn(trk, av, bv)))
+	})
+	return rpcSend[R](rk, target, argBytes, inv)
+}
+
+// RPCFut invokes fn on the target; fn returns a future, and the reply is
+// sent when that future readies — the deferred-reply form upcxx RPCs use
+// when the callee must itself wait on asynchronous work.
+func RPCFut[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg A) Future[R] {
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		inner := fn(trk, a)
+		inner.c.onReady(func(r R) {
+			trk.sendReply(src, seq, mustMarshal(r))
+		})
+	})
+	return rpcSend[R](rk, target, mustMarshal(arg), inv)
+}
+
+// RPCFF invokes fn(arg) on the target rank with no acknowledgment or
+// result (upcxx rpc_ff): its progression matches the one-way flow of
+// rput/rget (paper footnote 5).
+func RPCFF[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A) {
+	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		fn(trk, a)
+	})
+	argBytes := mustMarshal(arg)
+	rk.deferOp(func() {
+		rk.ep.AM(gasnetRank(target), rk.w.amFF, argBytes, inv)
+	})
+}
+
+// RPCFF0 is RPCFF with no argument.
+func RPCFF0(rk *Rank, target Intrank, fn func(*Rank)) {
+	inv := rpcFFInvoker(func(trk *Rank, src Intrank, _ []byte) { fn(trk) })
+	rk.deferOp(func() {
+		rk.ep.AM(gasnetRank(target), rk.w.amFF, nil, inv)
+	})
+}
+
+// RPCFF2 is RPCFF with two arguments.
+func RPCFF2[A, B any](rk *Rank, target Intrank, fn func(*Rank, A, B), a A, b B) {
+	argBytes := mustMarshal(a)
+	argBytes = append(argBytes, mustMarshal(b)...)
+	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
+		var av A
+		var bv B
+		n, err := serial.DecodeInto(args, &av)
+		if err != nil {
+			panic(fmt.Sprintf("upcxx: RPCFF2 first argument decode: %v", err))
+		}
+		mustUnmarshal(args[n:], &bv)
+		fn(trk, av, bv)
+	})
+	rk.deferOp(func() {
+		rk.ep.AM(gasnetRank(target), rk.w.amFF, argBytes, inv)
+	})
+}

@@ -1,0 +1,382 @@
+package upcxx
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"upcxx/internal/gasnet"
+)
+
+// Tests for the paper's semantic fine print: attentiveness, restricted
+// context, queue lifecycle, and failure behaviour.
+
+func TestRPCStallsWithoutAttentiveness(t *testing.T) {
+	// Paper §III: "if the target enters intensive, protracted computation
+	// without calls to progress, incoming RPCs will stall."
+	Run(2, func(rk *Rank) {
+		if rk.Me() == 0 {
+			executed := false
+			RPCFF(rk, 1, func(trk *Rank, _ int) {}, 0)
+			f := RPC0(rk, 1, func(trk *Rank) bool { return true })
+			// Target is computing (not progressing): nothing can arrive.
+			time.Sleep(20 * time.Millisecond)
+			if f.Ready() || executed {
+				t.Error("RPC completed while target was inattentive")
+			}
+			// Signal the busy loop to stop via shared memory (test-only
+			// channel outside the PGAS model).
+			close(stopBusy)
+			if !f.Wait() {
+				t.Error("rpc result")
+			}
+		} else {
+			// Busy compute phase without progress.
+			<-stopBusy
+		}
+		rk.Barrier()
+	})
+}
+
+var stopBusy = make(chan struct{})
+
+func TestSegmentExhaustionSurfacesAsError(t *testing.T) {
+	RunConfig(Config{Ranks: 1, SegmentSize: 1 << 12}, func(rk *Rank) {
+		if _, err := NewArray[float64](rk, 1<<20); err == nil {
+			t.Fatal("oversized allocation should fail")
+		}
+		// The segment remains usable after a failed allocation.
+		p, err := NewArray[float64](rk, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Delete(rk, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeleteRemotePointerRejected(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		p := MustNewArray[uint64](rk, 1)
+		_ = NewDistObject(rk, p)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			remote := FetchDist[GPtr[uint64]](rk, 0, 1).Wait()
+			if err := Delete(rk, remote); err == nil {
+				t.Error("deleting remote memory should fail")
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+func TestLocalOnRemotePanics(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		p := MustNewArray[uint64](rk, 1)
+		_ = NewDistObject(rk, p)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			remote := FetchDist[GPtr[uint64]](rk, 0, 1).Wait()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Local on a remote pointer should panic")
+					}
+				}()
+				Local(rk, remote, 1)
+			}()
+		}
+		rk.Barrier()
+	})
+}
+
+func TestToGlobalOutsideSegmentPanics(t *testing.T) {
+	Run(1, func(rk *Rank) {
+		private := make([]float64, 4)
+		defer func() {
+			if recover() == nil {
+				t.Error("ToGlobal of private memory should panic")
+			}
+		}()
+		ToGlobal(rk, private)
+	})
+}
+
+func TestDefQObservableBeforeProgress(t *testing.T) {
+	// deferOp drains eagerly via internal progress, but the queue exists
+	// and drains in FIFO order.
+	Run(1, func(rk *Rank) {
+		var order []int
+		rk.defQ = append(rk.defQ, func() { order = append(order, 1) })
+		rk.defQ = append(rk.defQ, func() { order = append(order, 2) })
+		rk.InternalProgress()
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("defQ order = %v", order)
+		}
+	})
+}
+
+func TestCompQDrainedOnlyByUserProgress(t *testing.T) {
+	Run(1, func(rk *Rank) {
+		ran := false
+		rk.enqueueCompletion(func() { ran = true })
+		rk.InternalProgress()
+		if ran {
+			t.Fatal("internal progress must not run compQ actions")
+		}
+		rk.Progress()
+		if !ran {
+			t.Fatal("user progress must drain compQ")
+		}
+	})
+}
+
+func TestCallbackChainingDepth(t *testing.T) {
+	// Long Then chains must neither stack-overflow nor reorder.
+	Run(1, func(rk *Rank) {
+		f := ReadyFuture(rk, 0)
+		const depth = 10000
+		for i := 0; i < depth; i++ {
+			f = Then(f, func(v int) int { return v + 1 })
+		}
+		if got := f.Wait(); got != depth {
+			t.Fatalf("chain result = %d", got)
+		}
+	})
+}
+
+func TestPutOrderingSameDestination(t *testing.T) {
+	// Conduit FIFO: puts from one source to one destination complete in
+	// order, so the last write wins.
+	Run(2, func(rk *Rank) {
+		p := MustNewArray[uint64](rk, 1)
+		_ = NewDistObject(rk, p)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			dst := FetchDist[GPtr[uint64]](rk, 0, 1).Wait()
+			pr := NewPromise[Unit](rk)
+			for i := uint64(1); i <= 100; i++ {
+				RPutPromise(rk, []uint64{i}, dst, pr)
+			}
+			pr.Finalize().Wait()
+			if got := GetValue(rk, dst).Wait(); got != 100 {
+				t.Errorf("last write = %d", got)
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+func TestWorldsAreIsolated(t *testing.T) {
+	// Two worlds in one process must not share segments or teams.
+	w1 := NewWorld(Config{Ranks: 2})
+	w2 := NewWorld(Config{Ranks: 2})
+	defer w1.Close()
+	defer w2.Close()
+	var p1, p2 GPtr[uint64]
+	w1.Run(func(rk *Rank) {
+		if rk.Me() == 0 {
+			p1 = MustNewArray[uint64](rk, 1)
+			Local(rk, p1, 1)[0] = 111
+		}
+	})
+	w2.Run(func(rk *Rank) {
+		if rk.Me() == 0 {
+			p2 = MustNewArray[uint64](rk, 1)
+			Local(rk, p2, 1)[0] = 222
+		}
+	})
+	w1.Run(func(rk *Rank) {
+		if rk.Me() == 0 {
+			if got := Local(rk, p1, 1)[0]; got != 111 {
+				t.Errorf("world 1 segment = %d", got)
+			}
+		}
+	})
+}
+
+func TestTeamSplitSingletons(t *testing.T) {
+	Run(3, func(rk *Rank) {
+		sub := rk.WorldTeam().Split(int(rk.Me()), 0) // all different colors
+		if sub.RankN() != 1 || sub.RankMe() != 0 {
+			t.Errorf("singleton team: n=%d me=%d", sub.RankN(), sub.RankMe())
+		}
+		// Collectives on singleton teams are immediate.
+		if got := AllReduce(sub, int64(7), func(a, b int64) int64 { return a + b }).Wait(); got != 7 {
+			t.Errorf("singleton allreduce = %d", got)
+		}
+		rk.Barrier()
+	})
+}
+
+func TestNestedTeamSplit(t *testing.T) {
+	Run(8, func(rk *Rank) {
+		half := rk.WorldTeam().Split(int(rk.Me())/4, int(rk.Me()))
+		quarter := half.Split(int(half.RankMe())/2, int(half.RankMe()))
+		if quarter.RankN() != 2 {
+			t.Errorf("quarter size = %d", quarter.RankN())
+		}
+		total := AllReduce(quarter, int64(1), func(a, b int64) int64 { return a + b }).Wait()
+		if total != 2 {
+			t.Errorf("quarter allreduce = %d", total)
+		}
+		rk.Barrier()
+	})
+}
+
+func TestGPtrSerializationRoundTrip(t *testing.T) {
+	// Global pointers travel through RPC intact (the DHT landing-zone
+	// pattern depends on it).
+	Run(2, func(rk *Rank) {
+		if rk.Me() == 0 {
+			sent := GPtr[float64]{Owner: 1, Off: 1024}
+			got := RPC(rk, 1, func(trk *Rank, p GPtr[float64]) GPtr[float64] {
+				return p.Add(2)
+			}, sent).Wait()
+			if got.Owner != 1 || got.Off != 1024+16 {
+				t.Errorf("round-tripped gptr = %+v", got)
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// Property: promise dependency algebra — for any interleaving of
+// require/fulfill with matching totals, the future readies exactly at the
+// last fulfillment.
+func TestQuickPromiseAlgebra(t *testing.T) {
+	f := func(steps []bool) bool {
+		ok := true
+		Run(1, func(rk *Rank) {
+			p := NewPromise[Unit](rk)
+			outstanding := 0
+			fut := p.Future()
+			for _, require := range steps {
+				if require {
+					p.RequireAnonymous(1)
+					outstanding++
+				} else if outstanding > 0 {
+					p.FulfillAnonymous(1)
+					outstanding--
+				}
+				if fut.Ready() {
+					ok = false // initial dep still held
+					return
+				}
+			}
+			for outstanding > 0 {
+				p.FulfillAnonymous(1)
+				outstanding--
+				if fut.Ready() {
+					ok = false
+					return
+				}
+			}
+			p.Finalize()
+			if !fut.Ready() {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WhenAll over random subsets readies exactly when all inputs
+// have.
+func TestQuickWhenAll(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%16) + 1
+		ok := true
+		Run(1, func(rk *Rank) {
+			proms := make([]*Promise[Unit], count)
+			futs := make([]AnyFuture, count)
+			for i := range proms {
+				proms[i] = NewPromise[Unit](rk)
+				futs[i] = proms[i].Future()
+			}
+			all := WhenAll(rk, futs...)
+			for i, p := range proms {
+				if all.Ready() {
+					ok = false
+					return
+				}
+				_ = i
+				p.FulfillResult(Unit{})
+			}
+			if !all.Ready() {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitTimeoutDiagnosesDeadlock(t *testing.T) {
+	// A future that can never complete must panic with a diagnostic
+	// rather than hang forever. The panic fires on the rank's goroutine,
+	// so it is recovered inside the SPMD body.
+	var recovered any
+	RunConfig(Config{Ranks: 1, WaitTimeout: 100 * time.Millisecond}, func(rk *Rank) {
+		defer func() { recovered = recover() }()
+		p := NewPromise[Unit](rk)
+		p.Future().Wait() // never fulfilled
+	})
+	if recovered == nil {
+		t.Fatal("expected deadlock panic")
+	}
+	if msg := fmt.Sprint(recovered); msg == "" {
+		t.Fatal("empty panic message")
+	}
+}
+
+func TestRealtimeWorldSmoke(t *testing.T) {
+	// The full runtime over the real-time engine with several ranks per
+	// node: a sanity pass for the timing path.
+	model := &gasnet.LogGP{O: time.Microsecond, L: 2 * time.Microsecond, Gp: time.Microsecond}
+	RunConfig(Config{Ranks: 4, RanksPerNode: 2, Model: model}, func(rk *Rank) {
+		sum := AllReduce(rk.WorldTeam(), int64(rk.Me()), func(a, b int64) int64 { return a + b }).Wait()
+		if sum != 6 {
+			t.Errorf("allreduce = %d", sum)
+		}
+		got := RPC(rk, (rk.Me()+1)%4, func(trk *Rank, x int32) int32 { return x * 2 }, int32(21)).Wait()
+		if got != 42 {
+			t.Errorf("rpc = %d", got)
+		}
+		rk.Barrier()
+	})
+}
+
+func TestQuiesce(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		p := MustNewArray[uint64](rk, 64)
+		_ = NewDistObject(rk, p)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			dst := FetchDist[GPtr[uint64]](rk, 0, 1).Wait()
+			// Fire many operations without retaining their futures.
+			for i := 0; i < 64; i++ {
+				_ = RPut(rk, []uint64{uint64(i)}, dst.Add(i))
+			}
+			rk.Quiesce()
+			if rk.PendingOps() != 0 {
+				t.Errorf("PendingOps = %d after Quiesce", rk.PendingOps())
+			}
+			buf := make([]uint64, 64)
+			RGet(rk, dst, buf).Wait()
+			for i, v := range buf {
+				if v != uint64(i) {
+					t.Errorf("elem %d = %d", i, v)
+				}
+			}
+		}
+		rk.Barrier()
+	})
+}

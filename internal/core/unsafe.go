@@ -1,0 +1,9 @@
+package upcxx
+
+import "unsafe"
+
+// uintptrOf returns the address of the first byte of b. Isolated here so
+// unsafe appears in exactly one file of this package.
+func uintptrOf(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}

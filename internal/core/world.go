@@ -1,0 +1,260 @@
+package upcxx
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"upcxx/internal/gasnet"
+)
+
+// Intrank identifies a process within a job or team, mirroring
+// upcxx::intrank_t.
+type Intrank = int32
+
+// Config describes a job.
+type Config struct {
+	// Ranks is the number of SPMD processes.
+	Ranks int
+	// RanksPerNode controls the simulated node boundary for the timing
+	// model; 0 places all ranks on one node.
+	RanksPerNode int
+	// SegmentSize is the per-rank shared segment in bytes (0: 8 MiB).
+	SegmentSize int
+	// Model is the conduit timing model (nil: zero-delay).
+	Model gasnet.Model
+	// WaitTimeout bounds any single Future.Wait as a deadlock backstop
+	// (0: 60s).
+	WaitTimeout time.Duration
+}
+
+// World is one UPC++ job: a fixed set of ranks over one conduit instance.
+// Several worlds may coexist in a process (used heavily by tests).
+type World struct {
+	cfg Config
+	net *gasnet.Network
+
+	amRPC   gasnet.HandlerID
+	amReply gasnet.HandlerID
+	amFF    gasnet.HandlerID
+	amColl  gasnet.HandlerID
+
+	ranks []*Rank
+}
+
+// NewWorld creates a job with cfg.Ranks ranks. The caller must Close it.
+func NewWorld(cfg Config) *World {
+	if cfg.Ranks <= 0 {
+		panic("upcxx: Config.Ranks must be positive")
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = 60 * time.Second
+	}
+	w := &World{cfg: cfg}
+	w.net = gasnet.NewNetwork(gasnet.Config{
+		Ranks:        cfg.Ranks,
+		RanksPerNode: cfg.RanksPerNode,
+		SegmentSize:  cfg.SegmentSize,
+		Model:        cfg.Model,
+	})
+	w.amRPC = w.net.RegisterAM(w.handleRPC)
+	w.amReply = w.net.RegisterAM(w.handleReply)
+	w.amFF = w.net.RegisterAM(w.handleFF)
+	w.amColl = w.net.RegisterAM(w.handleColl)
+	w.ranks = make([]*Rank, cfg.Ranks)
+	for r := range w.ranks {
+		rk := &Rank{
+			w:          w,
+			ep:         w.net.Endpoint(Intrank(r)),
+			me:         Intrank(r),
+			n:          Intrank(cfg.Ranks),
+			rpcPending: make(map[uint64]func([]byte)),
+			collStates: make(map[collKey]*collState),
+			collSeqs:   make(map[uint64]uint64),
+			splitSeqs:  make(map[uint64]uint64),
+			teams:      make(map[uint64]*Team),
+			distObjs:   make(map[uint64]any),
+			distWaits:  make(map[uint64][]func(any)),
+		}
+		rk.worldTeam = newWorldTeam(rk)
+		rk.teams[worldTeamID] = rk.worldTeam
+		w.ranks[r] = rk
+	}
+	return w
+}
+
+// Ranks returns the job size.
+func (w *World) Ranks() int { return w.cfg.Ranks }
+
+// Rank returns the runtime object for rank r (mostly for tests; SPMD code
+// receives its Rank from Run).
+func (w *World) Rank(r Intrank) *Rank { return w.ranks[r] }
+
+// Network exposes the underlying conduit (for stats and tooling).
+func (w *World) Network() *gasnet.Network { return w.net }
+
+// Close shuts down the conduit. The job must have quiesced.
+func (w *World) Close() { w.net.Close() }
+
+// Run executes fn as an SPMD epoch: one goroutine per rank, returning when
+// every rank's fn has returned and a final barrier has completed (the
+// implicit barrier of upcxx::finalize). Run may be called repeatedly on
+// one world; rank state (segments, teams, distributed objects) persists
+// across epochs.
+func (w *World) Run(fn func(rk *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(len(w.ranks))
+	for _, rk := range w.ranks {
+		rk := rk
+		go func() {
+			defer wg.Done()
+			fn(rk)
+			rk.Barrier()
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes fn on a fresh n-rank zero-delay world and tears it down —
+// the common entry point: upcxx.Run(4, func(rk *upcxx.Rank) { ... }).
+func Run(n int, fn func(rk *Rank)) {
+	RunConfig(Config{Ranks: n}, fn)
+}
+
+// RunConfig is Run with an explicit configuration.
+func RunConfig(cfg Config, fn func(rk *Rank)) {
+	w := NewWorld(cfg)
+	defer w.Close()
+	w.Run(fn)
+}
+
+// Rank is one process's runtime: its view of the world, its shared
+// segment, and its progress engine. All methods must be called from the
+// rank's own goroutine (the one Run invoked fn on) unless noted.
+//
+// The progress engine keeps the paper's three conceptual queues (§III):
+// defQ holds operations not yet handed to the conduit, the conduit's
+// in-flight set is actQ (tracked by actCount), and compQ holds completed
+// operations' user-visible actions ("futures to satisfy"), drained only by
+// user-level progress.
+type Rank struct {
+	w  *World
+	ep *gasnet.Endpoint
+	me Intrank
+	n  Intrank
+
+	defQ           []func() // deferred injections
+	actCount       int      // operations handed to the conduit, incomplete
+	compQ          []func() // fulfilled-operation actions awaiting user progress
+	inUserProgress bool
+
+	rpcSeq     uint64
+	rpcPending map[uint64]func(payload []byte)
+
+	collStates map[collKey]*collState
+	collSeqs   map[uint64]uint64 // per-team collective sequence numbers
+	splitSeqs  map[uint64]uint64 // per-team split counters
+	teams      map[uint64]*Team
+	worldTeam  *Team
+
+	distSeq   uint64
+	distObjs  map[uint64]any
+	distWaits map[uint64][]func(any)
+}
+
+// Me returns this process's world rank.
+func (rk *Rank) Me() Intrank { return rk.me }
+
+// N returns the job size.
+func (rk *Rank) N() Intrank { return rk.n }
+
+// World returns the owning world.
+func (rk *Rank) World() *World { return rk.w }
+
+// InternalProgress advances runtime bookkeeping without executing user
+// callbacks or incoming RPCs: deferred operations are injected (defQ →
+// actQ) and conduit completions are harvested (actQ → compQ). Every
+// communication call performs this implicitly.
+func (rk *Rank) InternalProgress() {
+	for len(rk.defQ) > 0 {
+		q := rk.defQ
+		rk.defQ = nil
+		for _, inject := range q {
+			inject()
+		}
+	}
+	rk.ep.PollCompletions()
+}
+
+// Progress performs user-level progress: internal progress, then draining
+// compQ (satisfying futures and running their callbacks) and executing
+// incoming RPCs. It returns the number of user-level items processed.
+// Progress from inside a callback or RPC body is a no-op (restricted
+// context).
+func (rk *Rank) Progress() int {
+	rk.InternalProgress()
+	if rk.inUserProgress {
+		return 0
+	}
+	rk.inUserProgress = true
+	done := 0
+	q := rk.compQ
+	rk.compQ = nil
+	for _, f := range q {
+		f()
+	}
+	done += len(q)
+	done += rk.ep.PollAMs()
+	rk.inUserProgress = false
+	return done
+}
+
+// Discharge drives internal progress until every locally-initiated
+// operation has been handed to the conduit (defQ empty) — cf.
+// upcxx::discharge.
+func (rk *Rank) Discharge() {
+	for len(rk.defQ) > 0 {
+		rk.InternalProgress()
+	}
+}
+
+// PendingOps returns the number of operations in the active state (handed
+// to the conduit, completion not yet observed). Exposed for tests and
+// diagnostics.
+func (rk *Rank) PendingOps() int { return rk.actCount }
+
+// Quiesce drives progress until this rank has no operations in flight:
+// defQ and actQ empty and compQ drained. It does not wait for other
+// ranks (combine with Barrier for a job-wide quiescence point).
+func (rk *Rank) Quiesce() {
+	for {
+		rk.Progress()
+		if len(rk.defQ) == 0 && rk.actCount == 0 && len(rk.compQ) == 0 {
+			return
+		}
+	}
+}
+
+// LPC schedules fn to run on this rank during a future user-level
+// progress call (a local procedure call in UPC++ terms).
+func (rk *Rank) LPC(fn func()) {
+	rk.compQ = append(rk.compQ, fn)
+}
+
+// deferOp places an injection closure on defQ and immediately runs
+// internal progress, which injects it. The indirection keeps the paper's
+// deferred state observable while remaining eager in practice.
+func (rk *Rank) deferOp(inject func()) {
+	rk.defQ = append(rk.defQ, inject)
+	rk.InternalProgress()
+}
+
+// enqueueCompletion registers a user-visible action for the next
+// user-level progress (operation entering compQ).
+func (rk *Rank) enqueueCompletion(fn func()) {
+	rk.compQ = append(rk.compQ, fn)
+}
+
+func (rk *Rank) String() string {
+	return fmt.Sprintf("rank %d/%d", rk.me, rk.n)
+}

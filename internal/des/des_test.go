@@ -1,0 +1,183 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestTiesFIFOBySchedulingOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []float64
+	s.At(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+		// Scheduling in the past clamps to now, never moves time back.
+		s.At(0, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	want := []float64{1, 1, 3}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Acquire(0, 5)
+	if s1 != 0 || e1 != 5 {
+		t.Fatalf("first acquire = [%v,%v]", s1, e1)
+	}
+	// Second job ready at time 2 must queue behind the first.
+	s2, e2 := r.Acquire(2, 3)
+	if s2 != 5 || e2 != 8 {
+		t.Fatalf("second acquire = [%v,%v]", s2, e2)
+	}
+	// A job ready after the resource frees starts immediately.
+	s3, _ := r.Acquire(10, 1)
+	if s3 != 10 {
+		t.Fatalf("third acquire start = %v", s3)
+	}
+	r.AdvanceTo(20)
+	if r.FreeAt() != 20 {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+	r.AdvanceTo(5) // never moves backward
+	if r.FreeAt() != 20 {
+		t.Fatalf("FreeAt after backward advance = %v", r.FreeAt())
+	}
+}
+
+// Property: time never decreases across an arbitrary random event storm,
+// and every event runs exactly once.
+func TestQuickMonotoneTime(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		ran := 0
+		var last float64
+		monotone := true
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			s.At(at, func() {
+				ran++
+				if s.Now() < last {
+					monotone = false
+				}
+				last = s.Now()
+				// Sometimes cascade.
+				if rng.Intn(4) == 0 {
+					s.After(rng.Float64(), func() { ran++ })
+				}
+			})
+		}
+		total := s.Run()
+		return monotone && ran == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with FIFO resources, total busy time equals the sum of
+// durations regardless of arrival pattern.
+func TestQuickResourceConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+		type iv struct{ s, e float64 }
+		var ivs []iv
+		total := 0.0
+		ready := 0.0
+		for i := 0; i < 50; i++ {
+			ready += rng.Float64() // non-decreasing ready times
+			d := rng.Float64()
+			s, e := r.Acquire(ready, d)
+			ivs = append(ivs, iv{s, e})
+			total += d
+		}
+		// Intervals must not overlap and must sum to total.
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		sum := 0.0
+		for i, v := range ivs {
+			sum += v.e - v.s
+			if i > 0 && v.s < ivs[i-1].e-1e-12 {
+				return false
+			}
+		}
+		return sum > total-1e-9 && sum < total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+	// Intn stays in range and hits all buckets eventually.
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn coverage: %d/8", len(seen))
+	}
+}

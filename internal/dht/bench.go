@@ -1,0 +1,80 @@
+package dht
+
+import (
+	"math/rand"
+	"time"
+
+	core "upcxx/internal/core"
+)
+
+// The Fig 4 workload: every rank inserts randomly-keyed values of a fixed
+// element size, blocking after each insertion (the benchmark is
+// latency-limited, as the paper stresses). For each element size the same
+// total volume is inserted, so halving the element size doubles the
+// iteration count.
+
+// BenchConfig describes one weak-scaling data point.
+type BenchConfig struct {
+	ElemSize      int // value bytes per insert
+	VolumePerRank int // total value bytes inserted by each rank
+	Seed          int64
+}
+
+// Iterations returns the per-rank insert count for the configured volume.
+func (c BenchConfig) Iterations() int {
+	n := c.VolumePerRank / c.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BenchResult reports one rank's measurement.
+type BenchResult struct {
+	Inserts int
+	Elapsed time.Duration
+}
+
+// InsertsPerSec returns this rank's blocking-insert rate.
+func (r BenchResult) InsertsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Inserts) / r.Elapsed.Seconds()
+}
+
+// RunInsertBench performs the paper's insert loop on one rank: random
+// 8-byte keys, fixed-size values, one blocking insert at a time. The
+// caller is responsible for barriers around it.
+func RunInsertBench(rk *core.Rank, d *DHT, cfg BenchConfig) BenchResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rk.Me())*1_000_003))
+	val := make([]byte, cfg.ElemSize)
+	rng.Read(val)
+	iters := cfg.Iterations()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		key := rng.Uint64()
+		d.Insert(key, val).Wait()
+	}
+	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
+}
+
+// RunSerialBench is the paper's one-process baseline: the same loop with
+// all UPC++ calls omitted — a plain map insert, "the best we can achieve
+// with the underlying standard library".
+func RunSerialBench(cfg BenchConfig) BenchResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	val := make([]byte, cfg.ElemSize)
+	rng.Read(val)
+	local := make(map[uint64][]byte)
+	iters := cfg.Iterations()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		key := rng.Uint64()
+		stored := make([]byte, len(val))
+		copy(stored, val)
+		local[key] = stored
+	}
+	_ = local
+	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
+}

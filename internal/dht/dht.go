@@ -1,0 +1,237 @@
+// Package dht implements the paper's first application motif (§IV-C): a
+// distributed hash table whose insert operation composes RPC with
+// one-sided RMA. Each rank owns a local map; a key's home rank is chosen
+// by hash. Two variants are provided, exactly as the paper describes:
+//
+//   - RPCOnly: the value rides inside the insert RPC and the target stores
+//     it in its local map — simple, one message, best for small values.
+//   - LandingZone: the insert RPC carries only the key and size; the
+//     target allocates a landing zone in its shared segment (make_lz) and
+//     returns its global pointer, and the initiator then rputs the value
+//     with zero-copy RMA — the paper's optimization for larger values.
+//
+// All operations are fully asynchronous and return futures; the
+// latency-limited workload of Fig 4 blocks on each insert.
+package dht
+
+import (
+	"fmt"
+
+	core "upcxx/internal/core"
+)
+
+// Mode selects the insert/find wire strategy.
+type Mode int
+
+const (
+	// RPCOnly ships values inside RPCs.
+	RPCOnly Mode = iota
+	// LandingZone ships values with RMA into RPC-allocated landing zones.
+	LandingZone
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RPCOnly:
+		return "rpc-only"
+	case LandingZone:
+		return "landing-zone"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// lz is a landing zone: a global pointer to value bytes plus their length
+// (the paper's lz_t).
+type lz struct {
+	Ptr core.GPtr[uint8]
+	Len int64
+}
+
+// DHT is one rank's handle on the distributed hash table. Construction is
+// collective (every rank must call New in matching order).
+type DHT struct {
+	rk   *core.Rank
+	mode Mode
+	id   core.DistID
+
+	localVal map[uint64][]byte // RPCOnly storage
+	localLZ  map[uint64]lz     // LandingZone storage
+}
+
+// New collectively creates a distributed hash table.
+func New(rk *core.Rank, mode Mode) *DHT {
+	d := &DHT{
+		rk:       rk,
+		mode:     mode,
+		localVal: make(map[uint64][]byte),
+		localLZ:  make(map[uint64]lz),
+	}
+	obj := core.NewDistObject(rk, d)
+	d.id = obj.ID()
+	return d
+}
+
+// Target returns the home rank of a key (the paper's get_target hash).
+func (d *DHT) Target(key uint64) core.Intrank {
+	// Fibonacci hashing for a well-spread assignment of sequential keys.
+	h := key * 0x9e3779b97f4a7c15
+	return core.Intrank(h % uint64(d.rk.N()))
+}
+
+// lookup binds the DistID to the target rank's DHT instance inside RPC
+// bodies.
+func lookup(trk *core.Rank, id core.DistID) *DHT {
+	obj, ok := core.LookupDist[*DHT](trk, id)
+	if !ok {
+		panic(fmt.Sprintf("dht: rank %d has no table with id %d", trk.Me(), id))
+	}
+	return *obj.Value()
+}
+
+type insertArgs struct {
+	ID  core.DistID
+	Key uint64
+	Val core.View[uint8]
+}
+
+type lzArgs struct {
+	ID  core.DistID
+	Key uint64
+	Len int64
+}
+
+// Insert stores (key, val) in the table, returning a future that readies
+// when the value is globally visible at the home rank. val is captured at
+// call time.
+func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
+	target := d.Target(key)
+	switch d.mode {
+	case RPCOnly:
+		// One RPC carrying the value; the view serializes it into the
+		// message and the body copies it into the local map.
+		return core.RPC(d.rk, target, func(trk *core.Rank, a insertArgs) core.Unit {
+			t := lookup(trk, a.ID)
+			t.localVal[a.Key] = a.Val.CopyOut()
+			return core.Unit{}
+		}, insertArgs{ID: d.id, Key: key, Val: core.MakeView(val)})
+	case LandingZone:
+		// RPC of make_lz to obtain the landing zone, then a zero-copy
+		// rput chained with .then — the paper's Fig in §IV-C verbatim.
+		valCopy := val
+		f := core.RPC(d.rk, target, func(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
+			return lookup(trk, a.ID).makeLZ(trk, a.Key, int(a.Len))
+		}, lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
+		return core.ThenFut(f, func(dest core.GPtr[uint8]) core.Future[core.Unit] {
+			return core.RPut(d.rk, valCopy, dest)
+		})
+	default:
+		panic("dht: unknown mode")
+	}
+}
+
+// makeLZ allocates an uninitialized landing zone for a value of the given
+// size, records it in the local map, and returns a global pointer suitable
+// for RMA (the paper's make_lz).
+func (d *DHT) makeLZ(trk *core.Rank, key uint64, size int) core.GPtr[uint8] {
+	if old, ok := d.localLZ[key]; ok {
+		// Overwrite: reclaim the previous zone.
+		if err := core.Delete(trk, old.Ptr); err != nil {
+			panic(err)
+		}
+	}
+	dest := core.MustNewArray[uint8](trk, size)
+	d.localLZ[key] = lz{Ptr: dest, Len: int64(size)}
+	return dest
+}
+
+type findArgs struct {
+	ID  core.DistID
+	Key uint64
+}
+
+// Find retrieves the value for key, or nil if absent. In LandingZone mode
+// the RPC returns the zone's global pointer and the value travels by
+// one-sided rget.
+func (d *DHT) Find(key uint64) core.Future[[]byte] {
+	target := d.Target(key)
+	switch d.mode {
+	case RPCOnly:
+		return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) []byte {
+			return lookup(trk, a.ID).localVal[a.Key]
+		}, findArgs{ID: d.id, Key: key})
+	case LandingZone:
+		f := core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) lz {
+			z, ok := lookup(trk, a.ID).localLZ[a.Key]
+			if !ok {
+				return lz{Ptr: core.NilGPtr[uint8]()}
+			}
+			return z
+		}, findArgs{ID: d.id, Key: key})
+		return core.ThenFut(f, func(z lz) core.Future[[]byte] {
+			if z.Ptr.IsNil() {
+				return core.ReadyFuture[[]byte](d.rk, nil)
+			}
+			buf := make([]byte, z.Len)
+			return core.Then(core.RGet(d.rk, z.Ptr, buf), func(core.Unit) []byte {
+				return buf
+			})
+		})
+	default:
+		panic("dht: unknown mode")
+	}
+}
+
+// Mutate applies fn to the value stored at key on its home rank, storing
+// fn's return value — the paper's graph-vertex neighbour update, which
+// would take a lock/rget/modify/rput/unlock cycle without RPC. fn runs on
+// the home rank; it must be a pure transformation of the supplied bytes.
+func (d *DHT) Mutate(key uint64, fn func(old []byte) []byte) core.Future[core.Unit] {
+	if d.mode != RPCOnly {
+		panic("dht: Mutate requires RPCOnly mode (values live in the local map)")
+	}
+	target := d.Target(key)
+	return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) core.Unit {
+		t := lookup(trk, a.ID)
+		t.localVal[a.Key] = fn(t.localVal[a.Key])
+		return core.Unit{}
+	}, findArgs{ID: d.id, Key: key})
+}
+
+// Erase removes key from the table, returning whether it was present.
+// In LandingZone mode the zone's segment memory is reclaimed at the home
+// rank.
+func (d *DHT) Erase(key uint64) core.Future[bool] {
+	target := d.Target(key)
+	return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) bool {
+		t := lookup(trk, a.ID)
+		switch t.mode {
+		case RPCOnly:
+			_, ok := t.localVal[a.Key]
+			delete(t.localVal, a.Key)
+			return ok
+		case LandingZone:
+			z, ok := t.localLZ[a.Key]
+			if ok {
+				if err := core.Delete(trk, z.Ptr); err != nil {
+					panic(err)
+				}
+				delete(t.localLZ, a.Key)
+			}
+			return ok
+		default:
+			panic("dht: unknown mode")
+		}
+	}, findArgs{ID: d.id, Key: key})
+}
+
+// LocalLen returns the number of entries homed on this rank.
+func (d *DHT) LocalLen() int {
+	if d.mode == RPCOnly {
+		return len(d.localVal)
+	}
+	return len(d.localLZ)
+}
+
+// Mode returns the table's wire strategy.
+func (d *DHT) Mode() Mode { return d.mode }

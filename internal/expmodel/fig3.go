@@ -1,0 +1,95 @@
+package expmodel
+
+import "upcxx/internal/stats"
+
+// Fig 3 closed-form model: the latency and bandwidth of blocking and
+// flooded RMA puts for UPC++ (direct conduit injection) versus MPI-3 RMA
+// (Cray-MPICH-style FMA/BTE software path plus win-flush
+// synchronization). These formulas are the analytical mirror of what the
+// real-time benchmark in cmd/rma-bench measures on the simulated conduit;
+// the bench cross-checks them.
+
+// Fig3Sizes is the paper's transfer-size sweep (8 B .. 4 MB).
+func Fig3Sizes() []int {
+	var sizes []int
+	for n := 8; n <= 4<<20; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// UPCXXPutLatency returns the modeled blocking rput round trip in
+// seconds: injection overhead, NIC serialization, wire, and the ack.
+func (m Machine) UPCXXPutLatency(n int) float64 {
+	return m.overhead(n, false) + m.gap(n, false) + m.lat(n, false) +
+		m.gap(0, false) + m.lat(0, false) +
+		m.cpu(futureFulfill)
+}
+
+// MPIPutLatency returns the modeled MPI_Put + MPI_Win_flush round trip:
+// the same conduit wire as UPC++, plus the MPI software path (put base
+// cost, banded FMA per-byte CPU, flush bookkeeping and — for transfers of
+// 256 B and up — the flush completion-synchronization wait).
+func (m Machine) MPIPutLatency(n int) float64 {
+	sw := m.overhead(n, false) +
+		m.cpu(m.Proto.RMAPutBase) + m.Proto.PutCPUBytes(n).Seconds()*m.CPUScale +
+		m.cpu(m.Proto.RMAFlushBase)
+	if n >= 256 {
+		sw += m.cpu(m.Proto.RMAFlushSync)
+	}
+	return sw + m.gap(n, false) + m.lat(n, false) + m.gap(0, false) + m.lat(0, false)
+}
+
+// UPCXXFloodBW returns the modeled steady-state flood put bandwidth in
+// bytes/sec: the pipeline is bound by the slower of CPU injection and NIC
+// serialization.
+func (m Machine) UPCXXFloodBW(n int) float64 {
+	perMsg := maxf(m.overhead(n, false)+m.cpu(futureFulfill), m.gap(n, false))
+	return float64(n) / perMsg
+}
+
+// MPIFloodBW returns the modeled MPI_Put flood bandwidth (aggregate
+// IMB-RMA mode: one flush per window, so only the per-put software path
+// charges per message).
+func (m Machine) MPIFloodBW(n int) float64 {
+	sw := m.overhead(n, false) +
+		m.cpu(m.Proto.RMAPutBase) + m.Proto.PutCPUBytes(n).Seconds()*m.CPUScale
+	nic := m.gap(n, false)
+	// Chunked injection for transfers beyond the internal pipeline chunk.
+	if n > m.Proto.RMAChunk {
+		chunks := (n + m.Proto.RMAChunk - 1) / m.Proto.RMAChunk
+		nic = float64(chunks) * m.gap(m.Proto.RMAChunk, false)
+	}
+	perMsg := maxf(sw, nic)
+	return float64(n) / perMsg
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig3aModel produces the modeled round-trip put latency series
+// (microseconds) for both runtimes.
+func Fig3aModel(m Machine) []*stats.Series {
+	up := &stats.Series{Name: "UPC++ rput"}
+	mp := &stats.Series{Name: "MPI RMA put+flush"}
+	for _, n := range Fig3Sizes() {
+		up.Add(float64(n), m.UPCXXPutLatency(n)*1e6)
+		mp.Add(float64(n), m.MPIPutLatency(n)*1e6)
+	}
+	return []*stats.Series{up, mp}
+}
+
+// Fig3bModel produces the modeled flood put bandwidth series (GB/s).
+func Fig3bModel(m Machine) []*stats.Series {
+	up := &stats.Series{Name: "UPC++ rput flood"}
+	mp := &stats.Series{Name: "MPI RMA Unidir_put"}
+	for _, n := range Fig3Sizes() {
+		up.Add(float64(n), m.UPCXXFloodBW(n)/1e9)
+		mp.Add(float64(n), m.MPIFloodBW(n)/1e9)
+	}
+	return []*stats.Series{up, mp}
+}

@@ -1,0 +1,390 @@
+package gasnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rank identifies a process in a job, 0..Ranks-1.
+type Rank = int32
+
+// HandlerID names a registered Active Message handler. Handler tables are
+// identical on every rank (SPMD: one binary), so IDs are valid network-wide.
+type HandlerID uint16
+
+// AMHandler is an Active Message handler. It runs on the target rank's
+// goroutine during Poll, with the payload aliasing a network buffer that is
+// only valid for the duration of the call — copy what must persist (this is
+// the property upcxx::view exposes to users).
+//
+// aux is an opaque token that travels with the message but contributes no
+// payload bytes: it models a code address (C++ function pointer / lambda
+// invoker) which is valid on every rank because SPMD ranks share one
+// binary. The runtime ships RPC invoker functions this way; user data must
+// go through the payload.
+type AMHandler func(ep *Endpoint, src Rank, payload []byte, aux any)
+
+// Config describes a job.
+type Config struct {
+	Ranks        int
+	RanksPerNode int   // 0 means all ranks share one node
+	SegmentSize  int   // per-rank segment bytes; 0 means 8 MiB
+	Model        Model // nil means NoDelay
+}
+
+// DefaultSegmentSize is the per-rank segment size when Config leaves it 0.
+const DefaultSegmentSize = 8 << 20
+
+// Network couples the endpoints of one job. It owns the AM handler table
+// and, when a timing model is installed, the delivery engine.
+type Network struct {
+	cfg      Config
+	model    Model
+	realtime bool
+	eps      []*Endpoint
+	eng      *engine
+
+	hmu      sync.Mutex
+	handlers []AMHandler
+
+	closed atomic.Bool
+}
+
+// NewNetwork creates the conduit for a job.
+func NewNetwork(cfg Config) *Network {
+	if cfg.Ranks <= 0 {
+		panic("gasnet: Config.Ranks must be positive")
+	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = DefaultSegmentSize
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = cfg.Ranks
+	}
+	model := cfg.Model
+	_, realtime := model.(*LogGP)
+	if model == nil {
+		model = NoDelay{}
+	}
+	n := &Network{cfg: cfg, model: model, realtime: realtime}
+	n.eps = make([]*Endpoint, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		n.eps[r] = &Endpoint{
+			rank: Rank(r),
+			net:  n,
+			seg:  NewSegment(cfg.SegmentSize),
+		}
+	}
+	if realtime {
+		n.eng = newEngine(cfg.Ranks)
+	}
+	return n
+}
+
+// Ranks returns the job size.
+func (n *Network) Ranks() int { return n.cfg.Ranks }
+
+// RanksPerNode returns the number of ranks sharing each simulated node.
+func (n *Network) RanksPerNode() int { return n.cfg.RanksPerNode }
+
+// Node returns the node index hosting rank r.
+func (n *Network) Node(r Rank) int { return int(r) / n.cfg.RanksPerNode }
+
+// Intra reports whether ranks a and b share a node.
+func (n *Network) Intra(a, b Rank) bool { return n.Node(a) == n.Node(b) }
+
+// Endpoint returns rank r's endpoint.
+func (n *Network) Endpoint(r Rank) *Endpoint { return n.eps[r] }
+
+// RegisterAM installs a handler and returns its ID. All registration must
+// happen before communication starts (the runtime registers its handlers at
+// world creation, mirroring GASNet's static handler table).
+func (n *Network) RegisterAM(h AMHandler) HandlerID {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.handlers = append(n.handlers, h)
+	if len(n.handlers) > 1<<16 {
+		panic("gasnet: AM handler table overflow")
+	}
+	return HandlerID(len(n.handlers) - 1)
+}
+
+func (n *Network) handler(id HandlerID) AMHandler {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	if int(id) >= len(n.handlers) {
+		panic(fmt.Sprintf("gasnet: AM to unregistered handler %d", id))
+	}
+	return n.handlers[id]
+}
+
+// Close shuts the delivery engine down. Outstanding operations are dropped;
+// call only after the job has quiesced.
+func (n *Network) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	if n.eng != nil {
+		n.eng.stop()
+	}
+}
+
+// Stats aggregates traffic counters for one endpoint.
+type Stats struct {
+	Puts     uint64
+	PutBytes uint64
+	Gets     uint64
+	GetBytes uint64
+	AMs      uint64
+	AMBytes  uint64
+	AMOs     uint64
+}
+
+// Endpoint is one rank's attachment to the network.
+type Endpoint struct {
+	rank Rank
+	net  *Network
+	seg  *Segment
+
+	qmu     sync.Mutex
+	compQ   []func()    // completions to run on the owner during Poll
+	amQ     []inboundAM // delivered AMs awaiting handler execution
+	polling bool        // guards against recursive progress (restricted context)
+
+	puts, putBytes, gets, getBytes, ams, amBytes, amos atomic.Uint64
+}
+
+type inboundAM struct {
+	src     Rank
+	handler HandlerID
+	payload []byte
+	aux     any
+}
+
+// Rank returns this endpoint's rank.
+func (ep *Endpoint) Rank() Rank { return ep.rank }
+
+// Network returns the owning network.
+func (ep *Endpoint) Network() *Network { return ep.net }
+
+// Segment returns this rank's registered segment.
+func (ep *Endpoint) Segment() *Segment { return ep.seg }
+
+// Stats returns a snapshot of this endpoint's traffic counters.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		Puts:     ep.puts.Load(),
+		PutBytes: ep.putBytes.Load(),
+		Gets:     ep.gets.Load(),
+		GetBytes: ep.getBytes.Load(),
+		AMs:      ep.ams.Load(),
+		AMBytes:  ep.amBytes.Load(),
+		AMOs:     ep.amos.Load(),
+	}
+}
+
+func (ep *Endpoint) enqueueComp(f func()) {
+	ep.qmu.Lock()
+	ep.compQ = append(ep.compQ, f)
+	ep.qmu.Unlock()
+}
+
+func (ep *Endpoint) enqueueAM(am inboundAM) {
+	ep.qmu.Lock()
+	ep.amQ = append(ep.amQ, am)
+	ep.qmu.Unlock()
+}
+
+// PollCompletions drains delivered operation completions (put/get acks,
+// AMO results) without executing any Active Message handlers. This is the
+// conduit-level half of "internal progress" in the paper's terms: it
+// advances actQ bookkeeping but runs no user code beyond the runtime's own
+// completion thunks.
+func (ep *Endpoint) PollCompletions() int {
+	ep.qmu.Lock()
+	comp := ep.compQ
+	ep.compQ = nil
+	ep.qmu.Unlock()
+	for _, f := range comp {
+		f()
+	}
+	return len(comp)
+}
+
+// PollAMs executes delivered Active Messages on the calling goroutine
+// (which must be the endpoint's owner) — the user-level-progress half.
+// Handlers that arrive while draining run on the next call. Recursive
+// PollAMs from inside a handler is a no-op, mirroring UPC++'s restricted
+// progress context.
+func (ep *Endpoint) PollAMs() int {
+	ep.qmu.Lock()
+	if ep.polling {
+		ep.qmu.Unlock()
+		return 0
+	}
+	ep.polling = true
+	ams := ep.amQ
+	ep.amQ = nil
+	ep.qmu.Unlock()
+
+	for _, am := range ams {
+		h := ep.net.handler(am.handler)
+		h(ep, am.src, am.payload, am.aux)
+	}
+
+	ep.qmu.Lock()
+	ep.polling = false
+	ep.qmu.Unlock()
+	return len(ams)
+}
+
+// Poll drains completions then Active Messages, returning the number of
+// items processed.
+func (ep *Endpoint) Poll() int {
+	return ep.PollCompletions() + ep.PollAMs()
+}
+
+// Pending reports whether deliveries are waiting for Poll.
+func (ep *Endpoint) Pending() bool {
+	ep.qmu.Lock()
+	defer ep.qmu.Unlock()
+	return len(ep.compQ) > 0 || len(ep.amQ) > 0
+}
+
+// spinFor burns CPU for d, modeling initiator software overhead.
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// Put starts a one-sided put of src into (dst, dstOff). The source buffer
+// is captured before Put returns (source completion is synchronous, as with
+// an eager-copy rput). onAck, if non-nil, is delivered to this endpoint's
+// completion queue once the data is globally visible at the target
+// (operation completion; requires initiator attentiveness to observe, but
+// the transfer itself completes without it).
+func (ep *Endpoint) Put(dst Rank, dstOff uint64, src []byte, onAck func()) {
+	n := len(src)
+	ep.puts.Add(1)
+	ep.putBytes.Add(uint64(n))
+	tgt := ep.net.eps[dst]
+	intra := ep.net.Intra(ep.rank, dst)
+	if !ep.net.realtime {
+		copy(tgt.seg.Bytes(dstOff, n), src)
+		if onAck != nil {
+			ep.enqueueComp(onAck)
+		}
+		return
+	}
+	m := ep.net.model
+	spinFor(m.Overhead(n, intra))
+	staged := append([]byte(nil), src...)
+	eng := ep.net.eng
+	gap := m.Gap(n, intra)
+	lat := m.Latency(n, intra)
+	ackLat := m.Latency(0, intra)
+	eng.injectFrom(int(ep.rank), gap, lat, func(at time.Time) {
+		copy(tgt.seg.Bytes(dstOff, n), staged)
+		if onAck != nil {
+			eng.schedule(at.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
+		}
+	})
+}
+
+// Get starts a one-sided get of len(dst) bytes from (src, srcOff) into dst.
+// dst must not be read (or reused) until onDone is delivered via Poll.
+func (ep *Endpoint) Get(src Rank, srcOff uint64, dst []byte, onDone func()) {
+	n := len(dst)
+	ep.gets.Add(1)
+	ep.getBytes.Add(uint64(n))
+	rem := ep.net.eps[src]
+	intra := ep.net.Intra(ep.rank, src)
+	if !ep.net.realtime {
+		copy(dst, rem.seg.Bytes(srcOff, n))
+		if onDone != nil {
+			ep.enqueueComp(onDone)
+		}
+		return
+	}
+	m := ep.net.model
+	spinFor(m.Overhead(0, intra))
+	eng := ep.net.eng
+	reqGap := m.Gap(0, intra)
+	reqLat := m.Latency(0, intra)
+	// Request travels to the source NIC; the reply carries the payload.
+	eng.injectFrom(int(ep.rank), reqGap, reqLat, func(at time.Time) {
+		staged := append([]byte(nil), rem.seg.Bytes(srcOff, n)...)
+		replyGap := m.Gap(n, intra)
+		replyLat := m.Latency(n, intra)
+		eng.injectFromAt(int(src), at, replyGap, replyLat, func(time.Time) {
+			copy(dst, staged)
+			if onDone != nil {
+				ep.enqueueComp(onDone)
+			}
+		})
+	})
+}
+
+// AM sends an Active Message carrying payload to the handler h on dst. The
+// payload is captured before AM returns. Delivery enqueues the handler on
+// the target, which runs it at its next Poll — the target must be attentive
+// for the message to execute, exactly as the paper describes for RPC.
+//
+// aux travels with the message as an opaque token (see AMHandler); pass nil
+// when unused.
+func (ep *Endpoint) AM(dst Rank, h HandlerID, payload []byte, aux any) {
+	n := len(payload)
+	ep.ams.Add(1)
+	ep.amBytes.Add(uint64(n))
+	tgt := ep.net.eps[dst]
+	intra := ep.net.Intra(ep.rank, dst)
+	staged := append([]byte(nil), payload...)
+	if !ep.net.realtime {
+		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+		return
+	}
+	m := ep.net.model
+	spinFor(m.Overhead(n, intra))
+	eng := ep.net.eng
+	gap := m.Gap(n, intra)
+	lat := m.Latency(n, intra)
+	eng.injectFrom(int(ep.rank), gap, lat, func(time.Time) {
+		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+	})
+}
+
+// AMO issues a NIC-offloaded atomic on the 64-bit word at (dst, off). The
+// operation executes at the target's segment without target CPU
+// involvement; onResult (if non-nil) is delivered to this endpoint with the
+// word's previous value.
+func (ep *Endpoint) AMO(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResult func(old uint64)) {
+	ep.amos.Add(1)
+	tgt := ep.net.eps[dst]
+	intra := ep.net.Intra(ep.rank, dst)
+	if !ep.net.realtime {
+		old := tgt.seg.applyAMO(off, op, op1, op2)
+		if onResult != nil {
+			ep.enqueueComp(func() { onResult(old) })
+		}
+		return
+	}
+	m := ep.net.model
+	spinFor(m.Overhead(8, intra))
+	eng := ep.net.eng
+	gap := m.Gap(8, intra)
+	lat := m.Latency(8, intra)
+	eng.injectFrom(int(ep.rank), gap, lat, func(at time.Time) {
+		old := tgt.seg.applyAMO(off, op, op1, op2)
+		if onResult != nil {
+			eng.schedule(at.Add(lat), func(time.Time) {
+				ep.enqueueComp(func() { onResult(old) })
+			})
+		}
+	})
+}

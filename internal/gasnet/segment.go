@@ -1,0 +1,243 @@
+package gasnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Segment is one rank's registered shared-memory region: the slab of
+// physically-local memory that participates in the global address space.
+// Remote ranks address it by (rank, offset); the owning rank can also view
+// allocations as ordinary slices (the paper's global-to-local pointer
+// conversion).
+//
+// Allocation is served by a first-fit free list with coalescing. The
+// allocator is safe for concurrent use; access to the memory itself is as
+// synchronized as real RDMA, i.e. not at all — racing transfers race, and
+// callers must order them, exactly as the paper requires of UPC++ users.
+type Segment struct {
+	buf []byte
+
+	mu    sync.Mutex
+	free  []block          // sorted by offset, coalesced
+	sizes map[uint64]int64 // live allocation offset -> size
+
+	amoMu sync.Mutex // serializes NIC-side atomics on this segment
+}
+
+type block struct {
+	off  uint64
+	size int64
+}
+
+// segAlign is the minimum alignment of every allocation, sufficient for any
+// scalar element type.
+const segAlign = 16
+
+// NewSegment creates a segment of the given size in bytes.
+func NewSegment(size int) *Segment {
+	if size <= 0 {
+		panic("gasnet: segment size must be positive")
+	}
+	return &Segment{
+		buf:   make([]byte, size),
+		free:  []block{{0, int64(size)}},
+		sizes: make(map[uint64]int64),
+	}
+}
+
+// Size returns the total segment size in bytes.
+func (s *Segment) Size() int { return len(s.buf) }
+
+// Alloc reserves n bytes (n > 0) and returns the segment offset.
+func (s *Segment) Alloc(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gasnet: alloc size %d must be positive", n)
+	}
+	need := (int64(n) + segAlign - 1) &^ (segAlign - 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.free {
+		b := &s.free[i]
+		if b.size >= need {
+			off := b.off
+			b.off += uint64(need)
+			b.size -= need
+			if b.size == 0 {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			}
+			s.sizes[off] = need
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("gasnet: segment exhausted allocating %d bytes (%d free in %d blocks)",
+		n, s.freeBytesLocked(), len(s.free))
+}
+
+// Free releases an allocation previously returned by Alloc.
+func (s *Segment) Free(off uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, ok := s.sizes[off]
+	if !ok {
+		return fmt.Errorf("gasnet: free of unallocated offset %d", off)
+	}
+	delete(s.sizes, off)
+	// Insert into the sorted free list and coalesce with neighbours.
+	i := sort.Search(len(s.free), func(i int) bool { return s.free[i].off > off })
+	nb := block{off, size}
+	s.free = append(s.free, block{})
+	copy(s.free[i+1:], s.free[i:])
+	s.free[i] = nb
+	// Coalesce with successor.
+	if i+1 < len(s.free) && s.free[i].off+uint64(s.free[i].size) == s.free[i+1].off {
+		s.free[i].size += s.free[i+1].size
+		s.free = append(s.free[:i+1], s.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && s.free[i-1].off+uint64(s.free[i-1].size) == s.free[i].off {
+		s.free[i-1].size += s.free[i].size
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	}
+	return nil
+}
+
+// FreeBytes returns the number of free bytes in the segment.
+func (s *Segment) FreeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeBytesLocked()
+}
+
+func (s *Segment) freeBytesLocked() int64 {
+	var total int64
+	for _, b := range s.free {
+		total += b.size
+	}
+	return total
+}
+
+// LiveAllocs returns the number of outstanding allocations.
+func (s *Segment) LiveAllocs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Bytes returns the n bytes at off as a slice aliasing the segment. It
+// panics if the range is out of bounds, which indicates a runtime bug or a
+// wild global pointer — the analogue of a segfault on the real system.
+func (s *Segment) Bytes(off uint64, n int) []byte {
+	end := off + uint64(n)
+	if n < 0 || end > uint64(len(s.buf)) || end < off {
+		panic(fmt.Sprintf("gasnet: segment access [%d,%d) out of bounds (size %d)", off, end, len(s.buf)))
+	}
+	return s.buf[off:end:end]
+}
+
+// ReadU64 reads the 8-byte little-endian word at off under the segment's
+// atomic domain lock.
+func (s *Segment) ReadU64(off uint64) uint64 {
+	s.amoMu.Lock()
+	defer s.amoMu.Unlock()
+	return binary.LittleEndian.Uint64(s.Bytes(off, 8))
+}
+
+// WriteU64 writes the 8-byte little-endian word at off under the segment's
+// atomic domain lock.
+func (s *Segment) WriteU64(off uint64, v uint64) {
+	s.amoMu.Lock()
+	defer s.amoMu.Unlock()
+	binary.LittleEndian.PutUint64(s.Bytes(off, 8), v)
+}
+
+// AMOOp identifies a NIC-offloaded atomic memory operation, mirroring the
+// GASNet-EX / Aries offloaded AMO set used by upcxx::atomic_domain.
+type AMOOp uint8
+
+const (
+	AMOLoad AMOOp = iota
+	AMOStore
+	AMOAdd      // fetch-and-add, returns old value
+	AMOAnd      // fetch-and-and
+	AMOOr       // fetch-and-or
+	AMOXor      // fetch-and-xor
+	AMOMin      // fetch-and-min (signed)
+	AMOMax      // fetch-and-max (signed)
+	AMOCompSwap // compare-and-swap: operand2 stored if old == operand1
+)
+
+// String returns the operation mnemonic.
+func (op AMOOp) String() string {
+	switch op {
+	case AMOLoad:
+		return "load"
+	case AMOStore:
+		return "store"
+	case AMOAdd:
+		return "add"
+	case AMOAnd:
+		return "and"
+	case AMOOr:
+		return "or"
+	case AMOXor:
+		return "xor"
+	case AMOMin:
+		return "min"
+	case AMOMax:
+		return "max"
+	case AMOCompSwap:
+		return "cswap"
+	default:
+		return fmt.Sprintf("amo(%d)", uint8(op))
+	}
+}
+
+// applyAMO executes op on the 64-bit word at off, returning the previous
+// value. It runs under the segment's atomic domain lock — this is the
+// "NIC-side" execution path: no target CPU involvement.
+func (s *Segment) applyAMO(off uint64, op AMOOp, operand1, operand2 uint64) uint64 {
+	s.amoMu.Lock()
+	defer s.amoMu.Unlock()
+	w := s.Bytes(off, 8)
+	old := binary.LittleEndian.Uint64(w)
+	var next uint64
+	switch op {
+	case AMOLoad:
+		next = old
+	case AMOStore:
+		next = operand1
+	case AMOAdd:
+		next = old + operand1
+	case AMOAnd:
+		next = old & operand1
+	case AMOOr:
+		next = old | operand1
+	case AMOXor:
+		next = old ^ operand1
+	case AMOMin:
+		if int64(operand1) < int64(old) {
+			next = operand1
+		} else {
+			next = old
+		}
+	case AMOMax:
+		if int64(operand1) > int64(old) {
+			next = operand1
+		} else {
+			next = old
+		}
+	case AMOCompSwap:
+		if old == operand1 {
+			next = operand2
+		} else {
+			next = old
+		}
+	default:
+		panic(fmt.Sprintf("gasnet: unknown AMO op %d", op))
+	}
+	binary.LittleEndian.PutUint64(w, next)
+	return old
+}

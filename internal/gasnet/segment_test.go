@@ -1,0 +1,224 @@
+package gasnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentAllocFree(t *testing.T) {
+	s := NewSegment(1 << 12)
+	a, err := s.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if s.LiveAllocs() != 2 {
+		t.Fatalf("LiveAllocs = %d", s.LiveAllocs())
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FreeBytes(); got != 1<<12 {
+		t.Fatalf("FreeBytes after full free = %d", got)
+	}
+	if s.LiveAllocs() != 0 {
+		t.Fatalf("LiveAllocs = %d", s.LiveAllocs())
+	}
+}
+
+func TestSegmentAlignment(t *testing.T) {
+	s := NewSegment(1 << 12)
+	for i := 0; i < 10; i++ {
+		off, err := s.Alloc(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off%segAlign != 0 {
+			t.Fatalf("allocation %d misaligned: %d", i, off)
+		}
+	}
+}
+
+func TestSegmentExhaustion(t *testing.T) {
+	s := NewSegment(64)
+	if _, err := s.Alloc(65); err == nil {
+		t.Fatal("over-size alloc should fail")
+	}
+	if _, err := s.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(1); err == nil {
+		t.Fatal("alloc from full segment should fail")
+	}
+}
+
+func TestSegmentDoubleFree(t *testing.T) {
+	s := NewSegment(256)
+	off, err := s.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(off); err == nil {
+		t.Fatal("double free should fail")
+	}
+	if err := s.Free(9999); err == nil {
+		t.Fatal("free of bogus offset should fail")
+	}
+}
+
+func TestSegmentCoalescing(t *testing.T) {
+	s := NewSegment(1 << 10)
+	var offs []uint64
+	for i := 0; i < 8; i++ {
+		off, err := s.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Free in interleaved order; blocks must coalesce back to one region.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 4, 6} {
+		if err := s.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After full coalescing a max-size allocation must succeed.
+	if _, err := s.Alloc(1 << 10); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestSegmentBytesBounds(t *testing.T) {
+	s := NewSegment(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access should panic")
+		}
+	}()
+	s.Bytes(120, 16)
+}
+
+// Property: a random alloc/free workload never hands out overlapping
+// blocks and, once fully freed, restores the whole segment.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const segSize = 1 << 14
+		s := NewSegment(segSize)
+		type alloc struct {
+			off  uint64
+			size int
+		}
+		var live []alloc
+		overlaps := func(a, b alloc) bool {
+			aEnd := a.off + uint64((a.size+segAlign-1)&^(segAlign-1))
+			bEnd := b.off + uint64((b.size+segAlign-1)&^(segAlign-1))
+			return a.off < bEnd && b.off < aEnd
+		}
+		for step := 0; step < 200; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := 1 + rng.Intn(500)
+				off, err := s.Alloc(size)
+				if err != nil {
+					continue // exhaustion is legal
+				}
+				na := alloc{off, size}
+				for _, a := range live {
+					if overlaps(na, a) {
+						return false
+					}
+				}
+				live = append(live, na)
+			} else {
+				i := rng.Intn(len(live))
+				if err := s.Free(live[i].off); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, a := range live {
+			if err := s.Free(a.off); err != nil {
+				return false
+			}
+		}
+		return s.FreeBytes() == segSize && s.LiveAllocs() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMOOps(t *testing.T) {
+	s := NewSegment(64)
+	s.WriteU64(0, 10)
+	cases := []struct {
+		op       AMOOp
+		a, b     uint64
+		wantOld  uint64
+		wantnext uint64
+	}{
+		{AMOLoad, 0, 0, 10, 10},
+		{AMOAdd, 5, 0, 10, 15},
+		{AMOAnd, 0b1100, 0, 15, 12},
+		{AMOOr, 0b0001, 0, 12, 13},
+		{AMOXor, 0b0100, 0, 13, 9},
+		{AMOStore, 100, 0, 9, 100},
+		{AMOCompSwap, 100, 7, 100, 7}, // matches: swap
+		{AMOCompSwap, 100, 55, 7, 7},  // no match: unchanged
+		{AMOMax, 50, 0, 7, 50},
+		{AMOMin, 3, 0, 50, 3},
+	}
+	for i, c := range cases {
+		old := s.applyAMO(0, c.op, c.a, c.b)
+		if old != c.wantOld {
+			t.Errorf("case %d (%v): old = %d, want %d", i, c.op, old, c.wantOld)
+		}
+		if got := s.ReadU64(0); got != c.wantnext {
+			t.Errorf("case %d (%v): next = %d, want %d", i, c.op, got, c.wantnext)
+		}
+	}
+}
+
+func TestAMOSignedMinMax(t *testing.T) {
+	s := NewSegment(64)
+	neg5, neg7 := int64(-5), int64(-7)
+	s.WriteU64(8, uint64(neg5))
+	// Signed max(-5, 3) = 3.
+	if old := s.applyAMO(8, AMOMax, uint64(int64(3)), 0); int64(old) != -5 {
+		t.Errorf("old = %d", int64(old))
+	}
+	if got := int64(s.ReadU64(8)); got != 3 {
+		t.Errorf("signed max result = %d", got)
+	}
+	// Signed min(3, -7) = -7.
+	s.applyAMO(8, AMOMin, uint64(neg7), 0)
+	if got := int64(s.ReadU64(8)); got != -7 {
+		t.Errorf("signed min result = %d", got)
+	}
+}
+
+func TestAMOStringer(t *testing.T) {
+	names := map[AMOOp]string{
+		AMOLoad: "load", AMOStore: "store", AMOAdd: "add",
+		AMOCompSwap: "cswap", AMOOp(200): "amo(200)",
+	}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package matgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacianStructure(t *testing.T) {
+	g := Grid3D{NX: 3, NY: 3, NZ: 3}
+	a := Laplacian3D(g, 0.5)
+	if a.N != 27 {
+		t.Fatalf("N = %d", a.N)
+	}
+	// Interior node has 3 forward neighbours; the last node none.
+	wantNNZ := 27 + 2*9*3 // diag + 18 edges per axis * 3 axes
+	if a.NNZ() != wantNNZ {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), wantNNZ)
+	}
+	// Symmetric accessor.
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Errorf("At(0,1) = %v", a.At(0, 1))
+	}
+	if a.At(0, 0) != 6.5 {
+		t.Errorf("diag = %v", a.At(0, 0))
+	}
+	if a.At(0, 2) != 0 {
+		t.Errorf("non-neighbour = %v", a.At(0, 2))
+	}
+	// Rows ascending within each column.
+	for j := 0; j < a.N; j++ {
+		rows, _ := a.Col(j)
+		for k := 1; k < len(rows); k++ {
+			if rows[k] <= rows[k-1] {
+				t.Fatalf("col %d rows not ascending", j)
+			}
+		}
+		if len(rows) == 0 || int(rows[0]) != j {
+			t.Fatalf("col %d missing diagonal", j)
+		}
+	}
+}
+
+func TestLaplacianDiagonallyDominant(t *testing.T) {
+	// Strict diagonal dominance (shift > 0) implies SPD.
+	g := Grid3D{NX: 4, NY: 3, NZ: 2}
+	a := Laplacian3D(g, 0.5)
+	rowSums := make([]float64, a.N)
+	diag := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		rows, vals := a.Col(j)
+		for k, r := range rows {
+			if int(r) == j {
+				diag[j] = vals[k]
+			} else {
+				rowSums[j] += -vals[k]
+				rowSums[r] += -vals[k]
+			}
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		if diag[i] <= rowSums[i] {
+			t.Fatalf("row %d not strictly dominant: %v vs %v", i, diag[i], rowSums[i])
+		}
+	}
+}
+
+func TestNestedDissectionIsPermutation(t *testing.T) {
+	g := Grid3D{NX: 7, NY: 5, NZ: 6}
+	perm := NestedDissection(g, 4)
+	seen := make([]bool, g.N())
+	for _, p := range perm {
+		if p < 0 || int(p) >= g.N() {
+			t.Fatalf("perm value %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("perm value %d duplicated", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPermutePreservesEntries(t *testing.T) {
+	g := Grid3D{NX: 3, NY: 3, NZ: 2}
+	a := Laplacian3D(g, 0.5)
+	perm := NestedDissection(g, 2)
+	b := Permute(a, perm)
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("NNZ changed: %d -> %d", a.NNZ(), b.NNZ())
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j <= i; j++ {
+			if got, want := b.At(int(perm[i]), int(perm[j])), a.At(i, j); got != want {
+				t.Fatalf("entry (%d,%d): %v != %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Grid3D{NX: 2 + rng.Intn(4), NY: 2 + rng.Intn(4), NZ: 1 + rng.Intn(3)}
+		a := Laplacian3D(g, 1)
+		// Random permutation.
+		perm := make([]int32, g.N())
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		b := Permute(a, perm)
+		// Spot-check a handful of entries.
+		for k := 0; k < 20; k++ {
+			i, j := rng.Intn(g.N()), rng.Intn(g.N())
+			if b.At(int(perm[i]), int(perm[j])) != a.At(i, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxies(t *testing.T) {
+	au := AudikwProxy(1)
+	if au.A.N != 27000 {
+		t.Errorf("audikw proxy N = %d", au.A.N)
+	}
+	fl := FlanProxy(1)
+	if fl.A.N != 24*24*48 {
+		t.Errorf("flan proxy N = %d", fl.A.N)
+	}
+	if au.Name == "" || fl.Name == "" {
+		t.Error("proxies must be named")
+	}
+}
+
+func TestDenseSmall(t *testing.T) {
+	g := Grid3D{NX: 2, NY: 1, NZ: 1}
+	a := Laplacian3D(g, 0)
+	d := a.Dense()
+	want := []float64{6, -1, -1, 6}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dense = %v", d)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package mpi
+
+import "encoding/binary"
+
+// Collectives, implemented over the two-sided layer the way MPICH's
+// "generic" algorithms are: dissemination barrier, ring/pairwise
+// exchanges, binomial trees. Collective traffic uses a reserved tag space
+// (tags >= collTagBase); user code must stay below it.
+
+const collTagBase = 1 << 30
+
+// collTag derives a unique tag for one collective instance and round.
+func (p *Proc) collTag(seq uint64, round int) int {
+	return collTagBase + int(seq)*64 + round
+}
+
+func (p *Proc) nextCollSeq() uint64 {
+	s := p.collSeq
+	p.collSeq++
+	return s
+}
+
+// Barrier blocks until all ranks enter it (dissemination algorithm,
+// ceil(log2 P) rounds).
+func (p *Proc) Barrier() {
+	if p.n == 1 {
+		return
+	}
+	seq := p.nextCollSeq()
+	var empty [1]byte
+	buf := make([]byte, 1)
+	for round := 0; (1 << round) < p.n; round++ {
+		dst := (p.me + (1 << round)) % p.n
+		src := (p.me - (1 << round) + p.n) % p.n
+		tag := p.collTag(seq, round)
+		sreq := p.Isend(empty[:], dst, tag)
+		rreq := p.Irecv(buf, src, tag)
+		p.Wait(sreq)
+		p.Wait(rreq)
+	}
+}
+
+// Alltoall8 exchanges one 8-byte word with every rank; entry i of the
+// result came from rank i. This is the size-exchange that precedes an
+// Alltoallv, as in STRUMPACK's extend-add.
+func (p *Proc) Alltoall8(vals []uint64) []uint64 {
+	if len(vals) != p.n {
+		panic("mpi: Alltoall8 needs one value per rank")
+	}
+	seq := p.nextCollSeq()
+	tag := p.collTag(seq, 0)
+	out := make([]uint64, p.n)
+	out[p.me] = vals[p.me]
+	sendBufs := make([][]byte, p.n)
+	recvBufs := make([][]byte, p.n)
+	var reqs []*Request
+	for k := 1; k < p.n; k++ {
+		dst := (p.me + k) % p.n
+		src := (p.me - k + p.n) % p.n
+		sendBufs[dst] = binary.LittleEndian.AppendUint64(nil, vals[dst])
+		recvBufs[src] = make([]byte, 8)
+		reqs = append(reqs, p.Irecv(recvBufs[src], src, tag))
+		reqs = append(reqs, p.Isend(sendBufs[dst], dst, tag))
+	}
+	p.Waitall(reqs)
+	for src := 0; src < p.n; src++ {
+		if src != p.me {
+			out[src] = binary.LittleEndian.Uint64(recvBufs[src])
+		}
+	}
+	return out
+}
+
+// Alltoallv exchanges variable-size byte buffers: send[i] goes to rank i,
+// and the result's entry i holds rank i's buffer for us. Counts are
+// exchanged internally with Alltoall8 first (the usual usage pattern).
+// Empty buffers are not transmitted. The call completes only when all of
+// this rank's exchanges are done — the implicit synchronization the
+// paper's MPI Alltoallv extend-add variant pays per tree level.
+func (p *Proc) Alltoallv(send [][]byte) [][]byte {
+	if len(send) != p.n {
+		panic("mpi: Alltoallv needs one buffer per rank")
+	}
+	sizes := make([]uint64, p.n)
+	for i, b := range send {
+		sizes[i] = uint64(len(b))
+	}
+	recvSizes := p.Alltoall8(sizes)
+
+	seq := p.nextCollSeq()
+	tag := p.collTag(seq, 0)
+	out := make([][]byte, p.n)
+	if len(send[p.me]) > 0 {
+		out[p.me] = append([]byte(nil), send[p.me]...)
+	}
+	var reqs []*Request
+	for k := 1; k < p.n; k++ {
+		src := (p.me - k + p.n) % p.n
+		if recvSizes[src] > 0 {
+			out[src] = make([]byte, recvSizes[src])
+			reqs = append(reqs, p.Irecv(out[src], src, tag))
+		}
+	}
+	for k := 1; k < p.n; k++ {
+		dst := (p.me + k) % p.n
+		if len(send[dst]) > 0 {
+			reqs = append(reqs, p.Isend(send[dst], dst, tag))
+		}
+	}
+	p.Waitall(reqs)
+	return out
+}
+
+// Allgather8 collects one 8-byte word from every rank (entry i from
+// rank i) — used for window base exchange.
+func (p *Proc) Allgather8(v uint64) []uint64 {
+	vals := make([]uint64, p.n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return p.Alltoall8(vals)
+}
+
+// Bcast distributes root's buffer to all ranks along a binomial tree and
+// returns it (the root returns data unchanged).
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	if p.n == 1 {
+		return data
+	}
+	seq := p.nextCollSeq()
+	rr := (p.me - root + p.n) % p.n
+	if rr != 0 {
+		// Receive the size, then the payload, from the parent.
+		parent := ((rr &^ lowestClear(rr)) + root) % p.n
+		var szBuf [8]byte
+		p.Recv(szBuf[:], parent, p.collTag(seq, 0))
+		size := binary.LittleEndian.Uint64(szBuf[:])
+		data = make([]byte, size)
+		if size > 0 {
+			p.Recv(data, parent, p.collTag(seq, 1))
+		}
+	}
+	for k := 0; (1 << k) < p.n; k++ {
+		step := 1 << k
+		if step <= rr {
+			continue
+		}
+		crel := rr + step
+		if crel >= p.n {
+			continue
+		}
+		child := (crel + root) % p.n
+		var szBuf [8]byte
+		binary.LittleEndian.PutUint64(szBuf[:], uint64(len(data)))
+		p.Send(szBuf[:], child, p.collTag(seq, 0))
+		if len(data) > 0 {
+			p.Send(data, child, p.collTag(seq, 1))
+		}
+	}
+	return data
+}
+
+// lowestClear returns the highest set bit of x (the bit cleared to find a
+// binomial parent).
+func lowestClear(x int) int {
+	h := 1
+	for h<<1 <= x {
+		h <<= 1
+	}
+	return h
+}
+
+// AllreduceF64 combines one float64 from every rank with op and returns
+// the result everywhere (binomial reduce to rank 0, then broadcast).
+func (p *Proc) AllreduceF64(v float64, op func(a, b float64) float64) float64 {
+	seq := p.nextCollSeq()
+	rr := p.me
+	acc := v
+	var buf [8]byte
+	// Receive from binomial children.
+	for k := 0; (1 << k) < p.n; k++ {
+		step := 1 << k
+		if step <= rr {
+			continue
+		}
+		if rr+step >= p.n {
+			continue
+		}
+		p.Recv(buf[:], rr+step, p.collTag(seq, k))
+		acc = op(acc, f64FromBits(buf[:]))
+	}
+	if rr != 0 {
+		parent := rr &^ lowestClear(rr)
+		k := log2(lowestClear(rr))
+		putF64(buf[:], acc)
+		p.Send(buf[:], parent, p.collTag(seq, k))
+	}
+	out := p.Bcast(0, f64Bytes(acc))
+	return f64FromBits(out)
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func f64Bytes(v float64) []byte {
+	var b [8]byte
+	putF64(b[:], v)
+	return b[:]
+}
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, mathFloat64bits(v))
+}
+
+func f64FromBits(b []byte) float64 {
+	return mathFloat64frombits(binary.LittleEndian.Uint64(b))
+}

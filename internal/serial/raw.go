@@ -1,0 +1,56 @@
+package serial
+
+import "unsafe"
+
+// This file isolates the unsafe slice reinterpretation used for bulk scalar
+// payloads. RMA and view serialization of []float64 / []uint64 etc. must not
+// pay a per-element encode loop: on the real system these transfers are raw
+// RDMA of the in-memory representation. All uses are on fixed-size scalar
+// element types on a single architecture within one process, so the
+// reinterpretation is well-defined for our purposes.
+
+// Scalar is the constraint for element types that may cross the simulated
+// network as raw memory: fixed-size kinds with no pointers.
+type Scalar interface {
+	~bool |
+		~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64 |
+		~complex64 | ~complex128
+}
+
+// SizeOf returns the in-memory (and wire) size of T in bytes.
+func SizeOf[T Scalar]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// AsBytes reinterprets a scalar slice as its raw bytes without copying.
+// The result aliases s.
+func AsBytes[T Scalar](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*SizeOf[T]())
+}
+
+// FromBytes reinterprets raw bytes as a scalar slice without copying.
+// len(b) must be a multiple of the element size; the result aliases b.
+func FromBytes[T Scalar](b []byte) []T {
+	es := SizeOf[T]()
+	if len(b)%es != 0 {
+		panic("serial: FromBytes length not a multiple of element size")
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/es)
+}
+
+// CopyScalars copies a scalar slice through its byte representation,
+// returning a fresh slice that shares no memory with s.
+func CopyScalars[T Scalar](s []T) []T {
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,193 @@
+// Package serial implements the binary serialization layer used by the
+// UPC++ runtime to move RPC arguments and return values across the
+// simulated network.
+//
+// Real UPC++ serializes C++ objects bytewise into GASNet-EX active-message
+// payloads. This package plays the same role for Go values: a compact,
+// reflection-driven binary codec with fast paths for the fixed-size scalar
+// slices that dominate HPC payloads, plus a low-level Encoder/Decoder pair
+// for hand-rolled wire formats inside the runtime itself.
+//
+// The format is little-endian and self-delimiting but NOT self-describing:
+// both sides must agree on the Go type, exactly as both sides of a UPC++
+// RPC share one binary and therefore one type layout.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs off the end of its input.
+var ErrShortBuffer = errors.New("serial: short buffer")
+
+// Encoder appends primitive values to a byte buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder that appends to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents but keeps the capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) PutU8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Encoder) PutBool(v bool)  { e.PutU8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *Encoder) PutU16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *Encoder) PutU32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) PutU64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) PutI64(v int64)  { e.PutU64(uint64(v)) }
+func (e *Encoder) PutF64(v float64) {
+	e.PutU64(math.Float64bits(v))
+}
+func (e *Encoder) PutF32(v float32) {
+	e.PutU32(math.Float32bits(v))
+}
+
+// PutUvarint appends v in unsigned varint form; used for lengths.
+func (e *Encoder) PutUvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutRaw appends b with no length prefix.
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder consumes primitive values from a byte buffer. Errors are sticky:
+// after the first failure every subsequent Get returns the zero value and
+// Err reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the number of consumed bytes.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrShortBuffer
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Decoder) I64() int64   { return int64(d.U64()) }
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+func (d *Decoder) F32() float32 { return math.Float32frombits(d.U32()) }
+
+// Uvarint consumes an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bytes consumes a length-prefixed byte slice. The result aliases the
+// decoder's buffer; copy it if it must outlive the buffer.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail()
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String consumes a length-prefixed string (copying out of the buffer).
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Raw consumes n bytes with no length prefix, aliasing the buffer.
+func (d *Decoder) Raw(n int) []byte { return d.take(n) }
+
+// Finish reports an error if the decoder failed or input remains.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("serial: %d trailing bytes", d.Remaining())
+	}
+	return nil
+}

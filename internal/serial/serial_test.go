@@ -1,0 +1,366 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutU8(0xab)
+	e.PutBool(true)
+	e.PutU16(0xbeef)
+	e.PutU32(0xdeadbeef)
+	e.PutU64(0x0123456789abcdef)
+	e.PutI64(-42)
+	e.PutF64(math.Pi)
+	e.PutF32(2.5)
+	e.PutUvarint(300)
+	e.PutBytes([]byte("hello"))
+	e.PutString("world")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() {
+		t.Error("Bool = false")
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F32(); got != 2.5 {
+		t.Errorf("F32 = %v", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64()
+	if d.Err() != ErrShortBuffer {
+		t.Fatalf("want ErrShortBuffer, got %v", d.Err())
+	}
+	// Sticky error: further reads keep failing without panicking.
+	if got := d.U32(); got != 0 {
+		t.Errorf("read after error = %d", got)
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutU32(7)
+	d := NewDecoder(e.Bytes())
+	_ = d.U16()
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish should report trailing bytes")
+	}
+}
+
+type testStruct struct {
+	A int32
+	B string
+	C []float64
+	D map[string]uint16
+	E *testStruct
+	F [3]byte
+	G bool
+	h int // unexported: skipped
+}
+
+func TestMarshalStructRoundTrip(t *testing.T) {
+	in := testStruct{
+		A: -7,
+		B: "nested",
+		C: []float64{1.5, -2.25, math.Inf(1)},
+		D: map[string]uint16{"x": 1, "y": 2},
+		E: &testStruct{A: 9, B: "inner"},
+		F: [3]byte{1, 2, 3},
+		G: true,
+		h: 99,
+	}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out testStruct
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	in.h = 0 // not serialized
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestMarshalNilPointerAndEmpty(t *testing.T) {
+	var in *int
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal(nil *int): %v", err)
+	}
+	out := new(int)
+	var outp *int = out
+	if err := Unmarshal(b, &outp); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if outp != nil {
+		t.Errorf("want nil pointer, got %v", outp)
+	}
+
+	b, err = Marshal([]int(nil))
+	if err != nil {
+		t.Fatalf("Marshal(nil slice): %v", err)
+	}
+	var s []int
+	if err := Unmarshal(b, &s); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(s) != 0 {
+		t.Errorf("want empty slice, got %v", s)
+	}
+}
+
+func TestMarshalRejectsChannels(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("Marshal(chan) should fail")
+	}
+	if _, err := Marshal(struct{ F func() }{}); err == nil {
+		t.Fatal("Marshal(func field) should fail")
+	}
+}
+
+func TestMarshalDeterministicMaps(t *testing.T) {
+	m := map[int]string{}
+	for i := 0; i < 50; i++ {
+		m[i] = "v"
+	}
+	a, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+func TestUnmarshalHostileLength(t *testing.T) {
+	// A slice header claiming 2^60 elements must not allocate.
+	e := NewEncoder(nil)
+	e.PutUvarint(1 << 60)
+	var s []uint32
+	if err := Unmarshal(e.Bytes(), &s); err == nil {
+		t.Fatal("hostile length should fail")
+	}
+}
+
+func TestDecodeIntoStreaming(t *testing.T) {
+	buf, err := Marshal(int32(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := AppendMarshal(buf, "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i int32
+	n, err := DecodeInto(buf2, &i)
+	if err != nil || i != 5 {
+		t.Fatalf("DecodeInto int32: %v %d", err, i)
+	}
+	var s string
+	if _, err := DecodeInto(buf2[n:], &s); err != nil || s != "tail" {
+		t.Fatalf("DecodeInto string: %v %q", err, s)
+	}
+}
+
+// Property: arbitrary struct payloads survive a round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	type payload struct {
+		I   int64
+		U   uint32
+		F   float64
+		S   string
+		Bs  []byte
+		Fs  []float32
+		M   map[uint8]int16
+		Arr [4]uint64
+		P   *int32
+	}
+	f := func(in payload) bool {
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out payload
+		if err := Unmarshal(b, &out); err != nil {
+			return false
+		}
+		// Normalize nil vs empty for DeepEqual.
+		if len(in.Bs) == 0 {
+			in.Bs = nil
+		}
+		if len(out.Bs) == 0 {
+			out.Bs = nil
+		}
+		if len(in.Fs) == 0 {
+			in.Fs = nil
+		}
+		if len(out.Fs) == 0 {
+			out.Fs = nil
+		}
+		if len(in.M) == 0 {
+			in.M = nil
+		}
+		if len(out.M) == 0 {
+			out.M = nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded size equals EncodedSize.
+func TestQuickEncodedSize(t *testing.T) {
+	f := func(s string, xs []int32) bool {
+		type rec struct {
+			S  string
+			Xs []int32
+		}
+		v := rec{s, xs}
+		b, err := Marshal(v)
+		if err != nil {
+			return false
+		}
+		n, err := EncodedSize(v)
+		return err == nil && n == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsBytesFromBytes(t *testing.T) {
+	fs := []float64{1, 2, 3.5}
+	b := AsBytes(fs)
+	if len(b) != 24 {
+		t.Fatalf("AsBytes len = %d", len(b))
+	}
+	back := FromBytes[float64](b)
+	if !reflect.DeepEqual(fs, back) {
+		t.Errorf("FromBytes = %v", back)
+	}
+	// Mutation through the byte view is visible (aliasing).
+	b[0] ^= 0xff
+	if fs[0] == 1 {
+		t.Error("AsBytes should alias the source")
+	}
+
+	if got := FromBytes[uint32](nil); got != nil {
+		t.Errorf("FromBytes(nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromBytes with misaligned length should panic")
+		}
+	}()
+	FromBytes[uint64](make([]byte, 12))
+}
+
+func TestCopyScalars(t *testing.T) {
+	in := []int32{1, 2, 3}
+	out := CopyScalars(in)
+	out[0] = 99
+	if in[0] != 1 {
+		t.Error("CopyScalars should not alias")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	cases := map[string]struct {
+		got, want int
+	}{
+		"bool":    {SizeOf[bool](), 1},
+		"int16":   {SizeOf[int16](), 2},
+		"uint32":  {SizeOf[uint32](), 4},
+		"float64": {SizeOf[float64](), 8},
+		"cplx128": {SizeOf[complex128](), 16},
+	}
+	for name, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: SizeOf = %d, want %d", name, c.got, c.want)
+		}
+	}
+}
+
+type customWire struct {
+	N int
+}
+
+func (c customWire) MarshalSerial(e *Encoder) { e.PutUvarint(uint64(c.N * 2)) }
+func (c *customWire) UnmarshalSerial(d *Decoder) {
+	c.N = int(d.Uvarint() / 2)
+}
+
+func TestCustomMarshaler(t *testing.T) {
+	in := customWire{N: 21}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out customWire
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 21 {
+		t.Errorf("custom round trip = %d", out.N)
+	}
+	// Nested inside a struct.
+	type holder struct{ C customWire }
+	b2, err := Marshal(holder{customWire{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h holder
+	if err := Unmarshal(b2, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.C.N != 7 {
+		t.Errorf("nested custom round trip = %d", h.C.N)
+	}
+}

@@ -1,0 +1,395 @@
+// Package sparse implements the multifrontal sparse-solver substrate of
+// the paper's second application motif (§IV-D): elimination trees,
+// symbolic factorization into frontal matrices, the proportional-mapping
+// heuristic, 2D block-cyclic front distribution, the extend-add (e_add)
+// operation in the paper's three communication variants (UPC++ RPC with
+// views, MPI Alltoallv, MPI point-to-point), and a miniature symPACK-style
+// multifrontal Cholesky used for the v0.1-vs-v1.0 comparison of Fig 9.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"upcxx/internal/matgen"
+)
+
+// ETree computes the elimination tree of a symmetric matrix in
+// lower-triangle CSC form (Liu's algorithm with path compression).
+// parent[j] == -1 marks a root. The algorithm must visit node i's
+// sub-row (entries a_ij with j < i) for i ascending, so the lower
+// triangle is first bucketed by row.
+func ETree(a *matgen.SymCSC) []int32 {
+	n := a.N
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		ancestor[i] = -1
+	}
+	rowlists := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		rows, _ := a.Col(j)
+		for _, r := range rows {
+			if int(r) > j {
+				rowlists[r] = append(rowlists[r], int32(j))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range rowlists[i] {
+			// Walk from j to the root of its current subtree, compressing
+			// paths into ancestor, then graft the subtree under i.
+			r := j
+			for ancestor[r] != -1 && ancestor[r] != int32(i) {
+				next := ancestor[r]
+				ancestor[r] = int32(i)
+				r = next
+			}
+			if ancestor[r] == -1 {
+				ancestor[r] = int32(i)
+				parent[r] = int32(i)
+			}
+		}
+	}
+	return parent
+}
+
+// colPatterns computes the row pattern of every column of the Cholesky
+// factor L: pat[j] holds the sorted row indices strictly below j in
+// struct(L(:,j)). Memory is O(|L|).
+func colPatterns(a *matgen.SymCSC) [][]int32 {
+	n := a.N
+	pat := make([][]int32, n)
+	// children[j] = columns whose first sub-diagonal pattern row is j.
+	children := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		// Merge A's sub-diagonal rows of column j with every child's
+		// pattern (minus j itself).
+		var sources [][]int32
+		rows, _ := a.Col(j)
+		var acol []int32
+		for _, r := range rows {
+			if int(r) > j {
+				acol = append(acol, r)
+			}
+		}
+		sources = append(sources, acol)
+		for _, c := range children[j] {
+			sources = append(sources, pat[c])
+		}
+		merged := mergeSorted(sources, int32(j))
+		pat[j] = merged
+		if len(merged) > 0 {
+			p := merged[0] // elimination-tree parent of j
+			children[p] = append(children[p], int32(j))
+		}
+		// Children's patterns are no longer needed once merged, but they
+		// are retained for the caller (front construction reuses them).
+	}
+	return pat
+}
+
+// mergeSorted merges sorted int32 slices, dropping duplicates and the
+// value skip.
+func mergeSorted(srcs [][]int32, skip int32) []int32 {
+	switch len(srcs) {
+	case 0:
+		return nil
+	case 1:
+		// Fast path: drop skip only.
+		out := make([]int32, 0, len(srcs[0]))
+		for _, v := range srcs[0] {
+			if v != skip {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	total := 0
+	for _, s := range srcs {
+		total += len(s)
+	}
+	out := make([]int32, 0, total)
+	for _, s := range srcs {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for _, v := range out {
+		if v == skip {
+			continue
+		}
+		if w > 0 && out[w-1] == v {
+			continue
+		}
+		out[w] = v
+		w++
+	}
+	return out[:w]
+}
+
+// Front is one frontal matrix (paper Fig 5): a supernode of Width
+// consecutive columns starting at Start, with Rows holding the front's
+// global row indices — the first Width entries are the panel columns
+// themselves, the remainder the contribution-block (F22) rows, ascending.
+// Rows plays the role of the index sets Ip / IlC / IrC.
+type Front struct {
+	ID       int
+	Start    int // first column
+	Width    int // number of eliminated columns
+	Rows     []int32
+	Parent   int // front index, -1 at roots
+	Children []int
+	Level    int     // root = 0
+	Cost     float64 // dense factorization flops estimate
+}
+
+// CBRows returns the contribution-block row indices (beyond the panel).
+func (f *Front) CBRows() []int32 { return f.Rows[f.Width:] }
+
+// CBSize returns the contribution block dimension.
+func (f *Front) CBSize() int { return len(f.Rows) - f.Width }
+
+// FrontTree is the assembly tree of frontal matrices, ordered so that
+// children precede parents (bottom-up traversal = ascending index).
+type FrontTree struct {
+	N      int
+	Fronts []Front
+	Roots  []int
+	// ColFront maps a matrix column to the front eliminating it.
+	ColFront []int32
+}
+
+// MaxLevel returns the deepest level in the tree.
+func (t *FrontTree) MaxLevel() int {
+	max := 0
+	for i := range t.Fronts {
+		if t.Fronts[i].Level > max {
+			max = t.Fronts[i].Level
+		}
+	}
+	return max
+}
+
+// BuildFrontTree performs symbolic factorization: column patterns,
+// fundamental-supernode detection (bounded by maxWidth), and assembly-tree
+// construction.
+func BuildFrontTree(a *matgen.SymCSC, maxWidth int) *FrontTree {
+	if maxWidth < 1 {
+		maxWidth = 1 << 30
+	}
+	n := a.N
+	pat := colPatterns(a)
+	t := &FrontTree{N: n, ColFront: make([]int32, n)}
+
+	// Group columns into fundamental supernodes: j+1 joins j's supernode
+	// when parent(j) == j+1 and struct(L(:,j)) = {j+1} ∪ struct(L(:,j+1)).
+	start := 0
+	for start < n {
+		width := 1
+		for start+width < n && width < maxWidth {
+			j := start + width - 1
+			next := start + width
+			if len(pat[j]) == 0 || int(pat[j][0]) != next {
+				break
+			}
+			if len(pat[j]) != len(pat[next])+1 {
+				break
+			}
+			width++
+		}
+		f := Front{ID: len(t.Fronts), Start: start, Width: width, Parent: -1}
+		f.Rows = make([]int32, 0, width+len(pat[start+width-1]))
+		for c := 0; c < width; c++ {
+			f.Rows = append(f.Rows, int32(start+c))
+		}
+		f.Rows = append(f.Rows, pat[start+width-1]...)
+		// Dense-panel flops estimate: eliminating column c of the panel
+		// updates a trailing block of side (|Rows| - c).
+		for c := 0; c < width; c++ {
+			s := float64(len(f.Rows) - c)
+			f.Cost += s * s
+		}
+		for c := 0; c < width; c++ {
+			t.ColFront[start+c] = int32(f.ID)
+		}
+		t.Fronts = append(t.Fronts, f)
+		start += width
+	}
+
+	// Parent link: the front owning the first contribution-block row.
+	for i := range t.Fronts {
+		f := &t.Fronts[i]
+		if f.CBSize() == 0 {
+			t.Roots = append(t.Roots, f.ID)
+			continue
+		}
+		p := int(t.ColFront[f.CBRows()[0]])
+		f.Parent = p
+		t.Fronts[p].Children = append(t.Fronts[p].Children, f.ID)
+	}
+	// Levels, top-down. Parents always have higher indices than children
+	// (supernodes ascend with column order), so iterate descending.
+	for i := len(t.Fronts) - 1; i >= 0; i-- {
+		f := &t.Fronts[i]
+		if f.Parent >= 0 {
+			f.Level = t.Fronts[f.Parent].Level + 1
+		}
+	}
+	return t
+}
+
+// Amalgamate applies relaxed supernode amalgamation, the standard
+// multifrontal post-pass: a front merges into its parent when it is the
+// parent's only child, its columns are contiguous with the parent's, and
+// the merge grows the child's row span by at most relax (fractional).
+// This collapses the long single-child chains that fundamental supernodes
+// leave inside nested-dissection separators, producing the compact
+// assembly trees real solvers (and the paper's STRUMPACK-extracted trees)
+// operate on.
+func Amalgamate(t *FrontTree, relax float64) *FrontTree {
+	n := len(t.Fronts)
+	fr := make([]Front, n)
+	copy(fr, t.Fronts)
+	for i := range fr {
+		fr[i].Children = append([]int(nil), t.Fronts[i].Children...)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		p := fr[i].Parent
+		if p < 0 || len(fr[p].Children) != 1 {
+			continue
+		}
+		if fr[p].Start != fr[i].Start+fr[i].Width {
+			continue
+		}
+		mergedSpan := fr[i].Width + len(fr[p].Rows)
+		growth := float64(mergedSpan-len(fr[i].Rows)) / float64(len(fr[i].Rows))
+		if growth > relax {
+			continue
+		}
+		// Merge i into p: p absorbs i's columns and children.
+		rows := make([]int32, 0, mergedSpan)
+		for c := 0; c < fr[i].Width; c++ {
+			rows = append(rows, int32(fr[i].Start+c))
+		}
+		rows = append(rows, fr[p].Rows...)
+		fr[p].Start = fr[i].Start
+		fr[p].Width += fr[i].Width
+		fr[p].Rows = rows
+		fr[p].Children = fr[i].Children
+		for _, c := range fr[i].Children {
+			fr[c].Parent = p
+		}
+		alive[i] = false
+	}
+	// Compact into a fresh tree, preserving ascending (children-first)
+	// order, recomputing ids, costs, levels and column ownership.
+	out := &FrontTree{N: t.N, ColFront: make([]int32, t.N)}
+	remap := make([]int, n)
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			remap[i] = -1
+			continue
+		}
+		nf := fr[i]
+		nf.ID = len(out.Fronts)
+		nf.Children = nil
+		nf.Cost = 0
+		for c := 0; c < nf.Width; c++ {
+			s := float64(len(nf.Rows) - c)
+			nf.Cost += s * s
+			out.ColFront[nf.Start+c] = int32(nf.ID)
+		}
+		remap[i] = nf.ID
+		out.Fronts = append(out.Fronts, nf)
+	}
+	for i := range out.Fronts {
+		f := &out.Fronts[i]
+		if f.Parent >= 0 {
+			f.Parent = remap[f.Parent]
+			out.Fronts[f.Parent].Children = append(out.Fronts[f.Parent].Children, f.ID)
+		} else {
+			out.Roots = append(out.Roots, f.ID)
+		}
+	}
+	for i := len(out.Fronts) - 1; i >= 0; i-- {
+		f := &out.Fronts[i]
+		f.Level = 0
+		if f.Parent >= 0 {
+			f.Level = out.Fronts[f.Parent].Level + 1
+		}
+	}
+	return out
+}
+
+// SubtreeCosts returns, per front, the total cost of its subtree.
+func (t *FrontTree) SubtreeCosts() []float64 {
+	costs := make([]float64, len(t.Fronts))
+	for i := range t.Fronts { // children precede parents
+		costs[i] += t.Fronts[i].Cost
+		if p := t.Fronts[i].Parent; p >= 0 {
+			costs[p] += costs[i]
+		}
+	}
+	return costs
+}
+
+// Validate checks structural invariants, returning the first violation.
+func (t *FrontTree) Validate() error {
+	seen := make([]bool, t.N)
+	for i := range t.Fronts {
+		f := &t.Fronts[i]
+		for c := 0; c < f.Width; c++ {
+			col := f.Start + c
+			if seen[col] {
+				return fmt.Errorf("column %d eliminated twice", col)
+			}
+			seen[col] = true
+		}
+		for k := 1; k < len(f.Rows); k++ {
+			if f.Rows[k] <= f.Rows[k-1] {
+				return fmt.Errorf("front %d rows not strictly ascending at %d", f.ID, k)
+			}
+		}
+		// Multifrontal invariant: CB rows must appear among the parent's
+		// rows (the extend-add mapping of Fig 5 relies on it).
+		if f.Parent >= 0 {
+			p := &t.Fronts[f.Parent]
+			for _, r := range f.CBRows() {
+				if !containsSorted(p.Rows, r) {
+					return fmt.Errorf("front %d CB row %d missing from parent %d", f.ID, r, p.ID)
+				}
+			}
+		} else if f.CBSize() != 0 {
+			return fmt.Errorf("root front %d has a contribution block", f.ID)
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			return fmt.Errorf("column %d never eliminated", c)
+		}
+	}
+	return nil
+}
+
+func containsSorted(s []int32, v int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// LocalIndex returns the position of global row r within rows, or -1.
+func LocalIndex(rows []int32, r int32) int {
+	i := sort.Search(len(rows), func(i int) bool { return rows[i] >= r })
+	if i < len(rows) && rows[i] == r {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"upcxx/internal/matgen"
+)
+
+// Triangular solves completing the solver: with the Cholesky factor
+// A = L*L', solve A x = b by forward substitution (L y = b) and backward
+// substitution (L' x = y). The distributed factor is gathered to a
+// sparse column representation first — the solve itself is serial, which
+// is how sparse direct solvers are typically validated (the paper
+// benchmarks factorization only; the solve makes the pipeline usable and
+// testable end to end).
+
+// SparseL is a lower-triangular factor in column form.
+type SparseL struct {
+	N    int
+	Cols [][]int32   // row indices per column, ascending, diagonal first
+	Vals [][]float64 // matching values
+}
+
+// AssembleL builds a SparseL from the per-rank factor triples produced by
+// CholV1/CholV01.
+func AssembleL(n int, results []CholResult) (*SparseL, error) {
+	l := &SparseL{N: n, Cols: make([][]int32, n), Vals: make([][]float64, n)}
+	for _, res := range results {
+		for _, tr := range res.L {
+			i, j, v := int32(tr[0]), int(tr[1]), tr[2]
+			l.Cols[j] = append(l.Cols[j], i)
+			l.Vals[j] = append(l.Vals[j], v)
+		}
+	}
+	for j := 0; j < n; j++ {
+		// Insertion sort by row; panels arrive nearly sorted.
+		rows, vals := l.Cols[j], l.Vals[j]
+		for i := 1; i < len(rows); i++ {
+			for k := i; k > 0 && rows[k] < rows[k-1]; k-- {
+				rows[k], rows[k-1] = rows[k-1], rows[k]
+				vals[k], vals[k-1] = vals[k-1], vals[k]
+			}
+		}
+		if len(rows) == 0 || int(rows[0]) != j {
+			return nil, fmt.Errorf("sparse: column %d missing its diagonal", j)
+		}
+		if vals[0] <= 0 {
+			return nil, fmt.Errorf("sparse: column %d has non-positive pivot %g", j, vals[0])
+		}
+	}
+	return l, nil
+}
+
+// NNZ returns the factor's stored entry count.
+func (l *SparseL) NNZ() int {
+	total := 0
+	for _, c := range l.Cols {
+		total += len(c)
+	}
+	return total
+}
+
+// Solve computes x with A x = b given the factor (two triangular solves).
+// b is not modified.
+func (l *SparseL) Solve(b []float64) []float64 {
+	if len(b) != l.N {
+		panic(fmt.Sprintf("sparse: Solve rhs length %d != n %d", len(b), l.N))
+	}
+	// Forward: L y = b (column-oriented).
+	y := append([]float64(nil), b...)
+	for j := 0; j < l.N; j++ {
+		y[j] /= l.Vals[j][0]
+		yj := y[j]
+		for k := 1; k < len(l.Cols[j]); k++ {
+			y[l.Cols[j][k]] -= l.Vals[j][k] * yj
+		}
+	}
+	// Backward: L' x = y (dot products against columns).
+	x := y
+	for j := l.N - 1; j >= 0; j-- {
+		s := x[j]
+		for k := 1; k < len(l.Cols[j]); k++ {
+			s -= l.Vals[j][k] * x[l.Cols[j][k]]
+		}
+		x[j] = s / l.Vals[j][0]
+	}
+	return x
+}
+
+// Residual returns ||A x - b||_inf / ||b||_inf for a solution check.
+func Residual(a *matgen.SymCSC, x, b []float64) float64 {
+	r := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		rows, vals := a.Col(j)
+		for k, ri := range rows {
+			i := int(ri)
+			r[i] += vals[k] * x[j]
+			if i != j {
+				r[j] += vals[k] * x[i]
+			}
+		}
+	}
+	num, den := 0.0, 0.0
+	for i := range r {
+		num = math.Max(num, math.Abs(r[i]-b[i]))
+		den = math.Max(den, math.Abs(b[i]))
+	}
+	if den == 0 {
+		return num
+	}
+	return num / den
+}

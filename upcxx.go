@@ -1,0 +1,313 @@
+// Package upcxx is a Go implementation of the UPC++ v1.0 programming
+// model from "UPC++: A High-Performance Communication Framework for
+// Asynchronous Computation" (Bachan et al., IPDPS 2019): Partitioned
+// Global Address Space (PGAS) programming with global pointers, one-sided
+// Remote Memory Access, Remote Procedure Calls, future/promise
+// asynchrony, teams with non-blocking collectives, distributed objects
+// and NIC-offloaded remote atomics.
+//
+// A job is a fixed set of SPMD ranks running in one process over a
+// simulated GASNet-EX-style conduit (see internal/gasnet): each rank owns
+// a shared segment addressed globally by (rank, offset), and all
+// inter-rank communication crosses the conduit as bytes. The three design
+// principles of the paper hold throughout: communication is asynchronous
+// by default, data motion is syntactically explicit (global pointers
+// cannot be dereferenced), and no feature requires non-scalable state.
+//
+// Quick start:
+//
+//	upcxx.Run(4, func(rk *upcxx.Rank) {
+//		ptr := upcxx.MustNewArray[float64](rk, 8) // in my shared segment
+//		obj := upcxx.NewDistObject(rk, ptr)       // publish it
+//		rk.Barrier()
+//		remote := upcxx.FetchDist[upcxx.GPtr[float64]](rk, obj.ID(), (rk.Me()+1)%rk.N()).Wait()
+//		upcxx.RPut(rk, []float64{1, 2, 3}, remote).Wait() // one-sided RMA
+//		sum := upcxx.RPC(rk, remote.Where(), func(trk *upcxx.Rank, n int) float64 {
+//			s := 0.0
+//			for _, v := range upcxx.Local(trk, ptr, n) {
+//				s += v
+//			}
+//			return s
+//		}, 3).Wait() // remote procedure call
+//		_ = sum
+//		rk.Barrier()
+//	})
+//
+// This package is a facade: the implementation lives in internal/core
+// (runtime), internal/gasnet (conduit) and internal/serial (wire
+// formats). Application motifs from the paper are under internal/dht and
+// internal/sparse; every figure of the paper's evaluation can be
+// regenerated with the tools under cmd/ (see DESIGN.md and
+// EXPERIMENTS.md).
+package upcxx
+
+import (
+	core "upcxx/internal/core"
+	"upcxx/internal/serial"
+)
+
+// Scalar constrains element types that may cross the network as raw
+// memory (fixed-size kinds with no pointers).
+type Scalar = serial.Scalar
+
+// Core runtime types.
+type (
+	// Rank is one process's runtime handle; see core.Rank.
+	Rank = core.Rank
+	// World is one UPC++ job; see core.World.
+	World = core.World
+	// Config configures a job (rank count, segment size, timing model).
+	Config = core.Config
+	// Intrank identifies a process (upcxx::intrank_t).
+	Intrank = core.Intrank
+	// Unit is the empty future payload (upcxx::future<>).
+	Unit = core.Unit
+	// Team is an ordered subset of ranks (upcxx::team).
+	Team = core.Team
+	// DistID identifies a distributed object job-wide.
+	DistID = core.DistID
+	// AtomicU64 is the uint64 remote-atomics domain.
+	AtomicU64 = core.AtomicU64
+	// AtomicI64 is the int64 remote-atomics domain.
+	AtomicI64 = core.AtomicI64
+)
+
+// Generic runtime types (aliases; Go 1.24).
+type (
+	// Future is the consumer side of an asynchronous operation.
+	Future[T any] = core.Future[T]
+	// Promise is the producer side: a fulfillable dependency counter.
+	Promise[T any] = core.Promise[T]
+	// GPtr is a global pointer to T in some rank's shared segment.
+	GPtr[T Scalar] = core.GPtr[T]
+	// View is a serializable window over a slice (upcxx::view).
+	View[T Scalar] = core.View[T]
+	// DistObject is one rank's representative of a distributed object.
+	DistObject[T any] = core.DistObject[T]
+	// Pair carries the two values of WhenAll2.
+	Pair[A, B any] = core.Pair[A, B]
+	// AnyFuture is the type-erased future accepted by WhenAll.
+	AnyFuture = core.AnyFuture
+	// PutPair and GetPair name vector-RMA fragments.
+	PutPair[T Scalar] = core.PutPair[T]
+	GetPair[T Scalar] = core.GetPair[T]
+)
+
+// Job control.
+var (
+	// Run executes fn on a fresh n-rank zero-delay world.
+	Run = core.Run
+	// RunConfig is Run with an explicit configuration.
+	RunConfig = core.RunConfig
+	// NewWorld creates a job for repeated epochs; Close it when done.
+	NewWorld = core.NewWorld
+)
+
+// Memory management (upcxx::new_, new_array, delete_, global/local
+// conversion).
+
+// New allocates one zero-initialized T in this rank's shared segment.
+func New[T Scalar](rk *Rank) (GPtr[T], error) { return core.New[T](rk) }
+
+// NewArray allocates n contiguous zero-initialized Ts in this rank's
+// shared segment.
+func NewArray[T Scalar](rk *Rank, n int) (GPtr[T], error) { return core.NewArray[T](rk, n) }
+
+// MustNewArray is NewArray, panicking on segment exhaustion.
+func MustNewArray[T Scalar](rk *Rank, n int) GPtr[T] { return core.MustNewArray[T](rk, n) }
+
+// Delete frees an allocation owned by this rank.
+func Delete[T Scalar](rk *Rank, p GPtr[T]) error { return core.Delete(rk, p) }
+
+// NilGPtr returns the null global pointer.
+func NilGPtr[T Scalar]() GPtr[T] { return core.NilGPtr[T]() }
+
+// Local converts a global pointer with local affinity into a directly
+// usable slice.
+func Local[T Scalar](rk *Rank, p GPtr[T], n int) []T { return core.Local(rk, p, n) }
+
+// ToGlobal converts a slice obtained from Local back to a global pointer.
+func ToGlobal[T Scalar](rk *Rank, s []T) GPtr[T] { return core.ToGlobal(rk, s) }
+
+// One-sided RMA (upcxx::rput/rget and the VIS variants).
+
+// RPut copies src into remote memory; the future readies at operation
+// completion.
+func RPut[T Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] { return core.RPut(rk, src, dst) }
+
+// RPutPromise is RPut with completion registered on a promise
+// (operation_cx::as_promise).
+func RPutPromise[T Scalar](rk *Rank, src []T, dst GPtr[T], p *Promise[Unit]) {
+	core.RPutPromise(rk, src, dst, p)
+}
+
+// RGet copies remote memory into the local buffer dst.
+func RGet[T Scalar](rk *Rank, src GPtr[T], dst []T) Future[Unit] { return core.RGet(rk, src, dst) }
+
+// RGetPromise is RGet with promise-based completion.
+func RGetPromise[T Scalar](rk *Rank, src GPtr[T], dst []T, p *Promise[Unit]) {
+	core.RGetPromise(rk, src, dst, p)
+}
+
+// PutValue writes one value to remote memory.
+func PutValue[T Scalar](rk *Rank, v T, dst GPtr[T]) Future[Unit] { return core.PutValue(rk, v, dst) }
+
+// GetValue fetches one value from remote memory.
+func GetValue[T Scalar](rk *Rank, src GPtr[T]) Future[T] { return core.GetValue(rk, src) }
+
+// CopyGG copies between two global locations (upcxx::copy).
+func CopyGG[T Scalar](rk *Rank, src, dst GPtr[T], n int) Future[Unit] {
+	return core.CopyGG(rk, src, dst, n)
+}
+
+// RPutV / RGetV issue vector RMA over fragment lists.
+func RPutV[T Scalar](rk *Rank, frags []PutPair[T]) Future[Unit] { return core.RPutV(rk, frags) }
+func RGetV[T Scalar](rk *Rank, frags []GetPair[T]) Future[Unit] { return core.RGetV(rk, frags) }
+
+// RPutIndexed scatters fixed-size blocks to element offsets of a remote
+// base pointer; RGetIndexed gathers them.
+func RPutIndexed[T Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int) Future[Unit] {
+	return core.RPutIndexed(rk, src, base, indices, blockElems)
+}
+func RGetIndexed[T Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T) Future[Unit] {
+	return core.RGetIndexed(rk, base, indices, blockElems, dst)
+}
+
+// RPutStrided2D / RGetStrided2D move regular 2D sections.
+func RPutStrided2D[T Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int) Future[Unit] {
+	return core.RPutStrided2D(rk, src, srcStride, dst, dstStride, rowLen, rows)
+}
+func RGetStrided2D[T Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int) Future[Unit] {
+	return core.RGetStrided2D(rk, src, srcStride, dst, dstStride, rowLen, rows)
+}
+
+// Remote procedure calls (upcxx::rpc / rpc_ff). The function value ships
+// as a code reference (SPMD ranks share one binary); arguments are
+// serialized into the message.
+
+// RPC invokes fn(arg) on the target rank, returning a future for the
+// result.
+func RPC[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A) Future[R] {
+	return core.RPC(rk, target, fn, arg)
+}
+
+// RPC0 invokes a no-argument function remotely.
+func RPC0[R any](rk *Rank, target Intrank, fn func(*Rank) R) Future[R] {
+	return core.RPC0(rk, target, fn)
+}
+
+// RPC2 invokes a two-argument function remotely.
+func RPC2[A, B, R any](rk *Rank, target Intrank, fn func(*Rank, A, B) R, a A, b B) Future[R] {
+	return core.RPC2(rk, target, fn, a, b)
+}
+
+// RPCFut invokes a future-returning function remotely; the reply is
+// deferred until that future readies.
+func RPCFut[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg A) Future[R] {
+	return core.RPCFut(rk, target, fn, arg)
+}
+
+// RPCFF is fire-and-forget rpc_ff: no acknowledgment, no result.
+func RPCFF[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A) {
+	core.RPCFF(rk, target, fn, arg)
+}
+
+// RPCFF0 / RPCFF2 are rpc_ff with zero / two arguments.
+func RPCFF0(rk *Rank, target Intrank, fn func(*Rank)) { core.RPCFF0(rk, target, fn) }
+func RPCFF2[A, B any](rk *Rank, target Intrank, fn func(*Rank, A, B), a A, b B) {
+	core.RPCFF2(rk, target, fn, a, b)
+}
+
+// Futures and promises.
+
+// ReadyFuture returns an already-fulfilled future carrying v.
+func ReadyFuture[T any](rk *Rank, v T) Future[T] { return core.ReadyFuture(rk, v) }
+
+// EmptyFuture returns a ready empty future (conjunction seed).
+func EmptyFuture(rk *Rank) Future[Unit] { return core.EmptyFuture(rk) }
+
+// Then chains a callback producing a value (future::then).
+func Then[T, U any](f Future[T], fn func(T) U) Future[U] { return core.Then(f, fn) }
+
+// ThenDo chains a callback producing no value.
+func ThenDo[T any](f Future[T], fn func(T)) Future[Unit] { return core.ThenDo(f, fn) }
+
+// ThenFut chains a future-returning callback, flattening the result.
+func ThenFut[T, U any](f Future[T], fn func(T) Future[U]) Future[U] { return core.ThenFut(f, fn) }
+
+// WhenAll conjoins futures into a readiness-only future (upcxx::when_all).
+func WhenAll(rk *Rank, fs ...AnyFuture) Future[Unit] { return core.WhenAll(rk, fs...) }
+
+// WhenAll2 conjoins two futures, preserving both values.
+func WhenAll2[A, B any](fa Future[A], fb Future[B]) Future[Pair[A, B]] {
+	return core.WhenAll2(fa, fb)
+}
+
+// WhenAllSlice conjoins a homogeneous slice of futures.
+func WhenAllSlice[T any](rk *Rank, fs []Future[T]) Future[[]T] { return core.WhenAllSlice(rk, fs) }
+
+// NewPromise creates a promise with one unfulfilled dependency.
+func NewPromise[T any](rk *Rank) *Promise[T] { return core.NewPromise[T](rk) }
+
+// Views.
+
+// MakeView wraps a slice for zero-copy serialization into an RPC.
+func MakeView[T Scalar](s []T) View[T] { return core.MakeView(s) }
+
+// Teams and collectives.
+
+// Broadcast distributes root's value over the team (binomial tree).
+func Broadcast[T any](t *Team, root Intrank, val T) Future[T] { return core.Broadcast(t, root, val) }
+
+// ReduceOne combines values toward team rank 0.
+func ReduceOne[T any](t *Team, val T, op func(T, T) T) Future[T] { return core.ReduceOne(t, val, op) }
+
+// AllReduce combines values and delivers the result everywhere.
+func AllReduce[T any](t *Team, val T, op func(T, T) T) Future[T] { return core.AllReduce(t, val, op) }
+
+// Distributed objects.
+
+// NewDistObject registers this rank's representative (collective
+// ordering).
+func NewDistObject[T any](rk *Rank, val T) *DistObject[T] { return core.NewDistObject(rk, val) }
+
+// FetchDist retrieves another rank's representative by ID.
+func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
+	return core.FetchDist[T](rk, id, from)
+}
+
+// LookupDist resolves a DistID to the local representative (RPC-side
+// binding).
+func LookupDist[T any](rk *Rank, id DistID) (*DistObject[T], bool) {
+	return core.LookupDist[T](rk, id)
+}
+
+// Remote atomics.
+
+// NewAtomicU64 creates the uint64 atomic domain.
+func NewAtomicU64(rk *Rank) *AtomicU64 { return core.NewAtomicU64(rk) }
+
+// NewAtomicI64 creates the int64 atomic domain.
+func NewAtomicI64(rk *Rank) *AtomicI64 { return core.NewAtomicI64(rk) }
+
+// Remote completions (remote_cx::as_rpc): attach work to the target-side
+// completion of a put.
+
+// RPutThenRemote puts src to dst and, once remotely visible, runs fn at
+// dst's owner; the future readies when the notification has executed.
+func RPutThenRemote[T Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
+	return core.RPutThenRemote(rk, src, dst, fn, arg)
+}
+
+// RPutSignal is the fire-and-forget remote completion: the notification
+// runs at the target with no acknowledgment.
+func RPutSignal[T Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
+	return core.RPutSignal(rk, src, dst, fn, arg)
+}
+
+// Gather collects every team member's value at root (root's future holds
+// the values by team rank).
+func Gather[T any](t *Team, root Intrank, val T) Future[[]T] { return core.Gather(t, root, val) }
+
+// AllGather collects every member's value on every member.
+func AllGather[T any](t *Team, val T) Future[[]T] { return core.AllGather(t, val) }
