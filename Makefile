@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test test-short race vet fmt-check fmt bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The persona subsystem's acceptance gate: cross-thread LPC delivery,
+# scope nesting, and progress-thread mode must be race-clean.
+race:
+	$(GO) test -race ./internal/core/ -run Persona
+	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 100x ./...
+
+# Tier-1 verification in one command.
+ci: build vet fmt-check test race

@@ -11,6 +11,9 @@ package upcxx_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"upcxx"
@@ -337,3 +340,96 @@ func BenchmarkViewSerializationRPC(b *testing.B) {
 		})
 	}
 }
+
+// --- personas: self-progress vs dedicated progress thread -----------------
+//
+// Four user goroutines per rank flood the peer with RPCs (or RPuts),
+// each waiting on its own persona's completions. Incoming RPCs execute
+// on the rank's master persona in self-progress mode — so the master
+// goroutine polls Progress while its users flood, the classic
+// main-thread-as-poller structure — and on the dedicated progress
+// persona in progress-thread mode, where the master goroutine idles
+// and the progress goroutine serves. ns/op is per operation completed
+// at rank 0.
+
+const benchPersonaUsers = 4
+
+func benchPersonaRPCFlood(b *testing.B, progressThread bool) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2, ProgressThread: progressThread})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		peer := (rk.Me() + 1) % rk.N()
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.ResetTimer()
+		}
+		var done atomic.Bool
+		var wg sync.WaitGroup
+		per := (b.N + benchPersonaUsers - 1) / benchPersonaUsers
+		for u := 0; u < benchPersonaUsers; u++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer upcxx.DetachDefaultPersonas()
+				for i := 0; i < per; i++ {
+					upcxx.RPC(rk, peer, func(trk *upcxx.Rank, x int) int { return x + 1 }, i).Wait()
+				}
+			}()
+		}
+		go func() { wg.Wait(); done.Store(true) }()
+		for !done.Load() {
+			if progressThread {
+				runtime.Gosched() // master idles; the progress thread serves
+			} else {
+				rk.Progress() // master polls; incoming RPCs run here
+			}
+		}
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.StopTimer()
+		}
+	})
+}
+
+func BenchmarkPersonaRPCFloodSelfProgress(b *testing.B)   { benchPersonaRPCFlood(b, false) }
+func BenchmarkPersonaRPCFloodProgressThread(b *testing.B) { benchPersonaRPCFlood(b, true) }
+
+func benchPersonaRPutFlood(b *testing.B, progressThread bool) {
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2, ProgressThread: progressThread, SegmentSize: 16 << 20})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		slab := upcxx.MustNewArray[uint64](rk, benchPersonaUsers)
+		obj := upcxx.NewDistObject(rk, slab)
+		rk.Barrier()
+		peer := (rk.Me() + 1) % rk.N()
+		remote := upcxx.FetchDist[upcxx.GPtr[uint64]](rk, obj.ID(), peer).Wait()
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.ResetTimer()
+		}
+		var wg sync.WaitGroup
+		per := (b.N + benchPersonaUsers - 1) / benchPersonaUsers
+		for u := 0; u < benchPersonaUsers; u++ {
+			u := u
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer upcxx.DetachDefaultPersonas()
+				src := []uint64{0}
+				for i := 0; i < per; i++ {
+					src[0] = uint64(i)
+					upcxx.RPut(rk, src, remote.Add(u)).Wait()
+				}
+			}()
+		}
+		wg.Wait()
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.StopTimer()
+			b.SetBytes(8)
+		}
+	})
+}
+
+func BenchmarkPersonaRPutFloodSelfProgress(b *testing.B)   { benchPersonaRPutFlood(b, false) }
+func BenchmarkPersonaRPutFloodProgressThread(b *testing.B) { benchPersonaRPutFlood(b, true) }

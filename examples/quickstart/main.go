@@ -87,4 +87,29 @@ func main() {
 		}
 		rk.Barrier()
 	})
+
+	// --- Personas and the dedicated progress thread -------------------
+	// With Config.ProgressThread each rank runs a progress goroutine
+	// that executes incoming RPCs, so several user goroutines can share
+	// one rank: each goroutine's futures complete on its own persona.
+	upcxx.RunConfig(upcxx.Config{Ranks: 2, ProgressThread: true}, func(rk *upcxx.Rank) {
+		if rk.Me() == 0 {
+			var wg sync.WaitGroup
+			for u := 0; u < 2; u++ {
+				u := u
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer upcxx.DetachDefaultPersonas() // registry hygiene for per-task goroutines
+					sq := upcxx.RPC(rk, 1, func(trk *upcxx.Rank, x int) int { return x * x }, u+2).Wait()
+					say("rank 0 user goroutine %d (persona %q): %d² = %d",
+						u, rk.CurrentPersona().Name(), u+2, sq)
+				}()
+			}
+			wg.Wait()
+		}
+		// Rank 1 never calls Progress here; its progress thread serves
+		// the RPCs while its master goroutine idles into the barrier.
+		rk.Barrier()
+	})
 }

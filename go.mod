@@ -1,0 +1,3 @@
+module upcxx
+
+go 1.24

@@ -8,14 +8,16 @@ import "upcxx/internal/gasnet"
 // latency and scalability in lock-free data structures. All operations are
 // non-blocking and return futures.
 
-// amoOp issues one offloaded atomic through the progress engine.
+// amoOp issues one offloaded atomic through the progress engine; the
+// result is delivered to the initiating persona.
 func (rk *Rank) amoOp(owner Intrank, off uint64, op gasnet.AMOOp, a, b uint64) Future[uint64] {
 	p := NewPromise[uint64](rk)
+	pers := p.c.pers
 	rk.deferOp(func() {
-		rk.actCount++
+		rk.actCount.Add(1)
 		rk.ep.AMO(gasnetRank(owner), off, op, a, b, func(old uint64) {
-			rk.actCount--
-			rk.enqueueCompletion(func() { p.FulfillResult(old) })
+			pers.LPC(func() { p.FulfillResult(old) })
+			rk.actCount.Add(-1)
 		})
 	})
 	return p.Future()

@@ -7,9 +7,22 @@ package upcxx
 // objects in the same sequence, which assigns matching IDs without
 // communication. Fetching a remote representative is explicit
 // communication (an RPC), honoring the no-implicit-communication principle.
+//
+// The registry is shared between the constructing goroutine and whichever
+// goroutine executes incoming fetch RPCs (the rank's own in self-progress
+// mode, the progress thread otherwise), so it is mutex-protected; waiters
+// for not-yet-constructed representatives are resumed on the persona that
+// registered them.
 
 // DistID identifies a distributed object across the job.
 type DistID uint64
+
+// distWaiter is a deferred fetch reply: fn must run on pers, the persona
+// current when the fetch RPC body executed.
+type distWaiter struct {
+	pers *Persona
+	fn   func(obj any)
+}
 
 // DistObject is one rank's representative of a distributed object.
 type DistObject[T any] struct {
@@ -21,15 +34,17 @@ type DistObject[T any] struct {
 // NewDistObject registers this rank's representative. Ranks must construct
 // distributed objects in matching order (the UPC++ requirement).
 func NewDistObject[T any](rk *Rank, val T) *DistObject[T] {
+	rk.distMu.Lock()
 	id := rk.distSeq
 	rk.distSeq++
 	d := &DistObject[T]{rk: rk, id: DistID(id), val: val}
 	rk.distObjs[id] = d
-	if waiters, ok := rk.distWaits[id]; ok {
-		delete(rk.distWaits, id)
-		for _, f := range waiters {
-			f(d)
-		}
+	waiters := rk.distWaits[id]
+	delete(rk.distWaits, id)
+	rk.distMu.Unlock()
+	for _, wtr := range waiters {
+		wtr := wtr
+		wtr.pers.LPC(func() { wtr.fn(d) })
 	}
 	return d
 }
@@ -51,13 +66,21 @@ func (d *DistObject[T]) Fetch(from Intrank) Future[T] {
 // with the given ID.
 func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
 	return RPCFut(rk, from, func(trk *Rank, id DistID) Future[T] {
+		trk.distMu.Lock()
 		if o, ok := trk.distObjs[uint64(id)]; ok {
+			trk.distMu.Unlock()
 			return ReadyFuture(trk, o.(*DistObject[T]).val)
 		}
+		// RPC bodies execute on the rank's durable execution persona
+		// (master or progress thread — see Rank.execBody), so the
+		// deferred promise and its waiter outlive whichever goroutine
+		// harvested the message.
 		p := NewPromise[T](trk)
-		trk.distWaits[uint64(id)] = append(trk.distWaits[uint64(id)], func(obj any) {
-			p.FulfillResult(obj.(*DistObject[T]).val)
+		trk.distWaits[uint64(id)] = append(trk.distWaits[uint64(id)], distWaiter{
+			pers: trk.currentPersona(),
+			fn:   func(obj any) { p.FulfillResult(obj.(*DistObject[T]).val) },
 		})
+		trk.distMu.Unlock()
 		return p.Future()
 	}, id)
 }
@@ -66,7 +89,9 @@ func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
 // binding an RPC body performs after receiving a DistID argument (the
 // analogue of UPC++'s automatic dist_object translation).
 func LookupDist[T any](rk *Rank, id DistID) (*DistObject[T], bool) {
+	rk.distMu.Lock()
 	o, ok := rk.distObjs[uint64(id)]
+	rk.distMu.Unlock()
 	if !ok {
 		return nil, false
 	}

@@ -12,10 +12,12 @@
 // Asynchrony model (paper §II–III): every communication operation is
 // non-blocking and returns a Future (or feeds a Promise). Completions and
 // incoming RPCs execute only during user-level progress — Progress, Wait —
-// on the owning rank's goroutine; there are no hidden progress threads.
-// Futures and promises are deliberately NOT thread-safe: like their UPC++
-// counterparts they manage asynchrony within a rank, not communication
-// between threads.
+// on the goroutine holding the owning persona (see persona.go); the only
+// hidden progress goroutines are the optional per-rank progress threads
+// enabled by Config.ProgressThread. Futures and promises are deliberately
+// NOT thread-safe: like their UPC++ counterparts they are owned by the
+// persona that created them, and cross-thread interaction goes through
+// persona LPC queues, never through shared future state.
 package upcxx
 
 import (
@@ -28,15 +30,33 @@ import (
 // analogue of upcxx::future<>.
 type Unit = struct{}
 
-// futCore is the shared state behind a Future/Promise pair.
+// futCore is the shared state behind a Future/Promise pair. It is owned
+// by the persona current on the creating goroutine: state is only
+// touched from the goroutine holding that persona, and fulfillment
+// arriving on any other goroutine is rerouted through the owner's LPC
+// queue.
 type futCore[T any] struct {
 	rk    *Rank
+	pers  *Persona
 	ready bool
 	val   T
 	cbs   []func(T)
 }
 
+// newFutCore creates future state owned by the calling goroutine's
+// current persona.
+func newFutCore[T any](rk *Rank) *futCore[T] {
+	return &futCore[T]{rk: rk, pers: rk.currentPersona()}
+}
+
 func (c *futCore[T]) fulfill(v T) {
+	if c.pers != nil && !c.pers.onOwnerGoroutine() {
+		// Fulfillment observed off the owning persona's goroutine (a
+		// progress thread harvesting a completion, a teammate's LPC):
+		// continuations must fire where the future lives.
+		c.pers.LPC(func() { c.fulfill(v) })
+		return
+	}
 	if c.ready {
 		panic("upcxx: future fulfilled twice")
 	}
@@ -65,8 +85,9 @@ func (c *futCore[T]) onReady(cb func(T)) {
 // chained. The zero Future is invalid; futures are created by
 // communication operations, promises, and the combinators in this package.
 //
-// A future is owned by the rank that created it and must only be touched
-// from that rank's goroutine.
+// A future is owned by the persona current when it was created and must
+// only be touched from the goroutine holding that persona; combinators
+// (Then, WhenAll, ...) must conjoin futures of one persona.
 type Future[T any] struct {
 	c *futCore[T]
 }
@@ -92,13 +113,20 @@ func (f Future[T]) Result() T {
 func (f Future[T]) Wait() T {
 	c := f.c
 	rk := c.rk
-	if !c.ready && rk.inUserProgress {
+	gs := curState()
+	if !c.ready && gs.restricted {
 		panic("upcxx: Wait inside restricted context (callback or RPC body)")
+	}
+	if !c.ready && c.pers != nil && !c.pers.onOwnerGoroutine() {
+		// This goroutine cannot drain the owning persona, so the wait
+		// could never complete (and the reads would race with the
+		// owner); fail immediately instead of spinning to the timeout.
+		panic("upcxx: Wait on a future owned by another goroutine's persona")
 	}
 	deadline := time.Time{}
 	spins := 0
 	for !c.ready {
-		rk.Progress()
+		rk.progressWith(gs)
 		if c.ready {
 			break
 		}
@@ -120,7 +148,7 @@ func (f Future[T]) Wait() T {
 // progress for communication-backed futures) and its return value readies
 // the resulting future — upcxx's future::then.
 func Then[T, U any](f Future[T], fn func(T) U) Future[U] {
-	out := &futCore[U]{rk: f.c.rk}
+	out := newFutCore[U](f.c.rk)
 	f.c.onReady(func(v T) { out.fulfill(fn(v)) })
 	return Future[U]{out}
 }
@@ -138,7 +166,7 @@ func ThenDo[T any](f Future[T], fn func(T)) Future[Unit] {
 // returned future readies when the callback's future does. This is the
 // paper's pattern of an RPC callback that launches an rput (§IV-C).
 func ThenFut[T, U any](f Future[T], fn func(T) Future[U]) Future[U] {
-	out := &futCore[U]{rk: f.c.rk}
+	out := newFutCore[U](f.c.rk)
 	f.c.onReady(func(v T) {
 		inner := fn(v)
 		inner.c.onReady(func(u U) { out.fulfill(u) })
@@ -171,7 +199,7 @@ func (f Future[T]) owner() *Rank         { return f.c.rk }
 // (upcxx::when_all, readiness only). With no inputs it is ready
 // immediately.
 func WhenAll(rk *Rank, fs ...AnyFuture) Future[Unit] {
-	out := &futCore[Unit]{rk: rk}
+	out := newFutCore[Unit](rk)
 	remaining := len(fs)
 	if remaining == 0 {
 		out.fulfill(Unit{})
@@ -196,7 +224,7 @@ type Pair[A, B any] struct {
 
 // WhenAll2 conjoins two value-carrying futures, preserving both values.
 func WhenAll2[A, B any](fa Future[A], fb Future[B]) Future[Pair[A, B]] {
-	out := &futCore[Pair[A, B]]{rk: fa.c.rk}
+	out := newFutCore[Pair[A, B]](fa.c.rk)
 	remaining := 2
 	var p Pair[A, B]
 	done := func() {
@@ -213,7 +241,7 @@ func WhenAll2[A, B any](fa Future[A], fb Future[B]) Future[Pair[A, B]] {
 // WhenAllSlice conjoins a homogeneous slice of futures into a future of
 // the collected values (in input order).
 func WhenAllSlice[T any](rk *Rank, fs []Future[T]) Future[[]T] {
-	out := &futCore[[]T]{rk: rk}
+	out := newFutCore[[]T](rk)
 	vals := make([]T, len(fs))
 	remaining := len(fs)
 	if remaining == 0 {
@@ -249,7 +277,7 @@ type Promise[T any] struct {
 
 // NewPromise creates a promise with one unfulfilled dependency.
 func NewPromise[T any](rk *Rank) *Promise[T] {
-	return &Promise[T]{c: &futCore[T]{rk: rk}, deps: 1}
+	return &Promise[T]{c: newFutCore[T](rk), deps: 1}
 }
 
 // Future returns a future associated with this promise. Multiple calls

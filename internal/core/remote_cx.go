@@ -48,6 +48,7 @@ func RPutSignal[T serial.Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(
 // futures ready once their contribution is sent.
 func Gather[T any](t *Team, root Intrank, val T) Future[[]T] {
 	rk := t.rk
+	rk.requireMaster("Gather")
 	// Rotate so gatherBytes' fixed root 0 maps onto the requested root.
 	// Implemented directly: non-roots RPC their value to the root's
 	// collector keyed by a collective sequence number.

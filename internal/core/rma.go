@@ -33,11 +33,14 @@ func rputInto[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], onDone func()) {
 		panic("upcxx: RPut to nil GPtr")
 	}
 	bytes := serial.AsBytes(src)
+	pers := rk.currentPersona()
 	rk.deferOp(func() {
-		rk.actCount++
+		rk.actCount.Add(1)
 		rk.ep.Put(gasnetRank(dst.Owner), dst.Off, bytes, func() {
-			rk.actCount--
-			rk.enqueueCompletion(onDone)
+			// LPC before the actCount decrement: a quiescing owner must
+			// never observe actQ empty while the completion is unqueued.
+			pers.LPC(onDone)
+			rk.actCount.Add(-1)
 		})
 	})
 }
@@ -67,11 +70,12 @@ func rgetInto[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, onDone func()) {
 		panic("upcxx: RGet from nil GPtr")
 	}
 	bytes := serial.AsBytes(dst)
+	pers := rk.currentPersona()
 	rk.deferOp(func() {
-		rk.actCount++
+		rk.actCount.Add(1)
 		rk.ep.Get(gasnetRank(src.Owner), src.Off, bytes, func() {
-			rk.actCount--
-			rk.enqueueCompletion(onDone)
+			pers.LPC(onDone)
+			rk.actCount.Add(-1)
 		})
 	})
 }

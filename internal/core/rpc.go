@@ -21,7 +21,10 @@ import (
 //
 // The RPC executes at the target only during its user-level progress: an
 // inattentive target (one computing without calling Progress) stalls
-// incoming RPCs, as the paper emphasizes.
+// incoming RPCs, as the paper emphasizes — unless the job runs dedicated
+// progress threads (Config.ProgressThread), in which case the target's
+// progress thread executes incoming RPCs with its own persona current,
+// keeping every rank attentive while its user goroutines compute.
 
 // rpcInvoker runs at the target inside the AM handler: decode arguments,
 // call the user function, and send the reply (immediately, or when a
@@ -45,32 +48,72 @@ func mustUnmarshal(b []byte, ptr any) {
 	}
 }
 
+// execBody runs an incoming RPC body on the rank's durable execution
+// persona: the progress persona in progress-thread mode, the master
+// persona otherwise (the UPC++ rule that RPCs execute on the master
+// persona). The harvesting goroutine may be any goroutine making
+// user-level progress — a short-lived user goroutine's Wait, for
+// example — and everything a body creates (promises, inner futures,
+// deferred replies) binds to the current persona, so bodies must not
+// execute on a persona that stops being drained when its goroutine
+// exits. If the calling goroutine already holds the durable persona the
+// body runs inline; otherwise it is delivered by LPC.
+func (rk *Rank) execBody(fn func()) {
+	if rk.w.cfg.ProgressThread {
+		// Always route to the progress persona (inline only when the
+		// progress thread itself harvested the AM). No unheld fallback:
+		// during the startup window before progressLoop acquires its
+		// persona, running inline would bind deferred state to a
+		// transient harvester — queued bodies are drained as soon as
+		// the thread comes up.
+		if rk.progressP.onOwnerGoroutine() {
+			fn()
+			return
+		}
+		rk.progressP.LPC(fn)
+		return
+	}
+	if rk.master.onOwnerGoroutine() || rk.master.holder.Load() == 0 {
+		// Run inline when the caller holds the master persona — or when
+		// nobody does (a World driven without Run): queuing to an unheld
+		// master would stall every incoming RPC, and the harvesting
+		// goroutine is by definition making progress.
+		fn()
+		return
+	}
+	rk.master.LPC(fn)
+}
+
 // handleRPC is the conduit AM handler for requests (runs at the target in
-// user-level progress).
+// user-level progress, on the rank's execution persona).
 func (w *World) handleRPC(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
 	trk := w.ranks[ep.Rank()]
 	seq := binary.LittleEndian.Uint64(payload)
-	aux.(rpcInvoker)(trk, src, seq, payload[8:])
+	trk.execBody(func() { aux.(rpcInvoker)(trk, src, seq, payload[8:]) })
 }
 
 // handleFF is the conduit AM handler for fire-and-forget RPCs.
 func (w *World) handleFF(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
 	trk := w.ranks[ep.Rank()]
-	aux.(rpcFFInvoker)(trk, src, payload)
+	trk.execBody(func() { aux.(rpcFFInvoker)(trk, src, payload) })
 }
 
-// handleReply is the conduit AM handler for RPC results (runs at the
-// initiator in user-level progress).
+// handleReply is the conduit AM handler for RPC results. It may run on
+// any goroutine making user-level progress (the initiator's own, or the
+// rank's progress thread); the continuation routes the result to the
+// initiating persona's LPC queue.
 func (w *World) handleReply(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, _ any) {
 	rk := w.ranks[ep.Rank()]
 	seq := binary.LittleEndian.Uint64(payload)
+	rk.rpcMu.Lock()
 	cont, ok := rk.rpcPending[seq]
+	delete(rk.rpcPending, seq)
+	rk.rpcMu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("upcxx: rank %d received RPC reply for unknown sequence %d", rk.me, seq))
 	}
-	delete(rk.rpcPending, seq)
-	rk.actCount--
-	cont(payload[8:])
+	cont(payload[8:]) // enqueues the reply LPC before actCount drops
+	rk.actCount.Add(-1)
 }
 
 // sendReply ships an RPC result back to the initiator. The result payload
@@ -85,21 +128,29 @@ func (rk *Rank) sendReply(dst Intrank, seq uint64, result []byte) {
 	})
 }
 
-// rpcSend performs the initiator side shared by every RPC variant.
+// rpcSend performs the initiator side shared by every RPC variant. The
+// calling goroutine's current persona owns the returned future and
+// receives the reply continuation, regardless of which goroutine's
+// progress observes the reply AM.
 func rpcSend[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker) Future[R] {
+	p := NewPromise[R](rk)
+	pers := p.c.pers // the current persona, resolved once by NewPromise
+	rk.rpcMu.Lock()
 	seq := rk.rpcSeq
 	rk.rpcSeq++
-	p := NewPromise[R](rk)
 	rk.rpcPending[seq] = func(res []byte) {
-		var r R
-		mustUnmarshal(res, &r)
-		p.FulfillResult(r)
+		pers.LPC(func() {
+			var r R
+			mustUnmarshal(res, &r)
+			p.FulfillResult(r)
+		})
 	}
+	rk.rpcMu.Unlock()
 	payload := make([]byte, 8+len(argBytes))
 	binary.LittleEndian.PutUint64(payload, seq)
 	copy(payload[8:], argBytes)
 	rk.deferOp(func() {
-		rk.actCount++
+		rk.actCount.Add(1)
 		rk.ep.AM(gasnetRank(target), rk.w.amRPC, payload, inv)
 	})
 	return p.Future()
@@ -149,9 +200,20 @@ func RPCFut[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg
 		var a A
 		mustUnmarshal(args, &a)
 		inner := fn(trk, a)
-		inner.c.onReady(func(r R) {
-			trk.sendReply(src, seq, mustMarshal(r))
-		})
+		reply := func() {
+			inner.c.onReady(func(r R) {
+				trk.sendReply(src, seq, mustMarshal(r))
+			})
+		}
+		if inner.c.pers == nil || inner.c.pers.onOwnerGoroutine() {
+			reply()
+		} else {
+			// The body handed back a future owned by another persona
+			// (e.g. a deferred dist-object fetch pinned to the master
+			// persona); futures are persona-local, so the continuation
+			// must be registered on the owner's goroutine.
+			inner.c.pers.LPC(reply)
+		}
 	})
 	return rpcSend[R](rk, target, mustMarshal(arg), inv)
 }

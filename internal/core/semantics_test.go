@@ -15,6 +15,7 @@ import (
 func TestRPCStallsWithoutAttentiveness(t *testing.T) {
 	// Paper §III: "if the target enters intensive, protracted computation
 	// without calls to progress, incoming RPCs will stall."
+	stopBusy := make(chan struct{})
 	Run(2, func(rk *Rank) {
 		if rk.Me() == 0 {
 			executed := false
@@ -38,8 +39,6 @@ func TestRPCStallsWithoutAttentiveness(t *testing.T) {
 		rk.Barrier()
 	})
 }
-
-var stopBusy = make(chan struct{})
 
 func TestSegmentExhaustionSurfacesAsError(t *testing.T) {
 	RunConfig(Config{Ranks: 1, SegmentSize: 1 << 12}, func(rk *Rank) {
@@ -121,7 +120,7 @@ func TestDefQObservableBeforeProgress(t *testing.T) {
 func TestCompQDrainedOnlyByUserProgress(t *testing.T) {
 	Run(1, func(rk *Rank) {
 		ran := false
-		rk.enqueueCompletion(func() { ran = true })
+		rk.LPC(func() { ran = true })
 		rk.InternalProgress()
 		if ran {
 			t.Fatal("internal progress must not run compQ actions")

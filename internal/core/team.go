@@ -128,11 +128,21 @@ func (rk *Rank) sendColl(t *Team, destTeamRank Intrank, seq uint64, kind, round 
 	})
 }
 
-// handleColl is the conduit AM handler for collective traffic; it runs at
-// the receiving rank in user-level progress. Message payload buffers are
-// unique per message, so retaining sub-slices is safe.
+// handleColl is the conduit AM handler for collective traffic. The AM
+// may be harvested by any goroutine making user-level progress (in
+// progress-thread mode, the progress goroutine); the collective state
+// machine itself always advances as an LPC on the master persona, which
+// keeps collStates and the per-collective closures single-threaded —
+// collectives are master-persona operations end to end. Message payload
+// buffers are unique per message, so retaining sub-slices is safe.
 func (w *World) handleColl(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, _ any) {
 	rk := w.ranks[ep.Rank()]
+	rk.master.LPC(func() { rk.applyColl(src, payload) })
+}
+
+// applyColl advances one collective's state machine with an arrived
+// message. It runs only on the goroutine holding the master persona.
+func (rk *Rank) applyColl(src gasnet.Rank, payload []byte) {
 	d := serial.NewDecoder(payload)
 	team := d.U64()
 	seq := d.U64()
@@ -206,6 +216,7 @@ func bcastChildren(rr, p int) []int {
 // complete in order regardless).
 func (t *Team) BarrierAsync() Future[Unit] {
 	rk := t.rk
+	rk.requireMaster("BarrierAsync")
 	p := int(t.RankN())
 	seq := rk.nextCollSeq(t.id)
 	prom := NewPromise[Unit](rk)
@@ -255,6 +266,7 @@ func (rk *Rank) BarrierAsync() Future[Unit] { return rk.worldTeam.BarrierAsync()
 // describes, built from the same AM machinery.
 func Broadcast[T any](t *Team, root Intrank, val T) Future[T] {
 	rk := t.rk
+	rk.requireMaster("Broadcast")
 	p := int(t.RankN())
 	seq := rk.nextCollSeq(t.id)
 	prom := NewPromise[T](rk)
@@ -299,6 +311,7 @@ func Broadcast[T any](t *Team, root Intrank, val T) Future[T] {
 // associative and commutative.
 func ReduceOne[T any](t *Team, val T, op func(T, T) T) Future[T] {
 	rk := t.rk
+	rk.requireMaster("ReduceOne")
 	p := int(t.RankN())
 	seq := rk.nextCollSeq(t.id)
 	prom := NewPromise[T](rk)
@@ -369,6 +382,7 @@ func highestSetBit(x int) int {
 // runtime uses it only for team construction.
 func gatherBytes(t *Team, data []byte) Future[[][]byte] {
 	rk := t.rk
+	rk.requireMaster("gather")
 	p := int(t.RankN())
 	seq := rk.nextCollSeq(t.id)
 	prom := NewPromise[[][]byte](rk)

@@ -2,7 +2,9 @@ package upcxx
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"upcxx/internal/gasnet"
@@ -26,6 +28,14 @@ type Config struct {
 	// WaitTimeout bounds any single Future.Wait as a deadlock backstop
 	// (0: 60s).
 	WaitTimeout time.Duration
+	// ProgressThread starts one dedicated progress goroutine per rank.
+	// The progress thread drives the conduit (internal progress and
+	// incoming RPC execution) so ranks stay attentive while their user
+	// goroutines compute, and multiple user goroutines can share one
+	// rank: each goroutine's completions are delivered to its own
+	// persona and drained by its own Progress/Wait calls. Collectives
+	// must still be initiated from the master persona.
+	ProgressThread bool
 }
 
 // World is one UPC++ job: a fixed set of ranks over one conduit instance.
@@ -40,6 +50,10 @@ type World struct {
 	amColl  gasnet.HandlerID
 
 	ranks []*Rank
+
+	ptStop chan struct{}
+	ptWG   sync.WaitGroup
+	closed atomic.Bool
 }
 
 // NewWorld creates a job with cfg.Ranks ranks. The caller must Close it.
@@ -74,11 +88,20 @@ func NewWorld(cfg Config) *World {
 			splitSeqs:  make(map[uint64]uint64),
 			teams:      make(map[uint64]*Team),
 			distObjs:   make(map[uint64]any),
-			distWaits:  make(map[uint64][]func(any)),
+			distWaits:  make(map[uint64][]distWaiter),
 		}
+		rk.master = NewPersona(rk, "master")
+		rk.progressP = NewPersona(rk, "progress")
 		rk.worldTeam = newWorldTeam(rk)
 		rk.teams[worldTeamID] = rk.worldTeam
 		w.ranks[r] = rk
+	}
+	if cfg.ProgressThread {
+		w.ptStop = make(chan struct{})
+		for _, rk := range w.ranks {
+			w.ptWG.Add(1)
+			go rk.progressLoop(w.ptStop, &w.ptWG)
+		}
 	}
 	return w
 }
@@ -93,14 +116,29 @@ func (w *World) Rank(r Intrank) *Rank { return w.ranks[r] }
 // Network exposes the underlying conduit (for stats and tooling).
 func (w *World) Network() *gasnet.Network { return w.net }
 
-// Close shuts down the conduit. The job must have quiesced.
-func (w *World) Close() { w.net.Close() }
+// ProgressThreaded reports whether the job runs dedicated progress
+// goroutines.
+func (w *World) ProgressThreaded() bool { return w.cfg.ProgressThread }
+
+// Close shuts down the progress threads and the conduit. The job must
+// have quiesced.
+func (w *World) Close() {
+	if w.closed.Swap(true) {
+		return
+	}
+	if w.ptStop != nil {
+		close(w.ptStop)
+		w.ptWG.Wait()
+	}
+	w.net.Close()
+}
 
 // Run executes fn as an SPMD epoch: one goroutine per rank, returning when
 // every rank's fn has returned and a final barrier has completed (the
 // implicit barrier of upcxx::finalize). Run may be called repeatedly on
 // one world; rank state (segments, teams, distributed objects) persists
-// across epochs.
+// across epochs. Each epoch goroutine holds its rank's master persona for
+// the duration of fn.
 func (w *World) Run(fn func(rk *Rank)) {
 	var wg sync.WaitGroup
 	wg.Add(len(w.ranks))
@@ -108,6 +146,8 @@ func (w *World) Run(fn func(rk *Rank)) {
 		rk := rk
 		go func() {
 			defer wg.Done()
+			sc := AcquirePersona(rk.master)
+			defer sc.Release()
 			fn(rk)
 			rk.Barrier()
 		}()
@@ -129,25 +169,31 @@ func RunConfig(cfg Config, fn func(rk *Rank)) {
 }
 
 // Rank is one process's runtime: its view of the world, its shared
-// segment, and its progress engine. All methods must be called from the
-// rank's own goroutine (the one Run invoked fn on) unless noted.
+// segment, and its progress engine. Communication may be initiated from
+// any goroutine; the initiating goroutine's current persona (see
+// persona.go) receives the completion, and futures must only be touched
+// from the goroutine holding their owning persona.
 //
 // The progress engine keeps the paper's three conceptual queues (§III):
 // defQ holds operations not yet handed to the conduit, the conduit's
-// in-flight set is actQ (tracked by actCount), and compQ holds completed
-// operations' user-visible actions ("futures to satisfy"), drained only by
-// user-level progress.
+// in-flight set is actQ (tracked by actCount), and the per-persona LPC
+// queues play the role of compQ — completed operations' user-visible
+// actions, drained only by user-level progress of the owning persona.
 type Rank struct {
 	w  *World
 	ep *gasnet.Endpoint
 	me Intrank
 	n  Intrank
 
-	defQ           []func() // deferred injections
-	actCount       int      // operations handed to the conduit, incomplete
-	compQ          []func() // fulfilled-operation actions awaiting user progress
-	inUserProgress bool
+	defMu       sync.Mutex
+	defQ        []func()     // deferred injections
+	defInflight atomic.Int64 // injections detached from defQ, not yet run
+	actCount    atomic.Int64 // operations handed to the conduit, incomplete
 
+	master    *Persona // held by the SPMD goroutine during Run
+	progressP *Persona // held by the progress goroutine (ProgressThread mode)
+
+	rpcMu      sync.Mutex
 	rpcSeq     uint64
 	rpcPending map[uint64]func(payload []byte)
 
@@ -157,9 +203,10 @@ type Rank struct {
 	teams      map[uint64]*Team
 	worldTeam  *Team
 
+	distMu    sync.Mutex
 	distSeq   uint64
 	distObjs  map[uint64]any
-	distWaits map[uint64][]func(any)
+	distWaits map[uint64][]distWaiter
 }
 
 // Me returns this process's world rank.
@@ -173,39 +220,55 @@ func (rk *Rank) World() *World { return rk.w }
 
 // InternalProgress advances runtime bookkeeping without executing user
 // callbacks or incoming RPCs: deferred operations are injected (defQ →
-// actQ) and conduit completions are harvested (actQ → compQ). Every
-// communication call performs this implicitly.
+// actQ) and conduit completions are harvested (actQ → persona LPC
+// queues). Every communication call performs this implicitly.
 func (rk *Rank) InternalProgress() {
-	for len(rk.defQ) > 0 {
+	for {
+		rk.defMu.Lock()
 		q := rk.defQ
 		rk.defQ = nil
+		// Count the detached batch before releasing the lock: an
+		// operation must never be invisible to Quiesce/Discharge between
+		// leaving defQ and its inject bumping actCount.
+		rk.defInflight.Add(int64(len(q)))
+		rk.defMu.Unlock()
+		if len(q) == 0 {
+			break
+		}
 		for _, inject := range q {
 			inject()
+			rk.defInflight.Add(-1)
 		}
 	}
 	rk.ep.PollCompletions()
 }
 
 // Progress performs user-level progress: internal progress, then draining
-// compQ (satisfying futures and running their callbacks) and executing
-// incoming RPCs. It returns the number of user-level items processed.
-// Progress from inside a callback or RPC body is a no-op (restricted
-// context).
+// the LPC queues of every persona this goroutine holds for the rank
+// (satisfying futures and running their callbacks) and executing incoming
+// RPCs. It returns the number of user-level items processed. Progress
+// from inside a callback or RPC body is a no-op (restricted context).
 func (rk *Rank) Progress() int {
+	return rk.progressWith(curState())
+}
+
+// progressWith is Progress with the goroutine's persona state already
+// resolved; spin loops (Future.Wait) hoist the lookup out of their
+// iterations.
+func (rk *Rank) progressWith(gs *goroutineState) int {
 	rk.InternalProgress()
-	if rk.inUserProgress {
+	if gs.restricted {
 		return 0
 	}
-	rk.inUserProgress = true
-	done := 0
-	q := rk.compQ
-	rk.compQ = nil
-	for _, f := range q {
-		f()
-	}
-	done += len(q)
+	gs.restricted = true
+	// Cleared via defer: a panicking (and recovered) callback or RPC
+	// body must not leave the goroutine restricted forever.
+	defer func() { gs.restricted = false }()
+	done := rk.drainPersonas(gs)
 	done += rk.ep.PollAMs()
-	rk.inUserProgress = false
+	// AM handlers deliver through persona LPCs (RPC replies, collective
+	// advances); drain again so completions land in the same call.
+	done += rk.drainPersonas(gs)
 	return done
 }
 
@@ -213,7 +276,13 @@ func (rk *Rank) Progress() int {
 // operation has been handed to the conduit (defQ empty) — cf.
 // upcxx::discharge.
 func (rk *Rank) Discharge() {
-	for len(rk.defQ) > 0 {
+	for {
+		rk.defMu.Lock()
+		n := len(rk.defQ)
+		rk.defMu.Unlock()
+		if n == 0 && rk.defInflight.Load() == 0 {
+			return
+		}
 		rk.InternalProgress()
 	}
 }
@@ -221,38 +290,79 @@ func (rk *Rank) Discharge() {
 // PendingOps returns the number of operations in the active state (handed
 // to the conduit, completion not yet observed). Exposed for tests and
 // diagnostics.
-func (rk *Rank) PendingOps() int { return rk.actCount }
+func (rk *Rank) PendingOps() int { return int(rk.actCount.Load()) }
 
 // Quiesce drives progress until this rank has no operations in flight:
-// defQ and actQ empty and compQ drained. It does not wait for other
-// ranks (combine with Barrier for a job-wide quiescence point).
+// defQ and actQ empty and this goroutine's persona queues drained. It
+// does not wait for other ranks (combine with Barrier for a job-wide
+// quiescence point).
 func (rk *Rank) Quiesce() {
+	gs := curState()
 	for {
-		rk.Progress()
-		if len(rk.defQ) == 0 && rk.actCount == 0 && len(rk.compQ) == 0 {
+		rk.progressWith(gs)
+		rk.defMu.Lock()
+		defEmpty := len(rk.defQ) == 0
+		rk.defMu.Unlock()
+		if defEmpty && rk.defInflight.Load() == 0 &&
+			rk.actCount.Load() == 0 && rk.pendingLPCs(gs) == 0 {
 			return
 		}
 	}
 }
 
-// LPC schedules fn to run on this rank during a future user-level
-// progress call (a local procedure call in UPC++ terms).
+// pendingLPCs counts undelivered LPCs across the personas this goroutine
+// holds for the rank.
+func (rk *Rank) pendingLPCs(gs *goroutineState) int {
+	n := 0
+	rk.forEachHeldPersona(gs, func(p *Persona) { n += p.PendingLPCs() })
+	return n
+}
+
+// LPC schedules fn to run on the calling goroutine's current persona
+// during a future user-level progress call (a local procedure call in
+// UPC++ terms). To target another thread's persona use LPCTo.
 func (rk *Rank) LPC(fn func()) {
-	rk.compQ = append(rk.compQ, fn)
+	rk.currentPersona().LPC(fn)
 }
 
 // deferOp places an injection closure on defQ and immediately runs
 // internal progress, which injects it. The indirection keeps the paper's
 // deferred state observable while remaining eager in practice.
 func (rk *Rank) deferOp(inject func()) {
+	rk.defMu.Lock()
 	rk.defQ = append(rk.defQ, inject)
+	rk.defMu.Unlock()
 	rk.InternalProgress()
 }
 
-// enqueueCompletion registers a user-visible action for the next
-// user-level progress (operation entering compQ).
-func (rk *Rank) enqueueCompletion(fn func()) {
-	rk.compQ = append(rk.compQ, fn)
+// progressLoop is the dedicated progress thread: it continuously drives
+// internal progress and incoming-RPC execution on its own persona, so
+// the rank stays attentive while user goroutines compute or block. Idle
+// periods back off to a conduit-notified wait.
+func (rk *Rank) progressLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	sc := AcquirePersona(rk.progressP)
+	defer sc.Release()
+	gs := curState()
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if rk.progressWith(gs) > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 128 {
+			runtime.Gosched()
+			continue
+		}
+		rk.ep.WaitPending(200 * time.Microsecond)
+		idle = 0
+	}
 }
 
 func (rk *Rank) String() string {

@@ -2,6 +2,7 @@ package gasnet
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +108,9 @@ func (e *engine) loop() {
 			e.mu.Unlock()
 			spinDeadline := time.Now().Add(200 * time.Microsecond)
 			for e.version.Load() == v && time.Now().Before(spinDeadline) {
+				// Yield so injectors aren't starved on few-core hosts;
+				// on an idle P this is nearly free.
+				runtime.Gosched()
 			}
 			e.mu.Lock()
 		}
@@ -148,11 +152,13 @@ func (e *engine) waitUntil(t time.Time, version uint64) {
 			time.Sleep(remain - spinWindow)
 			continue
 		}
-		// Spin for the final stretch.
+		// Spin for the final stretch, yielding so a single-core host can
+		// still run the goroutines whose deliveries we are timing.
 		for time.Until(t) > 0 {
 			if e.version.Load() != version {
 				return
 			}
+			runtime.Gosched()
 		}
 		return
 	}

@@ -2,6 +2,7 @@ package gasnet
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,9 +73,10 @@ func NewNetwork(cfg Config) *Network {
 	n.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		n.eps[r] = &Endpoint{
-			rank: Rank(r),
-			net:  n,
-			seg:  NewSegment(cfg.SegmentSize),
+			rank:   Rank(r),
+			net:    n,
+			seg:    NewSegment(cfg.SegmentSize),
+			notify: make(chan struct{}, 1),
 		}
 	}
 	if realtime {
@@ -153,6 +155,8 @@ type Endpoint struct {
 	amQ     []inboundAM // delivered AMs awaiting handler execution
 	polling bool        // guards against recursive progress (restricted context)
 
+	notify chan struct{} // 1-slot doorbell for WaitPending
+
 	puts, putBytes, gets, getBytes, ams, amBytes, amos atomic.Uint64
 }
 
@@ -189,12 +193,42 @@ func (ep *Endpoint) enqueueComp(f func()) {
 	ep.qmu.Lock()
 	ep.compQ = append(ep.compQ, f)
 	ep.qmu.Unlock()
+	ep.Ring()
 }
 
 func (ep *Endpoint) enqueueAM(am inboundAM) {
 	ep.qmu.Lock()
 	ep.amQ = append(ep.amQ, am)
 	ep.qmu.Unlock()
+	ep.Ring()
+}
+
+// Ring signals a blocked WaitPending without ever blocking the caller.
+// The runtime rings it for deliveries that bypass the endpoint queues
+// (persona LPCs), so a sleeping progress thread wakes for them too.
+func (ep *Endpoint) Ring() {
+	select {
+	case ep.notify <- struct{}{}:
+	default:
+	}
+}
+
+// WaitPending blocks until a delivery is waiting for Poll or d elapses,
+// reporting whether work is (or may be) pending. Progress threads use it
+// to idle without burning a core; the doorbell is best-effort, so callers
+// must still poll after a timeout.
+func (ep *Endpoint) WaitPending(d time.Duration) bool {
+	if ep.Pending() {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ep.notify:
+		return true
+	case <-t.C:
+		return ep.Pending()
+	}
 }
 
 // PollCompletions drains delivered operation completions (put/get acks,
@@ -213,11 +247,12 @@ func (ep *Endpoint) PollCompletions() int {
 	return len(comp)
 }
 
-// PollAMs executes delivered Active Messages on the calling goroutine
-// (which must be the endpoint's owner) — the user-level-progress half.
-// Handlers that arrive while draining run on the next call. Recursive
-// PollAMs from inside a handler is a no-op, mirroring UPC++'s restricted
-// progress context.
+// PollAMs executes delivered Active Messages on the calling goroutine —
+// the user-level-progress half. Any goroutine making progress for the
+// endpoint may call it; concurrent and recursive calls coalesce through
+// the qmu-guarded polling flag (which doubles as UPC++'s restricted
+// progress context), so at most one goroutine executes handlers at a
+// time and handlers arriving while draining run on the next call.
 func (ep *Endpoint) PollAMs() int {
 	ep.qmu.Lock()
 	if ep.polling {
@@ -241,9 +276,14 @@ func (ep *Endpoint) PollAMs() int {
 }
 
 // Poll drains completions then Active Messages, returning the number of
-// items processed.
+// items processed. An empty poll yields the processor so that delivery
+// goroutines are never starved by poll loops on few-core hosts.
 func (ep *Endpoint) Poll() int {
-	return ep.PollCompletions() + ep.PollAMs()
+	n := ep.PollCompletions() + ep.PollAMs()
+	if n == 0 {
+		runtime.Gosched()
+	}
+	return n
 }
 
 // Pending reports whether deliveries are waiting for Poll.

@@ -225,19 +225,28 @@ func TestRealtimeModelLatency(t *testing.T) {
 	src := n.Endpoint(0)
 	dst := n.Endpoint(1)
 	off, _ := dst.Segment().Alloc(8)
-	done := false
-	t0 := time.Now()
-	src.Put(1, off, make([]byte, 8), func() { done = true })
-	for !done {
-		src.Poll()
-	}
-	elapsed := time.Since(t0)
 	min := 10*time.Microsecond + 5*time.Microsecond + 2*30*time.Microsecond
-	if elapsed < min {
-		t.Fatalf("round trip %v faster than model minimum %v", elapsed, min)
+	// The lower bound is a hard model property; the upper bound depends
+	// on OS scheduling, so take the best of several round trips before
+	// declaring the engine wildly slow.
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		done := false
+		t0 := time.Now()
+		src.Put(1, off, make([]byte, 8), func() { done = true })
+		for !done {
+			src.Poll()
+		}
+		elapsed := time.Since(t0)
+		if elapsed < min {
+			t.Fatalf("round trip %v faster than model minimum %v", elapsed, min)
+		}
+		if elapsed < best {
+			best = elapsed
+		}
 	}
-	if elapsed > 100*min {
-		t.Fatalf("round trip %v wildly slower than model minimum %v", elapsed, min)
+	if best > 100*min {
+		t.Fatalf("best round trip %v wildly slower than model minimum %v", best, min)
 	}
 }
 

@@ -66,6 +66,11 @@ type (
 	Team = core.Team
 	// DistID identifies a distributed object job-wide.
 	DistID = core.DistID
+	// Persona is a per-thread execution context owning futures and
+	// receiving LPCs (upcxx::persona).
+	Persona = core.Persona
+	// PersonaScope pins a persona to a goroutine (upcxx::persona_scope).
+	PersonaScope = core.PersonaScope
 	// AtomicU64 is the uint64 remote-atomics domain.
 	AtomicU64 = core.AtomicU64
 	// AtomicI64 is the int64 remote-atomics domain.
@@ -102,6 +107,33 @@ var (
 	// NewWorld creates a job for repeated epochs; Close it when done.
 	NewWorld = core.NewWorld
 )
+
+// Personas and cross-thread progress (paper §II; spec §10). A rank's
+// communication may be driven by many goroutines: each goroutine's
+// current persona owns the futures it creates and receives their
+// completions, and Config.ProgressThread adds a dedicated per-rank
+// progress goroutine that executes incoming RPCs while user goroutines
+// compute. Rank.CurrentPersona, Rank.MasterPersona and
+// Rank.ProgressPersona are available on the Rank alias directly.
+
+// NewPersona creates an unheld persona on rk; activate it with
+// AcquirePersona.
+func NewPersona(rk *Rank, name string) *Persona { return core.NewPersona(rk, name) }
+
+// AcquirePersona makes p current on the calling goroutine until the
+// returned scope is released (scopes nest LIFO).
+func AcquirePersona(p *Persona) *PersonaScope { return core.AcquirePersona(p) }
+
+// LPCTo delivers fn to persona p from any goroutine; it runs during a
+// user-level progress call of the goroutine holding p, FIFO in enqueue
+// order.
+func LPCTo(p *Persona, fn func()) { core.LPCTo(p, fn) }
+
+// DetachDefaultPersonas discards the calling goroutine's automatically
+// bound default personas; defer it in short-lived worker goroutines
+// (after their operations complete) to keep the persona registry from
+// growing with every goroutine ever used for communication.
+func DetachDefaultPersonas() { core.DetachDefaultPersonas() }
 
 // Memory management (upcxx::new_, new_array, delete_, global/local
 // conversion).
