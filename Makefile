@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check fmt bench ci
+.PHONY: all build test test-short race vet fmt-check fmt bench fuzz-smoke ci
 
 all: build
 
@@ -14,10 +14,22 @@ test-short:
 	$(GO) test -short ./...
 
 # The persona subsystem's acceptance gate: cross-thread LPC delivery,
-# scope nesting, and progress-thread mode must be race-clean.
+# scope nesting, and progress-thread mode must be race-clean — and the
+# memory-kinds conformance matrix (every {host,device}×{same,cross} copy
+# pair plus the DMA engine) on top of it.
 race:
-	$(GO) test -race ./internal/core/ -run Persona
+	$(GO) test -race ./internal/core/ -run 'Persona|Kinds'
 	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
+	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
+
+# Short fuzz windows over the wire-format targets (the seed corpora also
+# run as plain tests in every `make test`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzGPtrWire -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzGPtrDecode -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
+	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
 
 vet:
 	$(GO) vet ./...

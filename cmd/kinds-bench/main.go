@@ -1,0 +1,197 @@
+// kinds-bench measures the memory-kinds transfer paths: CopyGG bandwidth
+// for every {host,device} source/destination pair, same-rank and
+// cross-rank, on the real-time Aries network model plus the PCIe3 device
+// DMA model. Beside each measured point it prints the closed-form model
+// prediction (the serial sum of the hop costs the conduit charges), so
+// the curves demonstrate that device paths are bounded by the DMA engine
+// — not the network — and cross-rank device pairs pay both.
+//
+// As with rma-bench, measured runs use time dilation: the simulated
+// engines run k times slower than the calibrated hardware and results are
+// divided by k, so Go scheduling jitter (which on a small host can reach
+// a millisecond) stays negligible against the modeled microseconds.
+//
+// Usage:
+//
+//	go run ./cmd/kinds-bench [-max-size bytes] [-reps n] [-dilation k]
+//	                         [-model-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"upcxx/internal/gasnet"
+
+	core "upcxx/internal/core"
+)
+
+var (
+	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
+	reps      = flag.Int("reps", 3, "repetitions per point (best kept)")
+	dilation  = flag.Int("dilation", 100, "time-dilation factor for measured runs")
+	modelOnly = flag.Bool("model-only", false, "print only the closed-form predictions (fast)")
+)
+
+func dilatedAries(k time.Duration) *gasnet.LogGP {
+	m := gasnet.Aries()
+	m.O *= k
+	m.L *= k
+	m.Gp *= k
+	m.GNsPerB *= float64(k)
+	m.IntraO *= k
+	m.IntraL *= k
+	m.IntraGp *= k
+	m.IntraGNsPerB *= float64(k)
+	return m
+}
+
+func dilatedPCIe3(k time.Duration) *gasnet.PCIeDMA {
+	d := gasnet.PCIe3()
+	d.O *= k
+	d.L *= k
+	d.Gp *= k
+	d.GNsPerB *= float64(k)
+	d.D2DNsPerB *= float64(k)
+	return d
+}
+
+type pair struct {
+	name           string
+	srcDev, dstDev bool
+	cross          bool
+}
+
+var pairs = []pair{
+	{"h2h-same", false, false, false},
+	{"h2d-same", false, true, false},
+	{"d2d-same", true, true, false},
+	{"h2h-cross", false, false, true},
+	{"h2d-cross", false, true, true},
+	{"d2d-cross", true, true, true},
+}
+
+// predict returns the modeled blocking latency of one CopyGG of n bytes:
+// the serial sum of the hop costs internal/gasnet charges (source DMA,
+// wire, destination DMA, ack), with undilated models.
+func predict(p pair, n int) time.Duration {
+	m := gasnet.Aries()
+	d := gasnet.PCIe3()
+	if !p.cross {
+		if p.srcDev && p.dstDev {
+			return d.O + d.Gap(n, true) + d.Latency(n, true)
+		}
+		if p.srcDev || p.dstDev {
+			return d.O + d.Gap(n, false) + d.Latency(n, false)
+		}
+		return m.Overhead(n, true) + m.Gap(n, true) + m.Latency(n, true)
+	}
+	t := m.Gap(n, false) + m.Latency(n, false) // wire hop
+	t += m.Gap(0, false) + m.Latency(0, false) // completion ack
+	if p.srcDev {
+		t += d.O + d.Gap(n, false) + d.Latency(n, false)
+	} else {
+		t += m.Overhead(n, false)
+	}
+	if p.dstDev {
+		t += d.Gap(n, false) + d.Latency(n, false)
+	}
+	return t
+}
+
+func sizes() []int {
+	var out []int
+	for n := 4 << 10; n <= *maxSize; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func gbps(n int, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(n) / t.Seconds() / 1e9
+}
+
+func main() {
+	flag.Parse()
+	k := time.Duration(*dilation)
+
+	fmt.Printf("# kinds-bench: CopyGG bandwidth by memory-kind pair (GB/s)\n")
+	fmt.Printf("# network: Aries (~10.5 GB/s inter, ~40 GB/s intra)   DMA: PCIe3 (~11.8 GB/s h2d, ~125 GB/s d2d)\n")
+	if !*modelOnly {
+		fmt.Printf("# measured at dilation %d, best of %d reps\n", *dilation, *reps)
+	}
+	fmt.Printf("%10s", "size")
+	for _, p := range pairs {
+		if *modelOnly {
+			fmt.Printf("  %12s", p.name)
+		} else {
+			fmt.Printf("  %12s %12s", p.name, "(model)")
+		}
+	}
+	fmt.Println()
+
+	var w *core.World
+	if !*modelOnly {
+		w = core.NewWorld(core.Config{
+			Ranks: 2, RanksPerNode: 1, SegmentSize: 2 * *maxSize,
+			Model: dilatedAries(k), DMA: dilatedPCIe3(k),
+		})
+		defer w.Close()
+	}
+
+	for _, n := range sizes() {
+		fmt.Printf("%10d", n)
+		for _, p := range pairs {
+			if *modelOnly {
+				fmt.Printf("  %12.2f", gbps(n, predict(p, n)))
+				continue
+			}
+			meas := measure(w, p, n, k)
+			fmt.Printf("  %12.2f %12.2f", gbps(n, meas), gbps(n, predict(p, n)))
+		}
+		fmt.Println()
+	}
+}
+
+// measure times *reps blocking CopyGG transfers on the dilated world and
+// returns the best, de-dilated.
+func measure(w *core.World, p pair, n int, k time.Duration) time.Duration {
+	best := time.Duration(1 << 62)
+	w.Run(func(rk *core.Rank) {
+		da := core.NewDeviceAllocator(rk, 2*n+64) // room for both sides of a d2d pair
+		alloc := func(dev bool) core.GPtr[uint8] {
+			if dev {
+				return core.MustNewDeviceArray[uint8](da, n)
+			}
+			return core.MustNewArray[uint8](rk, n)
+		}
+		src := alloc(p.srcDev)
+		dst := alloc(p.dstDev)
+		dstObj := core.NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			d := dst
+			if p.cross {
+				d = core.FetchDist[core.GPtr[uint8]](rk, dstObj.ID(), 1).Wait()
+			}
+			for r := 0; r < *reps; r++ {
+				t0 := time.Now()
+				core.CopyGG(rk, src, d, n).Wait()
+				if el := time.Since(t0); el < best {
+					best = el
+				}
+			}
+		}
+		// Free only after every rank's transfers have completed: a
+		// cross-rank copy lands in another rank's buffers.
+		rk.Barrier()
+		_ = core.Delete(rk, src)
+		_ = core.Delete(rk, dst)
+		rk.Barrier()
+	})
+	return best / k
+}

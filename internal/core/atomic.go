@@ -1,6 +1,11 @@
 package upcxx
 
-import "upcxx/internal/gasnet"
+import (
+	"fmt"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/serial"
+)
 
 // Remote atomics (upcxx::atomic_domain): read-modify-write operations on
 // 64-bit words in shared segments, executed by the target NIC without
@@ -16,11 +21,24 @@ func (rk *Rank) amoOp(owner Intrank, off uint64, op gasnet.AMOOp, a, b uint64) F
 	rk.deferOp(func() {
 		rk.actCount.Add(1)
 		rk.ep.AMO(gasnetRank(owner), off, op, a, b, func(old uint64) {
-			pers.LPC(func() { p.FulfillResult(old) })
+			pers.LPC(func() { p.fulfillOwnedResult(old) })
 			rk.actCount.Add(-1)
 		})
 	})
 	return p.Future()
+}
+
+// amoOpPtr validates the target pointer and issues the atomic. Atomic
+// domains operate on host memory only: the NIC's AMO unit cannot reach
+// device segments (real memory-kinds runtimes have the same restriction).
+func amoOpPtr[T serial.Scalar](rk *Rank, p GPtr[T], op gasnet.AMOOp, a, b uint64) Future[uint64] {
+	if p.IsNil() {
+		panic("upcxx: atomic operation on nil GPtr")
+	}
+	if p.segID("atomic") != gasnet.HostSeg {
+		panic(fmt.Sprintf("upcxx: atomic operation on %v: atomic domains require host-kind memory", p))
+	}
+	return rk.amoOp(p.Owner, p.Off, op, a, b)
 }
 
 // AtomicU64 is an atomic domain over uint64 shared objects.
@@ -31,38 +49,38 @@ func NewAtomicU64(rk *Rank) *AtomicU64 { return &AtomicU64{rk: rk} }
 
 // Load atomically reads the remote word.
 func (a *AtomicU64) Load(p GPtr[uint64]) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOLoad, 0, 0)
+	return amoOpPtr(a.rk, p, gasnet.AMOLoad, 0, 0)
 }
 
 // Store atomically writes v to the remote word.
 func (a *AtomicU64) Store(p GPtr[uint64], v uint64) Future[Unit] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOStore, v, 0), func(uint64) Unit { return Unit{} })
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOStore, v, 0), func(uint64) Unit { return Unit{} })
 }
 
 // FetchAdd atomically adds v, returning the previous value.
 func (a *AtomicU64) FetchAdd(p GPtr[uint64], v uint64) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAdd, v, 0)
+	return amoOpPtr(a.rk, p, gasnet.AMOAdd, v, 0)
 }
 
 // FetchAnd atomically ANDs v, returning the previous value.
 func (a *AtomicU64) FetchAnd(p GPtr[uint64], v uint64) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAnd, v, 0)
+	return amoOpPtr(a.rk, p, gasnet.AMOAnd, v, 0)
 }
 
 // FetchOr atomically ORs v, returning the previous value.
 func (a *AtomicU64) FetchOr(p GPtr[uint64], v uint64) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOOr, v, 0)
+	return amoOpPtr(a.rk, p, gasnet.AMOOr, v, 0)
 }
 
 // FetchXor atomically XORs v, returning the previous value.
 func (a *AtomicU64) FetchXor(p GPtr[uint64], v uint64) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOXor, v, 0)
+	return amoOpPtr(a.rk, p, gasnet.AMOXor, v, 0)
 }
 
 // CompareExchange atomically stores desired if the word equals expected,
 // returning the previous value (success iff result == expected).
 func (a *AtomicU64) CompareExchange(p GPtr[uint64], expected, desired uint64) Future[uint64] {
-	return a.rk.amoOp(p.Owner, p.Off, gasnet.AMOCompSwap, expected, desired)
+	return amoOpPtr(a.rk, p, gasnet.AMOCompSwap, expected, desired)
 }
 
 // AtomicI64 is an atomic domain over int64 shared objects, adding the
@@ -74,35 +92,35 @@ func NewAtomicI64(rk *Rank) *AtomicI64 { return &AtomicI64{rk: rk} }
 
 // Load atomically reads the remote word.
 func (a *AtomicI64) Load(p GPtr[int64]) Future[int64] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOLoad, 0, 0), u2i)
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOLoad, 0, 0), u2i)
 }
 
 // Store atomically writes v to the remote word.
 func (a *AtomicI64) Store(p GPtr[int64], v int64) Future[Unit] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOStore, uint64(v), 0), func(uint64) Unit { return Unit{} })
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOStore, uint64(v), 0), func(uint64) Unit { return Unit{} })
 }
 
 // FetchAdd atomically adds v, returning the previous value.
 func (a *AtomicI64) FetchAdd(p GPtr[int64], v int64) Future[int64] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOAdd, uint64(v), 0), u2i)
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOAdd, uint64(v), 0), u2i)
 }
 
 // FetchMin atomically replaces the word with min(word, v), returning the
 // previous value.
 func (a *AtomicI64) FetchMin(p GPtr[int64], v int64) Future[int64] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOMin, uint64(v), 0), u2i)
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOMin, uint64(v), 0), u2i)
 }
 
 // FetchMax atomically replaces the word with max(word, v), returning the
 // previous value.
 func (a *AtomicI64) FetchMax(p GPtr[int64], v int64) Future[int64] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOMax, uint64(v), 0), u2i)
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOMax, uint64(v), 0), u2i)
 }
 
 // CompareExchange atomically stores desired if the word equals expected,
 // returning the previous value.
 func (a *AtomicI64) CompareExchange(p GPtr[int64], expected, desired int64) Future[int64] {
-	return Then(a.rk.amoOp(p.Owner, p.Off, gasnet.AMOCompSwap, uint64(expected), uint64(desired)), u2i)
+	return Then(amoOpPtr(a.rk, p, gasnet.AMOCompSwap, uint64(expected), uint64(desired)), u2i)
 }
 
 func u2i(v uint64) int64 { return int64(v) }

@@ -54,9 +54,19 @@ func (c *futCore[T]) fulfill(v T) {
 		// Fulfillment observed off the owning persona's goroutine (a
 		// progress thread harvesting a completion, a teammate's LPC):
 		// continuations must fire where the future lives.
-		c.pers.LPC(func() { c.fulfill(v) })
+		c.pers.LPC(func() { c.fulfillOwned(v) })
 		return
 	}
+	c.fulfillOwned(v)
+}
+
+// fulfillOwned is fulfill for callers already known to be on the owning
+// persona's goroutine — above all LPCs delivered to that persona, whose
+// drain only ever runs on the owner. It skips the goroutine-id check
+// (curGID parses runtime.Stack, ~1µs) that fulfill would otherwise pay on
+// every harvested completion; the runtime's RMA/RPC/AMO completion LPCs
+// all land here.
+func (c *futCore[T]) fulfillOwned(v T) {
 	if c.ready {
 		panic("upcxx: future fulfilled twice")
 	}
@@ -117,7 +127,10 @@ func (f Future[T]) Wait() T {
 	if !c.ready && gs.restricted {
 		panic("upcxx: Wait inside restricted context (callback or RPC body)")
 	}
-	if !c.ready && c.pers != nil && !c.pers.onOwnerGoroutine() {
+	// Ownership check against the cached gid: onOwnerGoroutine would
+	// re-derive it (an unheld persona reads holder 0, which never equals
+	// a gid, preserving the panic below).
+	if !c.ready && c.pers != nil && c.pers.holder.Load() != gs.gid {
 		// This goroutine cannot drain the owning persona, so the wait
 		// could never complete (and the reads would race with the
 		// owner); fail immediately instead of spinning to the timeout.
@@ -294,8 +307,10 @@ func (p *Promise[T]) RequireAnonymous(n int) {
 
 // FulfillAnonymous discharges n dependencies, readying the future when the
 // count reaches zero.
-func (p *Promise[T]) FulfillAnonymous(n int) {
-	p.deps -= int64(n)
+func (p *Promise[T]) FulfillAnonymous(n int) { p.fulfillAnon(int64(n), false) }
+
+func (p *Promise[T]) fulfillAnon(n int64, owned bool) {
+	p.deps -= n
 	if p.deps < 0 {
 		panic("upcxx: promise over-fulfilled")
 	}
@@ -305,7 +320,11 @@ func (p *Promise[T]) FulfillAnonymous(n int) {
 			zero = p.c.val
 		}
 		p.c.val = zero
-		p.c.fulfill(zero)
+		if owned {
+			p.c.fulfillOwned(zero)
+		} else {
+			p.c.fulfill(zero)
+		}
 	}
 }
 
@@ -318,6 +337,19 @@ func (p *Promise[T]) FulfillResult(v T) {
 	p.resultSet = true
 	p.c.val = v
 	p.FulfillAnonymous(1)
+}
+
+// fulfillOwnedResult is FulfillResult for completion LPCs delivered to
+// the promise's own persona (see futCore.fulfillOwned): the communication
+// paths route completions through exactly that persona's LPC queue, so
+// the per-call goroutine-id check is redundant there.
+func (p *Promise[T]) fulfillOwnedResult(v T) {
+	if p.resultSet || p.finalized {
+		panic("upcxx: FulfillResult after result/finalize")
+	}
+	p.resultSet = true
+	p.c.val = v
+	p.fulfillAnon(1, true)
 }
 
 // Finalize discharges the promise's original dependency, declaring that no

@@ -1,0 +1,100 @@
+package upcxx
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The goroutine-id lookup (curGID) parses runtime.Stack at ~0.5–1µs per
+// call — comparable to the modeled LogGP overheads, so the hot paths must
+// not re-derive it per operation. The fix caches it three ways: the
+// per-goroutine state carries its gid (curState derives it once), AM
+// drains pass it to execBody through the conduit poll token, and
+// completion LPCs use the owned fulfill path (delivery on the owning
+// persona's goroutine is guaranteed, so no check is needed). These tests
+// pin the property with the gidLookups counter.
+
+// TestGIDLookupsCachedFulfill: a flood of K puts must cost about one
+// lookup per op (the initiation-side persona resolution), not the two to
+// three a per-completion re-derivation would add.
+func TestGIDLookupsCachedFulfill(t *testing.T) {
+	const K = 512
+	Run(1, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, 8)
+		src := make([]uint64, 8)
+		RPut(rk, src, dst).Wait() // warm the persona state
+		start := gidLookups.Load()
+		p := NewPromise[Unit](rk)
+		for i := 0; i < K; i++ {
+			RPutPromise(rk, src, dst, p)
+		}
+		p.Finalize().Wait()
+		delta := gidLookups.Load() - start
+		// Initiation resolves the current persona once per op; the
+		// completion side (conduit callback → persona LPC → owned
+		// fulfill) must add none. Allow constant slack for the wait loop.
+		if delta > K+K/4+64 {
+			t.Errorf("%d puts cost %d gid lookups; completion path is re-deriving the id", K, delta)
+		}
+	})
+}
+
+// TestGIDLookupsCachedExecBody: executing K incoming RPCs in AM drains
+// must not re-derive the harvester's id per message — it rides along as
+// the conduit poll token.
+func TestGIDLookupsCachedExecBody(t *testing.T) {
+	const K = 512
+	var hits atomic.Int64
+	Run(2, func(rk *Rank) {
+		rk.Barrier()
+		start := gidLookups.Load()
+		if rk.Me() == 0 {
+			for i := 0; i < K; i++ {
+				RPCFF(rk, 1, func(trk *Rank, _ int) { hits.Add(1) }, i)
+			}
+		}
+		// Spin with the goroutine state hoisted, as Future.Wait does —
+		// the public Progress() entry point resolves it once per call by
+		// design, which is what this test must not conflate with the
+		// per-message execBody cost.
+		gs := curState()
+		for hits.Load() < K {
+			rk.progressWith(gs)
+		}
+		rk.Barrier()
+		delta := gidLookups.Load() - start
+		// Neither side resolves a persona per fire-and-forget RPC; the
+		// whole exchange should cost a small constant number of lookups
+		// (barrier machinery, default persona binding), far below K.
+		if delta > K/4+64 {
+			t.Errorf("%d RPCs cost %d gid lookups; execBody is re-deriving the id", K, delta)
+		}
+	})
+}
+
+// BenchmarkFulfillGIDLookups reports the lookups-per-op of the put
+// completion path alongside its wall time (gidlookups/op should sit at
+// ~1.0: initiation only).
+func BenchmarkFulfillGIDLookups(b *testing.B) {
+	w := NewWorld(Config{Ranks: 1, SegmentSize: 1 << 20})
+	defer w.Close()
+	w.Run(func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, 8)
+		src := make([]uint64, 8)
+		RPut(rk, src, dst).Wait()
+		start := gidLookups.Load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RPut(rk, src, dst).Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(gidLookups.Load()-start)/float64(b.N), "gidlookups/op")
+	})
+}
+
+// BenchmarkCurGID is the cost being avoided: one goroutine-id derivation.
+func BenchmarkCurGID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curGID()
+	}
+}

@@ -135,6 +135,7 @@ func (p *Persona) onOwnerGoroutine() bool {
 // scope. Only the owning goroutine reads or writes its state; the
 // registry map itself is the only cross-goroutine structure.
 type goroutineState struct {
+	gid        uint64 // the owning goroutine's id, derived once
 	stack      []*Persona
 	defaults   map[*Rank]*Persona
 	restricted bool // inside user-level progress (callback/RPC body)
@@ -142,10 +143,17 @@ type goroutineState struct {
 
 var tlsStates sync.Map // goroutine id -> *goroutineState
 
+// gidLookups counts curGID invocations. The lookup parses runtime.Stack
+// (~0.5–1µs, comparable to the modeled LogGP overheads), so hot paths —
+// fulfill, execBody, the progress loop — must not re-derive it per call;
+// TestGIDLookupsCached pins that property against regression.
+var gidLookups atomic.Uint64
+
 // curGID returns the calling goroutine's id, parsed from the
 // runtime.Stack header ("goroutine N [status]:"). Go never reuses
 // goroutine ids within a process.
 func curGID() uint64 {
+	gidLookups.Add(1)
 	var buf [32]byte
 	n := runtime.Stack(buf[:], false)
 	var id uint64
@@ -163,7 +171,7 @@ func curState() *goroutineState {
 	if v, ok := tlsStates.Load(id); ok {
 		return v.(*goroutineState)
 	}
-	gs := &goroutineState{defaults: make(map[*Rank]*Persona)}
+	gs := &goroutineState{gid: id, defaults: make(map[*Rank]*Persona)}
 	tlsStates.Store(id, gs)
 	return gs
 }

@@ -14,9 +14,11 @@ import (
 
 // RPut copies src into the remote memory at dst, returning a future that
 // readies at operation completion (data globally visible at the target).
+// dst may be of any memory kind; device destinations route through the
+// target's DMA engine.
 func RPut[T serial.Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] {
 	p := NewPromise[Unit](rk)
-	rputInto(rk, src, dst, func() { p.FulfillResult(Unit{}) })
+	rputInto(rk, src, dst, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
 	return p.Future()
 }
 
@@ -25,18 +27,22 @@ func RPut[T serial.Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] {
 // the paper's flood-bandwidth idiom.
 func RPutPromise[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], p *Promise[Unit]) {
 	p.RequireAnonymous(1)
-	rputInto(rk, src, dst, func() { p.FulfillAnonymous(1) })
+	rputInto(rk, src, dst, p.c.pers, func() { p.fulfillAnon(1, true) })
 }
 
-func rputInto[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], onDone func()) {
+// rputInto injects the put; pers is the persona owning the completion
+// (the promise's, already resolved — re-deriving it per op would pay the
+// goroutine-id lookup again, and delivery to the promise's own persona is
+// what makes the owned fulfill path sound).
+func rputInto[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], pers *Persona, onDone func()) {
 	if dst.IsNil() {
 		panic("upcxx: RPut to nil GPtr")
 	}
+	seg := dst.segID("RPut")
 	bytes := serial.AsBytes(src)
-	pers := rk.currentPersona()
 	rk.deferOp(func() {
 		rk.actCount.Add(1)
-		rk.ep.Put(gasnetRank(dst.Owner), dst.Off, bytes, func() {
+		rk.ep.PutSeg(gasnetRank(dst.Owner), seg, dst.Off, bytes, func() {
 			// LPC before the actCount decrement: a quiescing owner must
 			// never observe actQ empty while the completion is unqueued.
 			pers.LPC(onDone)
@@ -52,28 +58,29 @@ func PutValue[T serial.Scalar](rk *Rank, v T, dst GPtr[T]) Future[Unit] {
 
 // RGet copies from the remote memory at src into the local buffer dst,
 // returning a future that readies once dst holds the data. dst may be
-// ordinary private memory.
+// ordinary private memory. Device-kind sources drain through the owning
+// rank's DMA engine before crossing the wire.
 func RGet[T serial.Scalar](rk *Rank, src GPtr[T], dst []T) Future[Unit] {
 	p := NewPromise[Unit](rk)
-	rgetInto(rk, src, dst, func() { p.FulfillResult(Unit{}) })
+	rgetInto(rk, src, dst, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
 	return p.Future()
 }
 
 // RGetPromise is RGet with promise-based completion.
 func RGetPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, p *Promise[Unit]) {
 	p.RequireAnonymous(1)
-	rgetInto(rk, src, dst, func() { p.FulfillAnonymous(1) })
+	rgetInto(rk, src, dst, p.c.pers, func() { p.fulfillAnon(1, true) })
 }
 
-func rgetInto[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, onDone func()) {
+func rgetInto[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, pers *Persona, onDone func()) {
 	if src.IsNil() {
 		panic("upcxx: RGet from nil GPtr")
 	}
+	seg := src.segID("RGet")
 	bytes := serial.AsBytes(dst)
-	pers := rk.currentPersona()
 	rk.deferOp(func() {
 		rk.actCount.Add(1)
-		rk.ep.Get(gasnetRank(src.Owner), src.Off, bytes, func() {
+		rk.ep.GetSeg(gasnetRank(src.Owner), seg, src.Off, bytes, func() {
 			pers.LPC(onDone)
 			rk.actCount.Add(-1)
 		})
@@ -86,22 +93,42 @@ func GetValue[T serial.Scalar](rk *Rank, src GPtr[T]) Future[T] {
 	return Then(RGet(rk, src, buf), func(Unit) T { return buf[0] })
 }
 
-// CopyGG copies n elements from one global location to another. When the
-// source is local it degenerates to a put; when the destination is local,
-// to a get; otherwise it stages through the initiator (get then put), as
-// upcxx::copy does for third-party transfers.
+// CopyGG copies n elements from one global location to another —
+// upcxx::copy over any pair of memory kinds. The conduit executes the
+// whole transfer as one operation: source-side DMA when the source is
+// device memory, a wire hop when the ranks differ, destination-side DMA
+// when the destination is device memory (same-rank device→device copies
+// collapse to a single on-node DMA). The initiator may be a third party
+// to both sides; completion lands on its current persona.
 func CopyGG[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int) Future[Unit] {
-	switch {
-	case src.Owner == rk.me:
-		return RPut(rk, Local[T](rk, src, n), dst)
-	case dst.Owner == rk.me:
-		return RGet(rk, src, Local[T](rk, dst, n))
-	default:
-		stage := make([]T, n)
-		return ThenFut(RGet(rk, src, stage), func(Unit) Future[Unit] {
-			return RPut(rk, stage, dst)
-		})
+	p := NewPromise[Unit](rk)
+	copyInto(rk, src, dst, n, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
+	return p.Future()
+}
+
+// CopyGGPromise is CopyGG with promise-based completion.
+func CopyGGPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int, p *Promise[Unit]) {
+	p.RequireAnonymous(1)
+	copyInto(rk, src, dst, n, p.c.pers, func() { p.fulfillAnon(1, true) })
+}
+
+func copyInto[T serial.Scalar](rk *Rank, src, dst GPtr[T], n int, pers *Persona, onDone func()) {
+	if src.IsNil() {
+		panic("upcxx: CopyGG from nil GPtr")
 	}
+	if dst.IsNil() {
+		panic("upcxx: CopyGG to nil GPtr")
+	}
+	ss := src.segID("CopyGG")
+	ds := dst.segID("CopyGG")
+	nb := n * serial.SizeOf[T]()
+	rk.deferOp(func() {
+		rk.actCount.Add(1)
+		rk.ep.CopySeg(gasnetRank(src.Owner), ss, src.Off, gasnetRank(dst.Owner), ds, dst.Off, nb, func() {
+			pers.LPC(onDone)
+			rk.actCount.Add(-1)
+		})
+	})
 }
 
 // PutPair names one (local source, remote destination) fragment of a

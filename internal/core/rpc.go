@@ -59,6 +59,15 @@ func mustUnmarshal(b []byte, ptr any) {
 // exits. If the calling goroutine already holds the durable persona the
 // body runs inline; otherwise it is delivered by LPC.
 func (rk *Rank) execBody(fn func()) {
+	// The harvesting goroutine's id rides along as the conduit poll
+	// token (progressWith passes it to PollAMsAs), so a drain of many
+	// AMs resolves it once instead of re-deriving it per message —
+	// curGID costs ~1µs of runtime.Stack parsing. Outside an AM drain
+	// (token 0) fall back to deriving it here.
+	gid := rk.ep.PollerToken()
+	if gid == 0 {
+		gid = curGID()
+	}
 	if rk.w.cfg.ProgressThread {
 		// Always route to the progress persona (inline only when the
 		// progress thread itself harvested the AM). No unheld fallback:
@@ -66,14 +75,14 @@ func (rk *Rank) execBody(fn func()) {
 		// persona, running inline would bind deferred state to a
 		// transient harvester — queued bodies are drained as soon as
 		// the thread comes up.
-		if rk.progressP.onOwnerGoroutine() {
+		if rk.progressP.holder.Load() == gid {
 			fn()
 			return
 		}
 		rk.progressP.LPC(fn)
 		return
 	}
-	if rk.master.onOwnerGoroutine() || rk.master.holder.Load() == 0 {
+	if h := rk.master.holder.Load(); h == gid || h == 0 {
 		// Run inline when the caller holds the master persona — or when
 		// nobody does (a World driven without Run): queuing to an unheld
 		// master would stall every incoming RPC, and the harvesting
@@ -142,7 +151,7 @@ func rpcSend[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker) F
 		pers.LPC(func() {
 			var r R
 			mustUnmarshal(res, &r)
-			p.FulfillResult(r)
+			p.fulfillOwnedResult(r)
 		})
 	}
 	rk.rpcMu.Unlock()

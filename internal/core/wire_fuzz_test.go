@@ -1,0 +1,88 @@
+package upcxx
+
+import (
+	"bytes"
+	"testing"
+
+	"upcxx/internal/serial"
+)
+
+// Fuzz targets for the kind-tagged GPtr wire form. The seed corpus runs
+// as ordinary unit tests on every `go test`; CI additionally runs each
+// target with -fuzz for a short smoke window (see Makefile fuzz-smoke).
+
+// gptrValid mirrors the wire-form invariants: nil is owner < 0; live
+// pointers must have a consistent kind/device pair.
+func gptrValid(owner int32, kind uint8, dev uint16) bool {
+	if owner < 0 {
+		return true // nil pointer; remaining fields are don't-care on decode
+	}
+	switch MemKind(kind) {
+	case KindHost:
+		return dev == 0
+	case KindDevice:
+		return dev != 0
+	default:
+		return false
+	}
+}
+
+// FuzzGPtrWire round-trips arbitrarily field-stuffed global pointers:
+// valid combinations must survive Marshal/Unmarshal unchanged, invalid
+// ones must be rejected at encode time (forged pointers never reach the
+// wire).
+func FuzzGPtrWire(f *testing.F) {
+	f.Add(int32(0), uint8(0), uint16(0), uint64(0))         // host, rank 0
+	f.Add(int32(3), uint8(1), uint16(1), uint64(4096))      // device 1
+	f.Add(int32(-1), uint8(0), uint16(0), uint64(0))        // nil
+	f.Add(int32(7), uint8(1), uint16(65535), uint64(1<<40)) // max device id
+	f.Add(int32(2), uint8(0), uint16(5), uint64(64))        // forged: host+dev
+	f.Add(int32(2), uint8(1), uint16(0), uint64(64))        // forged: dev+0
+	f.Add(int32(9), uint8(200), uint16(1), uint64(8))       // unknown kind
+	f.Fuzz(func(t *testing.T, owner int32, kind uint8, dev uint16, off uint64) {
+		p := GPtr[int32]{Owner: owner, Kind: MemKind(kind), Dev: dev, Off: off}
+		b, err := serial.Marshal(p)
+		if !gptrValid(owner, kind, dev) {
+			if err == nil {
+				t.Fatalf("marshal of invalid %v succeeded", p)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		var q GPtr[int32]
+		if err := serial.Unmarshal(b, &q); err != nil {
+			t.Fatalf("unmarshal %v: %v", p, err)
+		}
+		if q != p {
+			t.Fatalf("round trip %v -> %v", p, q)
+		}
+	})
+}
+
+// FuzzGPtrDecode throws arbitrary bytes at the GPtr decoder: it must
+// never accept a kind-mismatched pointer, and anything it does accept
+// must re-encode to the identical canonical bytes.
+func FuzzGPtrDecode(f *testing.F) {
+	seed, _ := serial.Marshal(GPtr[float64]{Owner: 1, Kind: KindDevice, Dev: 2, Off: 128})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 19))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p GPtr[float64]
+		if err := serial.Unmarshal(data, &p); err != nil {
+			return
+		}
+		if !p.IsNil() && !gptrValid(int32(p.Owner), uint8(p.Kind), p.Dev) {
+			t.Fatalf("decoder accepted inconsistent pointer %v from % x", p, data)
+		}
+		re, err := serial.Marshal(p)
+		if err != nil {
+			t.Fatalf("re-encode of accepted %v: %v", p, err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("wire form not canonical: % x -> %v -> % x", data, p, re)
+		}
+	})
+}

@@ -25,6 +25,10 @@ type Config struct {
 	SegmentSize int
 	// Model is the conduit timing model (nil: zero-delay).
 	Model gasnet.Model
+	// DMA is the device copy-engine timing model used for transfers
+	// touching device-kind memory (see NewDeviceAllocator). nil defaults
+	// to PCIe3 when Model is real-time, zero-delay otherwise.
+	DMA gasnet.DMAModel
 	// WaitTimeout bounds any single Future.Wait as a deadlock backstop
 	// (0: 60s).
 	WaitTimeout time.Duration
@@ -70,6 +74,7 @@ func NewWorld(cfg Config) *World {
 		RanksPerNode: cfg.RanksPerNode,
 		SegmentSize:  cfg.SegmentSize,
 		Model:        cfg.Model,
+		DMA:          cfg.DMA,
 	})
 	w.amRPC = w.net.RegisterAM(w.handleRPC)
 	w.amReply = w.net.RegisterAM(w.handleReply)
@@ -265,7 +270,9 @@ func (rk *Rank) progressWith(gs *goroutineState) int {
 	// body must not leave the goroutine restricted forever.
 	defer func() { gs.restricted = false }()
 	done := rk.drainPersonas(gs)
-	done += rk.ep.PollAMs()
+	// The goroutine id rides along as the poll token so execBody resolves
+	// the harvester once per drain instead of per message.
+	done += rk.ep.PollAMsAs(gs.gid)
 	// AM handlers deliver through persona LPCs (RPC replies, collective
 	// advances); drain again so completions land in the same call.
 	done += rk.drainPersonas(gs)

@@ -1,0 +1,248 @@
+package gasnet
+
+import "time"
+
+// Kind-aware transfer paths. Transfers whose source or destination is a
+// device segment route through the owning rank's simulated DMA engine
+// (engine.injectDMAAt): a host↔device hop occupies the copy engine at
+// DMAModel cost, while any inter-rank leg still crosses the NIC at network
+// cost. The hop structure follows Choi et al. (arXiv:2102.12416):
+//
+//	put  host → remote device:  wire (NIC) → target DMA h2d
+//	get  remote device → host:  source DMA d2h → wire (NIC)
+//	copy device → device, one rank:  a single on-node d2d DMA
+//	copy device → device, two ranks: d2h DMA → wire → h2d DMA
+//
+// Completions are delivered to the initiating endpoint's completion queue
+// exactly as for host transfers, so the runtime's persona routing applies
+// unchanged.
+
+// PutSeg is Put targeting an arbitrary segment of the destination rank:
+// seg 0 is the host segment (identical to Put), higher ids are device
+// segments reached through the target's DMA engine. The source buffer is
+// captured before PutSeg returns; onAck, if non-nil, is delivered to this
+// endpoint once the data is visible in the target segment.
+func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck func()) {
+	if seg == HostSeg {
+		ep.Put(dst, dstOff, src, onAck)
+		return
+	}
+	n := len(src)
+	ep.puts.Add(1)
+	ep.putBytes.Add(uint64(n))
+	tgt := ep.net.eps[dst]
+	tgt.countDMA(n)
+	// Resolve eagerly: a wild device pointer or out-of-bounds range must
+	// fault on the initiating goroutine, not inside the delivery engine.
+	tb := tgt.SegByID(seg).Bytes(dstOff, n)
+	if !ep.net.realtime {
+		copy(tb, src)
+		if onAck != nil {
+			ep.enqueueComp(onAck)
+		}
+		return
+	}
+	dm, eng := ep.net.dma, ep.net.eng
+	staged := append([]byte(nil), src...)
+	dgap, dlat := dm.Gap(n, false), dm.Latency(n, false)
+	if dst == ep.rank {
+		// Same-rank h2d: a pure copy-engine hop, no NIC involvement.
+		spinFor(dm.Overhead(n))
+		eng.injectDMAAt(int(dst), time.Now(), dgap, dlat, func(at time.Time) {
+			copy(tb, staged)
+			if onAck != nil {
+				eng.schedule(at, func(time.Time) { ep.enqueueComp(onAck) })
+			}
+		})
+		return
+	}
+	m := ep.net.model
+	intra := ep.net.Intra(ep.rank, dst)
+	spinFor(m.Overhead(n, intra))
+	ackLat := m.Latency(0, intra)
+	eng.injectFrom(int(ep.rank), m.Gap(n, intra), m.Latency(n, intra), func(at time.Time) {
+		// Landed in the target's host staging area; the target's copy
+		// engine now moves it into device memory, then the ack returns.
+		eng.injectDMAAt(int(dst), at, dgap, dlat, func(at2 time.Time) {
+			copy(tb, staged)
+			if onAck != nil {
+				eng.schedule(at2.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
+			}
+		})
+	})
+}
+
+// GetSeg is Get reading from an arbitrary segment of the source rank.
+// Device sources drain through the source rank's DMA engine before the
+// payload crosses the wire.
+func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDone func()) {
+	if seg == HostSeg {
+		ep.Get(src, srcOff, dst, onDone)
+		return
+	}
+	n := len(dst)
+	ep.gets.Add(1)
+	ep.getBytes.Add(uint64(n))
+	rem := ep.net.eps[src]
+	rem.countDMA(n)
+	sb := rem.SegByID(seg).Bytes(srcOff, n)
+	if !ep.net.realtime {
+		copy(dst, sb)
+		if onDone != nil {
+			ep.enqueueComp(onDone)
+		}
+		return
+	}
+	dm, eng := ep.net.dma, ep.net.eng
+	dgap, dlat := dm.Gap(n, false), dm.Latency(n, false)
+	if src == ep.rank {
+		// Same-rank d2h: one copy-engine hop.
+		spinFor(dm.Overhead(n))
+		eng.injectDMAAt(int(src), time.Now(), dgap, dlat, func(at time.Time) {
+			copy(dst, sb)
+			if onDone != nil {
+				eng.schedule(at, func(time.Time) { ep.enqueueComp(onDone) })
+			}
+		})
+		return
+	}
+	m := ep.net.model
+	intra := ep.net.Intra(ep.rank, src)
+	spinFor(m.Overhead(0, intra))
+	// Request hop to the source, d2h DMA into the host bounce buffer,
+	// then the reply carries the payload back over the wire.
+	eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), func(at time.Time) {
+		eng.injectDMAAt(int(src), at, dgap, dlat, func(at2 time.Time) {
+			staged := append([]byte(nil), sb...)
+			eng.injectFromAt(int(src), at2, m.Gap(n, intra), m.Latency(n, intra), func(time.Time) {
+				copy(dst, staged)
+				if onDone != nil {
+					ep.enqueueComp(onDone)
+				}
+			})
+		})
+	})
+}
+
+// CopySeg copies n bytes from (srcRank, srcSeg, srcOff) to (dstRank,
+// dstSeg, dstOff), initiated by this endpoint, which may be a third party
+// to both sides (upcxx::copy). The hop chain is assembled from: a request
+// hop when the source rank is not the initiator, a source-side d2h DMA
+// when the source is device memory, a wire hop when the ranks differ, a
+// destination-side h2d DMA when the destination is device memory, and an
+// ack hop back to the initiator. Same-rank device→device copies collapse
+// to a single on-node d2d DMA. onDone is delivered to this endpoint's
+// completion queue.
+func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func()) {
+	ep.puts.Add(1)
+	ep.putBytes.Add(uint64(n))
+	srcEP, dstEP := ep.net.eps[srcRank], ep.net.eps[dstRank]
+	srcDev, dstDev := srcSeg != HostSeg, dstSeg != HostSeg
+	if srcDev && dstDev && srcRank == dstRank {
+		// Collapses to a single on-node d2d descriptor below.
+		srcEP.countDMA(n)
+	} else {
+		if srcDev {
+			srcEP.countDMA(n)
+		}
+		if dstDev {
+			dstEP.countDMA(n)
+		}
+	}
+	sb := srcEP.SegByID(srcSeg).Bytes(srcOff, n)
+	db := dstEP.SegByID(dstSeg).Bytes(dstOff, n)
+	if !ep.net.realtime {
+		copy(db, sb)
+		if onDone != nil {
+			ep.enqueueComp(onDone)
+		}
+		return
+	}
+	m, dm, eng := ep.net.model, ep.net.dma, ep.net.eng
+	var staged []byte
+
+	// finish: data visible at the destination at time at; return the
+	// completion to the initiator.
+	finish := func(at time.Time) {
+		if onDone == nil {
+			return
+		}
+		if dstRank == ep.rank {
+			eng.schedule(at, func(time.Time) { ep.enqueueComp(onDone) })
+			return
+		}
+		intra := ep.net.Intra(dstRank, ep.rank)
+		eng.injectFromAt(int(dstRank), at, m.Gap(0, intra), m.Latency(0, intra),
+			func(time.Time) { ep.enqueueComp(onDone) })
+	}
+
+	// dstSide: payload arrived at dstRank's host side at time at.
+	dstSide := func(at time.Time) {
+		if dstDev {
+			eng.injectDMAAt(int(dstRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+				copy(db, staged)
+				finish(at2)
+			})
+			return
+		}
+		copy(db, staged)
+		finish(at)
+	}
+
+	// wire: payload staged at srcRank's host side at time at.
+	wire := func(at time.Time) {
+		intra := ep.net.Intra(srcRank, dstRank)
+		eng.injectFromAt(int(srcRank), at, m.Gap(n, intra), m.Latency(n, intra), dstSide)
+	}
+
+	// srcSide: the copy begins executing at srcRank at time at.
+	srcSide := func(at time.Time) {
+		if srcRank == dstRank {
+			switch {
+			case srcDev && dstDev:
+				// On-node d2d: one copy-engine descriptor at device speed.
+				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, true), dm.Latency(n, true), func(at2 time.Time) {
+					copy(db, sb)
+					finish(at2)
+				})
+			case srcDev || dstDev:
+				// One h2d or d2h hop.
+				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+					copy(db, sb)
+					finish(at2)
+				})
+			default:
+				// Host→host on one rank: a shared-memory move at intra cost.
+				eng.injectFromAt(int(srcRank), at, m.Gap(n, true), m.Latency(n, true), func(at2 time.Time) {
+					copy(db, sb)
+					finish(at2)
+				})
+			}
+			return
+		}
+		if srcDev {
+			eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+				staged = append([]byte(nil), sb...)
+				wire(at2)
+			})
+			return
+		}
+		staged = append([]byte(nil), sb...)
+		wire(at)
+	}
+
+	if srcRank == ep.rank {
+		if srcDev || (srcRank == dstRank && dstDev) {
+			spinFor(dm.Overhead(n))
+		} else {
+			spinFor(m.Overhead(n, ep.net.Intra(ep.rank, dstRank)))
+		}
+		srcSide(time.Now())
+		return
+	}
+	// Third-party (or remote-source) copy: a request hop carries the
+	// descriptor to the source rank, which executes the chain.
+	intra := ep.net.Intra(ep.rank, srcRank)
+	spinFor(m.Overhead(0, intra))
+	eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), srcSide)
+}

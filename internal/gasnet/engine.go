@@ -24,6 +24,7 @@ type engine struct {
 	events  eventHeap
 	seq     uint64
 	nicFree []time.Time // per-rank NIC next-available time
+	dmaFree []time.Time // per-rank device DMA engine next-available time
 	done    bool
 	version atomic.Uint64 // bumped on insert so the spin loop re-plans
 }
@@ -48,7 +49,10 @@ func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 func newEngine(ranks int) *engine {
-	e := &engine{nicFree: make([]time.Time, ranks)}
+	e := &engine{
+		nicFree: make([]time.Time, ranks),
+		dmaFree: make([]time.Time, ranks),
+	}
 	e.cond = sync.NewCond(&e.mu)
 	go e.loop()
 	return e
@@ -73,15 +77,31 @@ func (e *engine) injectFrom(src int, gap, lat time.Duration, deliver func(at tim
 // injectFromAt is injectFrom with an explicit earliest injection time (used
 // for NIC-initiated traffic such as get replies).
 func (e *engine) injectFromAt(src int, earliest time.Time, gap, lat time.Duration, deliver func(at time.Time)) {
+	e.injectOn(e.nicFree, src, earliest, gap, lat, deliver)
+}
+
+// injectDMAAt models rank r's device copy engine accepting a DMA
+// descriptor no earlier than earliest: the engine is occupied for gap
+// (descriptors serialize, like NIC messages), and the transfer lands lat
+// later, at which point deliver runs. The DMA engine and the NIC occupy
+// independent channels: a rank can stream over the wire and across PCIe
+// concurrently.
+func (e *engine) injectDMAAt(r int, earliest time.Time, gap, lat time.Duration, deliver func(at time.Time)) {
+	e.injectOn(e.dmaFree, r, earliest, gap, lat, deliver)
+}
+
+// injectOn serializes an operation on one channel of the free list
+// (per-rank NIC or per-rank DMA engine) and schedules its delivery.
+func (e *engine) injectOn(free []time.Time, idx int, earliest time.Time, gap, lat time.Duration, deliver func(at time.Time)) {
 	e.mu.Lock()
 	start := earliest
 	if now := time.Now(); now.After(start) {
 		start = now
 	}
-	if e.nicFree[src].After(start) {
-		start = e.nicFree[src]
+	if free[idx].After(start) {
+		start = free[idx]
 	}
-	e.nicFree[src] = start.Add(gap)
+	free[idx] = start.Add(gap)
 	due := start.Add(gap + lat)
 	e.seq++
 	heap.Push(&e.events, event{due: due, seq: e.seq, run: deliver})

@@ -33,6 +33,11 @@ type Config struct {
 	RanksPerNode int   // 0 means all ranks share one node
 	SegmentSize  int   // per-rank segment bytes; 0 means 8 MiB
 	Model        Model // nil means NoDelay
+	// DMA is the device copy-engine model used for transfers touching
+	// device-kind segments. nil defaults to PCIe3 when Model is a
+	// real-time model, NoDelayDMA otherwise; with a zero-delay network
+	// model device hops are always instantaneous.
+	DMA DMAModel
 }
 
 // DefaultSegmentSize is the per-rank segment size when Config leaves it 0.
@@ -43,6 +48,7 @@ const DefaultSegmentSize = 8 << 20
 type Network struct {
 	cfg      Config
 	model    Model
+	dma      DMAModel
 	realtime bool
 	eps      []*Endpoint
 	eng      *engine
@@ -69,7 +75,15 @@ func NewNetwork(cfg Config) *Network {
 	if model == nil {
 		model = NoDelay{}
 	}
-	n := &Network{cfg: cfg, model: model, realtime: realtime}
+	dma := cfg.DMA
+	if dma == nil {
+		if realtime {
+			dma = PCIe3()
+		} else {
+			dma = NoDelayDMA{}
+		}
+	}
+	n := &Network{cfg: cfg, model: model, dma: dma, realtime: realtime}
 	n.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		n.eps[r] = &Endpoint{
@@ -99,6 +113,9 @@ func (n *Network) Intra(a, b Rank) bool { return n.Node(a) == n.Node(b) }
 
 // Endpoint returns rank r's endpoint.
 func (n *Network) Endpoint(r Rank) *Endpoint { return n.eps[r] }
+
+// DMAModel returns the device copy-engine cost model in effect.
+func (n *Network) DMAModel() DMAModel { return n.dma }
 
 // RegisterAM installs a handler and returns its ID. All registration must
 // happen before communication starts (the runtime registers its handlers at
@@ -133,7 +150,9 @@ func (n *Network) Close() {
 	}
 }
 
-// Stats aggregates traffic counters for one endpoint.
+// Stats aggregates traffic counters for one endpoint. DMAs counts device
+// copy-engine descriptors issued against this rank's devices; DMABytes the
+// bytes they moved.
 type Stats struct {
 	Puts     uint64
 	PutBytes uint64
@@ -142,6 +161,8 @@ type Stats struct {
 	AMs      uint64
 	AMBytes  uint64
 	AMOs     uint64
+	DMAs     uint64
+	DMABytes uint64
 }
 
 // Endpoint is one rank's attachment to the network.
@@ -150,14 +171,19 @@ type Endpoint struct {
 	net  *Network
 	seg  *Segment
 
+	devMu sync.Mutex
+	devs  []*Segment // device segments; SegID i+1 is devs[i]
+
 	qmu     sync.Mutex
 	compQ   []func()    // completions to run on the owner during Poll
 	amQ     []inboundAM // delivered AMs awaiting handler execution
 	polling bool        // guards against recursive progress (restricted context)
+	pollTok uint64      // opaque token of the goroutine draining amQ
 
 	notify chan struct{} // 1-slot doorbell for WaitPending
 
 	puts, putBytes, gets, getBytes, ams, amBytes, amos atomic.Uint64
+	dmas, dmaBytes                                     atomic.Uint64
 }
 
 type inboundAM struct {
@@ -173,8 +199,46 @@ func (ep *Endpoint) Rank() Rank { return ep.rank }
 // Network returns the owning network.
 func (ep *Endpoint) Network() *Network { return ep.net }
 
-// Segment returns this rank's registered segment.
+// Segment returns this rank's registered host segment.
 func (ep *Endpoint) Segment() *Segment { return ep.seg }
+
+// AddDeviceSegment registers a device-kind segment of size bytes on this
+// rank — the conduit half of opening a device allocator — and returns its
+// SegID. Device segments live until the network is torn down, like GPU
+// segments registered with GASNet-EX memory kinds.
+func (ep *Endpoint) AddDeviceSegment(size int) SegID {
+	ep.devMu.Lock()
+	defer ep.devMu.Unlock()
+	if len(ep.devs) >= 1<<16-1 {
+		panic("gasnet: device segment table overflow")
+	}
+	ep.devs = append(ep.devs, NewSegmentKind(size, KindDevice))
+	return SegID(len(ep.devs))
+}
+
+// DeviceSegments returns the number of device segments registered on this
+// rank.
+func (ep *Endpoint) DeviceSegments() int {
+	ep.devMu.Lock()
+	defer ep.devMu.Unlock()
+	return len(ep.devs)
+}
+
+// SegByID resolves a segment id: 0 is the host segment, 1.. are device
+// segments. An unknown id panics — the analogue of dereferencing a wild
+// device pointer.
+func (ep *Endpoint) SegByID(id SegID) *Segment {
+	if id == HostSeg {
+		return ep.seg
+	}
+	ep.devMu.Lock()
+	defer ep.devMu.Unlock()
+	if int(id) > len(ep.devs) {
+		panic(fmt.Sprintf("gasnet: rank %d has no device segment %d (%d registered) — wild device pointer",
+			ep.rank, id, len(ep.devs)))
+	}
+	return ep.devs[id-1]
+}
 
 // Stats returns a snapshot of this endpoint's traffic counters.
 func (ep *Endpoint) Stats() Stats {
@@ -186,7 +250,15 @@ func (ep *Endpoint) Stats() Stats {
 		AMs:      ep.ams.Load(),
 		AMBytes:  ep.amBytes.Load(),
 		AMOs:     ep.amos.Load(),
+		DMAs:     ep.dmas.Load(),
+		DMABytes: ep.dmaBytes.Load(),
 	}
+}
+
+// countDMA records one descriptor on this rank's device copy engine.
+func (ep *Endpoint) countDMA(n int) {
+	ep.dmas.Add(1)
+	ep.dmaBytes.Add(uint64(n))
 }
 
 func (ep *Endpoint) enqueueComp(f func()) {
@@ -253,13 +325,20 @@ func (ep *Endpoint) PollCompletions() int {
 // the qmu-guarded polling flag (which doubles as UPC++'s restricted
 // progress context), so at most one goroutine executes handlers at a
 // time and handlers arriving while draining run on the next call.
-func (ep *Endpoint) PollAMs() int {
+func (ep *Endpoint) PollAMs() int { return ep.PollAMsAs(0) }
+
+// PollAMsAs is PollAMs carrying an opaque poller token (the runtime passes
+// the harvesting goroutine's id). While the call is draining handlers,
+// PollerToken returns tok — letting handler code learn which goroutine is
+// executing it without re-deriving the id per message.
+func (ep *Endpoint) PollAMsAs(tok uint64) int {
 	ep.qmu.Lock()
 	if ep.polling {
 		ep.qmu.Unlock()
 		return 0
 	}
 	ep.polling = true
+	ep.pollTok = tok
 	ams := ep.amQ
 	ep.amQ = nil
 	ep.qmu.Unlock()
@@ -271,8 +350,18 @@ func (ep *Endpoint) PollAMs() int {
 
 	ep.qmu.Lock()
 	ep.polling = false
+	ep.pollTok = 0
 	ep.qmu.Unlock()
 	return len(ams)
+}
+
+// PollerToken returns the token passed to the PollAMsAs call currently
+// executing handlers, or 0 outside a drain. Only meaningful when called
+// from within an AM handler (where the draining claim is held).
+func (ep *Endpoint) PollerToken() uint64 {
+	ep.qmu.Lock()
+	defer ep.qmu.Unlock()
+	return ep.pollTok
 }
 
 // Poll drains completions then Active Messages, returning the number of

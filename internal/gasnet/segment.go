@@ -18,7 +18,8 @@ import (
 // synchronized as real RDMA, i.e. not at all — racing transfers race, and
 // callers must order them, exactly as the paper requires of UPC++ users.
 type Segment struct {
-	buf []byte
+	buf  []byte
+	kind Kind // memory kind backing this segment (host or device)
 
 	mu    sync.Mutex
 	free  []block          // sorted by offset, coalesced
@@ -36,13 +37,23 @@ type block struct {
 // scalar element type.
 const segAlign = 16
 
-// NewSegment creates a segment of the given size in bytes.
-func NewSegment(size int) *Segment {
+// NewSegment creates a host-kind segment of the given size in bytes.
+func NewSegment(size int) *Segment { return NewSegmentKind(size, KindHost) }
+
+// NewSegmentKind creates a segment of the given size and memory kind. The
+// simulation backs every kind with process memory; the kind governs which
+// engine (NIC or device DMA) may move its bytes and whether the owning
+// rank may address it directly.
+func NewSegmentKind(size int, kind Kind) *Segment {
 	if size <= 0 {
 		panic("gasnet: segment size must be positive")
 	}
+	if !kind.Valid() {
+		panic(fmt.Sprintf("gasnet: unknown memory kind %d", kind))
+	}
 	return &Segment{
 		buf:   make([]byte, size),
+		kind:  kind,
 		free:  []block{{0, int64(size)}},
 		sizes: make(map[uint64]int64),
 	}
@@ -50,6 +61,9 @@ func NewSegment(size int) *Segment {
 
 // Size returns the total segment size in bytes.
 func (s *Segment) Size() int { return len(s.buf) }
+
+// Kind returns the memory kind backing this segment.
+func (s *Segment) Kind() Kind { return s.kind }
 
 // Alloc reserves n bytes (n > 0) and returns the segment offset.
 func (s *Segment) Alloc(n int) (uint64, error) {

@@ -1,0 +1,129 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the codec layer: the Encoder/Decoder primitive pairs
+// and the reflective Marshal/Unmarshal of the scalar-slice payloads RMA
+// and views ship. Seed corpora run as plain tests in short mode; CI runs
+// a -fuzz smoke window on top (Makefile fuzz-smoke).
+
+// FuzzEncoderDecoder round-trips a mixed primitive sequence through the
+// hand-rolled wire layer.
+func FuzzEncoderDecoder(f *testing.F) {
+	f.Add(uint64(0), int64(0), 0.0, "", []byte{})
+	f.Add(uint64(1<<63), int64(-1), math.Inf(-1), "hello", []byte{1, 2, 3})
+	f.Add(uint64(12345), int64(1<<40), 3.5e300, "unicode: héllo", bytes.Repeat([]byte{0xaa}, 100))
+	f.Fuzz(func(t *testing.T, u uint64, i int64, fl float64, s string, b []byte) {
+		e := NewEncoder(nil)
+		e.PutU64(u)
+		e.PutI64(i)
+		e.PutF64(fl)
+		e.PutString(s)
+		e.PutBytes(b)
+		e.PutUvarint(u)
+		d := NewDecoder(e.Bytes())
+		if got := d.U64(); got != u {
+			t.Fatalf("U64: %d != %d", got, u)
+		}
+		if got := d.I64(); got != i {
+			t.Fatalf("I64: %d != %d", got, i)
+		}
+		if got := d.F64(); got != fl && !(math.IsNaN(got) && math.IsNaN(fl)) {
+			t.Fatalf("F64: %v != %v", got, fl)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("String: %q != %q", got, s)
+		}
+		if got := d.Bytes(); !bytes.Equal(got, b) {
+			t.Fatalf("Bytes: % x != % x", got, b)
+		}
+		if got := d.Uvarint(); got != u {
+			t.Fatalf("Uvarint: %d != %d", got, u)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	})
+}
+
+// FuzzScalarSliceRoundTrip reinterprets fuzzer bytes as the scalar slices
+// RMA payloads use, marshals them through the reflective codec, and
+// requires an exact round trip.
+func FuzzScalarSliceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := FromBytes[float64](data[:len(data)&^7])
+		b, err := Marshal(fs)
+		if err != nil {
+			t.Fatalf("marshal []float64: %v", err)
+		}
+		var back []float64
+		if err := Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal []float64: %v", err)
+		}
+		if len(back) != len(fs) {
+			t.Fatalf("length %d != %d", len(back), len(fs))
+		}
+		for i := range fs {
+			if math.Float64bits(back[i]) != math.Float64bits(fs[i]) {
+				t.Fatalf("[%d] %x != %x", i, math.Float64bits(back[i]), math.Float64bits(fs[i]))
+			}
+		}
+		us := FromBytes[uint32](data[:len(data)&^3])
+		b2, err := Marshal(us)
+		if err != nil {
+			t.Fatalf("marshal []uint32: %v", err)
+		}
+		var back2 []uint32
+		if err := Unmarshal(b2, &back2); err != nil {
+			t.Fatalf("unmarshal []uint32: %v", err)
+		}
+		for i := range us {
+			if back2[i] != us[i] {
+				t.Fatalf("u32[%d] %d != %d", i, back2[i], us[i])
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalArbitrary throws raw bytes at decoders for the common
+// payload shapes; they must fail cleanly (no crash, no huge allocation)
+// or produce a value that re-encodes canonically.
+func FuzzUnmarshalArbitrary(f *testing.F) {
+	good, _ := Marshal([]float64{1, 2, 3})
+	f.Add(good)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1}) // hostile length
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fs []float64
+		if err := Unmarshal(data, &fs); err == nil {
+			re, err := Marshal(fs)
+			if err != nil || !bytes.Equal(re, data) {
+				t.Fatalf("accepted []float64 not canonical: % x -> % x (%v)", data, re, err)
+			}
+		}
+		// Maps are not byte-canonical on decode (duplicate keys in the
+		// input collapse), but re-encoding must reach a fixed point.
+		var m map[uint32]int64
+		if err := Unmarshal(data, &m); err == nil {
+			re, err := Marshal(m)
+			if err != nil {
+				t.Fatalf("re-encode of accepted map: %v", err)
+			}
+			var m2 map[uint32]int64
+			if err := Unmarshal(re, &m2); err != nil {
+				t.Fatalf("re-decode of accepted map: %v", err)
+			}
+			re2, err := Marshal(m2)
+			if err != nil || !bytes.Equal(re, re2) {
+				t.Fatalf("map encoding not a fixed point: % x -> % x (%v)", re, re2, err)
+			}
+		}
+	})
+}

@@ -208,20 +208,23 @@ func buildCodec(t reflect.Type, building map[reflect.Type]*codec) (*codec, error
 			}
 		}
 		c.dec = func(d *Decoder, v reflect.Value) {
-			n := int(d.Uvarint())
+			n64 := d.Uvarint()
 			if d.Err() != nil {
 				return
 			}
-			if n == 0 {
+			if n64 == 0 {
 				v.SetZero()
 				return
 			}
-			// Guard against hostile lengths: never pre-allocate more
-			// elements than bytes remaining.
-			if n > d.Remaining()+1 {
+			// Guard against hostile lengths before converting to int:
+			// never pre-allocate more elements than bytes remaining (a
+			// 2^64-scale length would wrap negative as an int and slip
+			// past a post-conversion check).
+			if n64 > uint64(d.Remaining())+1 {
 				d.fail()
 				return
 			}
+			n := int(n64)
 			out := reflect.MakeSlice(t, n, n)
 			for i := 0; i < n && d.Err() == nil; i++ {
 				ec.dec(d, out.Index(i))
@@ -277,18 +280,20 @@ func buildCodec(t reflect.Type, building map[reflect.Type]*codec) (*codec, error
 			}
 		}
 		c.dec = func(d *Decoder, v reflect.Value) {
-			n := int(d.Uvarint())
+			n64 := d.Uvarint()
 			if d.Err() != nil {
 				return
 			}
-			if n == 0 {
+			if n64 == 0 {
 				v.SetZero()
 				return
 			}
-			if n > d.Remaining()+1 {
+			// Same pre-conversion hostile-length guard as the slice path.
+			if n64 > uint64(d.Remaining())+1 {
 				d.fail()
 				return
 			}
+			n := int(n64)
 			out := reflect.MakeMapWithSize(t, n)
 			kt, vt := t.Key(), t.Elem()
 			for i := 0; i < n && d.Err() == nil; i++ {

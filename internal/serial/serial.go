@@ -147,13 +147,16 @@ func (d *Decoder) I64() int64   { return int64(d.U64()) }
 func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 func (d *Decoder) F32() float32 { return math.Float32frombits(d.U32()) }
 
-// Uvarint consumes an unsigned varint.
+// Uvarint consumes an unsigned varint. Non-minimal encodings (a
+// multi-byte form whose final byte contributes no bits, e.g. 0x80 0x00
+// for zero) are rejected: every value has exactly one wire form, so
+// decode∘encode is the identity on valid payloads.
 func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
+	if n <= 0 || (n > 1 && d.buf[d.off+n-1] == 0) {
 		d.fail()
 		return 0
 	}

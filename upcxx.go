@@ -75,6 +75,19 @@ type (
 	AtomicU64 = core.AtomicU64
 	// AtomicI64 is the int64 remote-atomics domain.
 	AtomicI64 = core.AtomicI64
+	// MemKind classifies the memory a global pointer references
+	// (upcxx::memory_kind): host or device.
+	MemKind = core.MemKind
+	// DeviceAllocator manages one device memory segment on a rank
+	// (upcxx::device_allocator).
+	DeviceAllocator = core.DeviceAllocator
+)
+
+// Memory kinds (paper §VI): device-kind pointers route RMA through the
+// simulated device DMA engine instead of the NIC alone.
+const (
+	KindHost   = core.KindHost
+	KindDevice = core.KindDevice
 )
 
 // Generic runtime types (aliases; Go 1.24).
@@ -154,12 +167,41 @@ func Delete[T Scalar](rk *Rank, p GPtr[T]) error { return core.Delete(rk, p) }
 // NilGPtr returns the null global pointer.
 func NilGPtr[T Scalar]() GPtr[T] { return core.NilGPtr[T]() }
 
-// Local converts a global pointer with local affinity into a directly
-// usable slice.
+// Local converts a host-kind global pointer with local affinity into a
+// directly usable slice (device memory is never host-addressable).
 func Local[T Scalar](rk *Rank, p GPtr[T], n int) []T { return core.Local(rk, p, n) }
 
 // ToGlobal converts a slice obtained from Local back to a global pointer.
 func ToGlobal[T Scalar](rk *Rank, s []T) GPtr[T] { return core.ToGlobal(rk, s) }
+
+// Memory kinds (upcxx::device_allocator / global_ptr<T, memory_kind>).
+// A device allocator opens a device segment on a rank; pointers into it
+// carry KindDevice, and every RMA entry point (RPut/RGet/CopyGG and the
+// V/Indexed/Strided2D variants) routes their transfers through the
+// simulated device DMA engine, whose bandwidth/latency model is distinct
+// from the network's (Config.DMA).
+
+// NewDeviceAllocator opens a device segment of size bytes on this rank.
+func NewDeviceAllocator(rk *Rank, size int) *DeviceAllocator {
+	return core.NewDeviceAllocator(rk, size)
+}
+
+// NewDeviceArray allocates n zero-initialized Ts in the device segment.
+func NewDeviceArray[T Scalar](da *DeviceAllocator, n int) (GPtr[T], error) {
+	return core.NewDeviceArray[T](da, n)
+}
+
+// MustNewDeviceArray is NewDeviceArray, panicking on exhaustion.
+func MustNewDeviceArray[T Scalar](da *DeviceAllocator, n int) GPtr[T] {
+	return core.MustNewDeviceArray[T](da, n)
+}
+
+// RunKernel executes kernel over n device elements at p — the simulation's
+// stand-in for a device kernel launch, and the only sanctioned way to
+// compute on device memory.
+func RunKernel[T Scalar](da *DeviceAllocator, p GPtr[T], n int, kernel func([]T)) {
+	core.RunKernel(da, p, n, kernel)
+}
 
 // One-sided RMA (upcxx::rput/rget and the VIS variants).
 
@@ -187,9 +229,15 @@ func PutValue[T Scalar](rk *Rank, v T, dst GPtr[T]) Future[Unit] { return core.P
 // GetValue fetches one value from remote memory.
 func GetValue[T Scalar](rk *Rank, src GPtr[T]) Future[T] { return core.GetValue(rk, src) }
 
-// CopyGG copies between two global locations (upcxx::copy).
+// CopyGG copies between two global locations of any memory kinds
+// (upcxx::copy); the initiator may be a third party to both sides.
 func CopyGG[T Scalar](rk *Rank, src, dst GPtr[T], n int) Future[Unit] {
 	return core.CopyGG(rk, src, dst, n)
+}
+
+// CopyGGPromise is CopyGG with promise-based completion.
+func CopyGGPromise[T Scalar](rk *Rank, src, dst GPtr[T], n int, p *Promise[Unit]) {
+	core.CopyGGPromise(rk, src, dst, n, p)
 }
 
 // RPutV / RGetV issue vector RMA over fragment lists.
