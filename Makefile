@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check fmt bench fuzz-smoke ci
+.PHONY: all build test test-short race vet fmt-check fmt bench fuzz-smoke examples-run ci
 
 all: build
 
@@ -14,11 +14,13 @@ test-short:
 	$(GO) test -short ./...
 
 # The persona subsystem's acceptance gate: cross-thread LPC delivery,
-# scope nesting, and progress-thread mode must be race-clean — and the
+# scope nesting, and progress-thread mode must be race-clean — plus the
 # memory-kinds conformance matrix (every {host,device}×{same,cross} copy
-# pair plus the DMA engine) on top of it.
+# pair plus the DMA engine) and the completion-object matrix
+# ({op,source,remote} × {future,promise,LPC,RPC} × kinds × locality,
+# including the remote-cx AM path) on top of it.
 race:
-	$(GO) test -race ./internal/core/ -run 'Persona|Kinds'
+	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx'
 	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
 	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
 
@@ -27,9 +29,19 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzGPtrWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzGPtrDecode -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRemoteCxWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
+
+# Execute every example end to end at its built-in small scale — examples
+# are run, not just vetted (each finishes in roughly a second on the
+# zero-delay conduit).
+examples-run:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d; \
+	done
 
 vet:
 	$(GO) vet ./...
@@ -46,4 +58,4 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...
 
 # Tier-1 verification in one command.
-ci: build vet fmt-check test race
+ci: build vet fmt-check test race examples-run

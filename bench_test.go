@@ -435,6 +435,89 @@ func benchPersonaRPutFlood(b *testing.B, progressThread bool) {
 func BenchmarkPersonaRPutFloodSelfProgress(b *testing.B)   { benchPersonaRPutFlood(b, false) }
 func BenchmarkPersonaRPutFloodProgressThread(b *testing.B) { benchPersonaRPutFlood(b, true) }
 
+// --- Signaling put vs put+RPC notification -----------------------------
+//
+// The halo-exchange pattern: move a block and make the receiver act on
+// it. The signaling put delivers data and notification in ONE one-way
+// message (remote_cx::as_rpc piggybacks on the transfer); the
+// pre-completion-object idiom needs the put's full round trip before the
+// initiator may send the (second) notification message. The benchmark
+// ping-pongs a notification between two ranks and reports ns per hop; on
+// the zero-delay conduit it measures the software-path saving (one
+// conduit op instead of put+ack+AM), while cmd/rma-bench -mode signal
+// measures the modeled-wire round trip saved (EXPERIMENTS.md §7).
+
+func signalBump(trk *upcxx.Rank, counter upcxx.GPtr[uint64]) {
+	upcxx.Local(trk, counter, 1)[0]++
+}
+
+func benchNotifyPingPong(b *testing.B, signaling bool) {
+	const size = 1 << 10
+	w := upcxx.NewWorld(upcxx.Config{Ranks: 2, SegmentSize: 16 << 20})
+	defer w.Close()
+	w.Run(func(rk *upcxx.Rank) {
+		type slots struct {
+			Buf upcxx.GPtr[uint64]
+			Ctr upcxx.GPtr[uint64]
+		}
+		mine := slots{
+			Buf: upcxx.MustNewArray[uint64](rk, size/8),
+			Ctr: upcxx.MustNewArray[uint64](rk, 1),
+		}
+		obj := upcxx.NewDistObject(rk, mine)
+		rk.Barrier()
+		peer := (rk.Me() + 1) % 2
+		theirs := upcxx.FetchDist[slots](rk, obj.ID(), peer).Wait()
+		ctr := upcxx.Local(rk, mine.Ctr, 1)
+		src := make([]uint64, size/8)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.ResetTimer()
+		}
+		hop := func() {
+			if signaling {
+				// Data + notification in one message; nothing to wait on
+				// locally — the next event is the peer's reply signal.
+				upcxx.RPutSignal(rk, src, theirs.Buf, signalBump, theirs.Ctr)
+				return
+			}
+			// Old idiom: wait out the put's round trip, then notify.
+			upcxx.RPut(rk, src, theirs.Buf).Wait()
+			upcxx.RPCFF(rk, peer, signalBump, theirs.Ctr)
+		}
+		for i := 0; i < b.N; i++ {
+			if rk.Me() == 0 {
+				hop()
+			}
+			for ctr[0] < uint64(i+1) {
+				// Yield on idle progress so the peer rank's goroutine can
+				// run on few-core hosts.
+				if rk.Progress() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if rk.Me() == 1 {
+				hop()
+			}
+		}
+		rk.Barrier()
+		if rk.Me() == 0 {
+			b.StopTimer()
+			b.SetBytes(size)
+		}
+	})
+}
+
+func BenchmarkSignalingPutPingPong(b *testing.B) { benchNotifyPingPong(b, true) }
+func BenchmarkPutPlusRPCPingPong(b *testing.B)   { benchNotifyPingPong(b, false) }
+
+// BenchmarkDHTInsertSignalingPut completes the Fig 4 family with the
+// signaling-put insert strategy (landing zone published at remote
+// completion).
+func BenchmarkDHTInsertSignalingPut4KB(b *testing.B) {
+	benchDHTInsert(b, dht.SignalingPut, 4<<10)
+}
+
 // --- Memory kinds: DMA-engine vs network bandwidth ---------------------
 
 // benchKindsCopy measures blocking CopyGG bandwidth for one kind pair on

@@ -1,11 +1,17 @@
-// device-halo: memory kinds in a GPU-style stencil. Each rank keeps its
-// slab of a 1D Jacobi iteration resident in *device* memory (a
-// DeviceAllocator segment); per iteration the boundary cells travel
-// device-to-device between neighbor ranks with CopyGG — no host bounce in
-// the program text, exactly how a memory-kinds runtime lets GPUDirect-era
-// codes communicate — and the relaxation step runs as a device kernel
-// (RunKernel). Host code never dereferences device memory: Local on a
-// device pointer panics.
+// device-halo: memory kinds + signaling puts in a GPU-style stencil. Each
+// rank keeps its slab of a 1D Jacobi iteration resident in *device*
+// memory (a DeviceAllocator segment); per iteration each rank *pushes*
+// its boundary cells device-to-device into its neighbors' halo slots with
+// upcxx.CopyCx carrying a remote_cx::as_rpc descriptor — the signaling
+// put. The notification increments a per-iteration arrival counter at the
+// target after the bytes are visible in its device segment, so a rank
+// starts its relaxation kernel the moment both halos have provably
+// landed. No per-iteration barriers and no follow-up notification round
+// trips: the paper's halo-exchange idiom, one message per halo.
+//
+// (The previous revision of this example pulled halos with CopyGG and
+// synchronized with two barriers per iteration; the signaling-put push
+// deletes both.)
 //
 // Run: go run ./examples/device-halo
 package main
@@ -13,6 +19,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"upcxx"
 )
@@ -23,15 +30,24 @@ const (
 	iters = 200
 )
 
+// arrive runs at the halo's *receiving* rank as the remote completion of
+// a neighbor's signaling put: both of this iteration's boundary bytes are
+// already visible in the device segment when the counter bumps.
+func arrive(trk *upcxx.Rank, counter upcxx.GPtr[uint64]) {
+	upcxx.Local(trk, counter, 1)[0]++
+}
+
 func main() {
 	upcxx.Run(ranks, func(rk *upcxx.Rank) {
 		me, n := rk.Me(), rk.N()
 		da := upcxx.NewDeviceAllocator(rk, 4*(local+2)*8)
 
 		// Two device buffers (Jacobi ping-pong), each with halo cells at
-		// index 0 and local+1.
+		// index 0 and local+1, plus per-iteration arrival counters in host
+		// memory (the remote notification writes them at the home rank).
 		cur := upcxx.MustNewDeviceArray[float64](da, local+2)
 		next := upcxx.MustNewDeviceArray[float64](da, local+2)
+		arrivals := upcxx.MustNewArray[uint64](rk, iters)
 
 		// Initialize on the device: a step function, 1.0 on the left
 		// half of the global domain (interior cells only; halos are
@@ -44,27 +60,46 @@ func main() {
 			}
 		})
 
-		// Publish my current-buffer pointer so neighbors can read my
-		// boundary cells; the kind travels with the pointer.
-		bufs := upcxx.NewDistObject(rk, [2]upcxx.GPtr[float64]{cur, next})
+		// Publish my buffers and arrival counters; kinds travel with the
+		// pointers.
+		type slots struct {
+			Bufs [2]upcxx.GPtr[float64]
+			Arr  upcxx.GPtr[uint64]
+		}
+		obj := upcxx.NewDistObject(rk, slots{[2]upcxx.GPtr[float64]{cur, next}, arrivals})
 		rk.Barrier()
 
 		left, right := (me-1+n)%n, (me+1)%n
-		lbufs := upcxx.FetchDist[[2]upcxx.GPtr[float64]](rk, bufs.ID(), left).Wait()
-		rbufs := upcxx.FetchDist[[2]upcxx.GPtr[float64]](rk, bufs.ID(), right).Wait()
+		ls := upcxx.FetchDist[slots](rk, obj.ID(), left).Wait()
+		rs := upcxx.FetchDist[slots](rk, obj.ID(), right).Wait()
 
 		mine := [2]upcxx.GPtr[float64]{cur, next}
+		arr := upcxx.Local(rk, arrivals, iters)
 		for it := 0; it < iters; it++ {
 			b := it % 2
 			src, dst := mine[b], mine[1-b]
-			// Pull neighbor boundary cells device→device across ranks:
-			// my left halo = left neighbor's last interior cell, my
-			// right halo = right neighbor's first interior cell.
+
+			// Push my boundary cells into the neighbors' halo slots of
+			// this iteration's buffer — device→device signaling puts. My
+			// first interior cell is the left neighbor's right halo; my
+			// last is the right neighbor's left halo.
 			p := upcxx.NewPromise[upcxx.Unit](rk)
-			upcxx.CopyGGPromise(rk, lbufs[b].Add(local), src, 1, p)
-			upcxx.CopyGGPromise(rk, rbufs[b].Add(1), src.Add(local+1), 1, p)
-			p.Finalize().Wait()
-			rk.Barrier() // halos settled everywhere before relaxing
+			upcxx.CopyCx(rk, src.Add(1), ls.Bufs[b].Add(local+1), 1,
+				upcxx.OpCxAsPromise(p),
+				upcxx.RemoteCxAsRPC(arrive, ls.Arr.Add(it)))
+			upcxx.CopyCx(rk, src.Add(local), rs.Bufs[b], 1,
+				upcxx.OpCxAsPromise(p),
+				upcxx.RemoteCxAsRPC(arrive, rs.Arr.Add(it)))
+
+			// Wait for both neighbors' signals: their boundary bytes are
+			// in my device halos. The counters are per-iteration, so a
+			// fast neighbor working on it+1 can never confuse us.
+			for arr[it] < 2 {
+				if rk.Progress() == 0 {
+					runtime.Gosched() // let neighbor ranks run on few cores
+				}
+			}
+			p.Finalize().Wait() // my own pushes have drained too
 
 			// Jacobi relaxation as a device kernel over both buffers.
 			upcxx.RunKernel(da, src, local+2, func(s []float64) {
@@ -74,8 +109,8 @@ func main() {
 					}
 				})
 			})
-			rk.Barrier()
 		}
+		rk.Barrier()
 
 		// Drain the answer to the host the sanctioned way: a d2h get of
 		// my interior, then a global residual reduction.
@@ -95,7 +130,12 @@ func main() {
 				iters, total, want, math.Abs(total-want))
 		}
 		rk.Barrier()
-		fmt.Printf("rank %d: %d DMA descriptors moved %d device bytes\n",
-			me, stats.DMAs, stats.DMABytes)
+		fmt.Printf("rank %d: %d DMA descriptors moved %d device bytes; %d AMs (signals ride the puts)\n",
+			me, stats.DMAs, stats.DMABytes, stats.AMs)
+
+		// Tear the device segment down now that the epoch is over —
+		// outstanding device pointers are poisoned from here on.
+		rk.Barrier()
+		upcxx.CloseDeviceAllocator(da)
 	})
 }

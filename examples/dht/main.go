@@ -28,10 +28,13 @@ func main() {
 	}
 
 	upcxx.Run(ranks, func(rk *upcxx.Rank) {
-		// Two tables with different wire strategies (collective
-		// construction order matters).
+		// Three tables with different wire strategies (collective
+		// construction order matters). The signaling-put table publishes
+		// each landing zone via remote_cx::as_rpc riding the value's rput
+		// — race-free publication with no follow-up round trip.
 		small := dht.New(rk, dht.RPCOnly)
 		large := dht.New(rk, dht.LandingZone)
+		signal := dht.New(rk, dht.SignalingPut)
 		rk.Barrier()
 
 		// Every rank inserts a batch asynchronously into each table,
@@ -41,7 +44,8 @@ func main() {
 			key := uint64(rk.Me())<<32 | uint64(i)
 			conj = upcxx.WhenAll(rk, conj,
 				small.Insert(key, []byte(fmt.Sprintf("s-%d-%d", rk.Me(), i))),
-				large.Insert(key, make([]byte, 2048)))
+				large.Insert(key, make([]byte, 2048)),
+				signal.Insert(key, make([]byte, 2048)))
 		}
 		conj.Wait()
 		rk.Barrier()
@@ -53,6 +57,9 @@ func main() {
 		say("rank %d: small[%d/7] = %q", rk.Me(), peer, val)
 		if got := large.Find(key).Wait(); len(got) != 2048 {
 			panic("landing-zone value lost")
+		}
+		if got := signal.Find(key).Wait(); len(got) != 2048 {
+			panic("signaling-put value lost")
 		}
 		rk.Barrier()
 
@@ -79,6 +86,7 @@ func main() {
 		}{
 			{"rpc-only 64B", small, 64},
 			{"landing-zone 4KB", large, 4096},
+			{"signaling-put 4KB", signal, 4096},
 		} {
 			rk.Barrier()
 			start := time.Now()

@@ -13,18 +13,26 @@ import (
 // latency and scalability in lock-free data structures. All operations are
 // non-blocking and return futures.
 
-// amoOp issues one offloaded atomic through the progress engine; the
-// result is delivered to the initiating persona.
+// amoOp issues one offloaded atomic through the single injection path
+// (Rank.inject); the previous value is delivered to the initiating
+// persona as the operation-completion payload.
 func (rk *Rank) amoOp(owner Intrank, off uint64, op gasnet.AMOOp, a, b uint64) Future[uint64] {
 	p := NewPromise[uint64](rk)
-	pers := p.c.pers
-	rk.deferOp(func() {
-		rk.actCount.Add(1)
-		rk.ep.AMO(gasnetRank(owner), off, op, a, b, func(old uint64) {
-			pers.LPC(func() { p.fulfillOwnedResult(old) })
-			rk.actCount.Add(-1)
-		})
-	})
+	var old uint64
+	// The conduit's onOld hook stores the fetched value before the
+	// completion LPC is enqueued; the enqueue orders the write for the
+	// owning persona's drain.
+	cx := &cxPlan{rk: rk, remotePeer: owner}
+	cx.op = []cxDelivery{{pers: p.c.pers, fn: func() { p.fulfillOwnedResult(old) }}}
+	rk.inject([]rmaOp{{
+		kind:    opAMO,
+		dstPeer: owner,
+		dstOff:  off,
+		amo:     op,
+		amoA:    a,
+		amoB:    b,
+		onOld:   func(v uint64) { old = v },
+	}}, cx)
 	return p.Future()
 }
 

@@ -1,0 +1,416 @@
+package upcxx
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/serial"
+)
+
+// Completion objects (paper §III; UPC++ v1.0 spec §7): every communication
+// operation exposes up to three events, each of which the initiator may
+// request through a completion descriptor —
+//
+//   - operation completion (OpDone): the whole operation is finished; for a
+//     put, the data is globally visible at the target.
+//   - source completion (SourceDone): the initiator-side source buffer may
+//     be reused. Puts only — a copy's source is a global pointer read when
+//     the hop chain reaches it, not an initiator-local buffer. This conduit
+//     captures put source buffers eagerly, so the event fires as soon as
+//     the operation has been handed to the conduit.
+//   - remote completion (RemoteDone): the data is visible in the
+//     destination segment, observed *at the destination*. Deliverable
+//     target-side as an RPC (the signaling put) and initiator-side as a
+//     future/promise/LPC keyed off the conduit ack, which this conduit only
+//     returns after remote visibility — including the destination DMA hop
+//     for device-kind memory.
+//
+// Each requested event is delivered as a future (…AsFuture), into a
+// caller-supplied promise (…AsPromise), as an LPC onto a chosen persona
+// (…AsLPC), or — for the remote event only — as an RPC executed at the
+// target after the data lands (RemoteCxAsRPC). Descriptors compose: pass
+// any set of them to the …With entry points (RPutWith, RGetWith, CopyWith,
+// and the vector/indexed/strided variants), which all feed the single
+// internal injection path, Rank.inject.
+
+// CxEvent identifies one of the three completion events of an operation.
+type CxEvent uint8
+
+const (
+	// OpDone is operation completion (upcxx operation_cx).
+	OpDone CxEvent = iota
+	// SourceDone is source-buffer completion (upcxx source_cx).
+	SourceDone
+	// RemoteDone is remote completion at the destination (upcxx remote_cx).
+	RemoteDone
+)
+
+// String returns the event mnemonic.
+func (ev CxEvent) String() string {
+	switch ev {
+	case OpDone:
+		return "operation_cx"
+	case SourceDone:
+		return "source_cx"
+	case RemoteDone:
+		return "remote_cx"
+	default:
+		return fmt.Sprintf("cx_event(%d)", uint8(ev))
+	}
+}
+
+type cxKind uint8
+
+const (
+	cxFuture cxKind = iota
+	cxPromise
+	cxLPC
+	cxRPC
+)
+
+func (k cxKind) String() string {
+	switch k {
+	case cxFuture:
+		return "as_future"
+	case cxPromise:
+		return "as_promise"
+	case cxLPC:
+		return "as_lpc"
+	case cxRPC:
+		return "as_rpc"
+	default:
+		return fmt.Sprintf("cx_kind(%d)", uint8(k))
+	}
+}
+
+// Cx is one completion descriptor: an event paired with a delivery
+// method. Construct them with the OpCx…/SourceCx…/RemoteCx… functions and
+// pass any combination to a …With communication entry point. A Cx is a
+// value; it may be built ahead of the call, but a descriptor carrying a
+// promise or RPC payload should be passed to exactly one operation.
+type Cx struct {
+	ev   CxEvent
+	kind cxKind
+
+	prom *Promise[Unit] // cxPromise
+	pers *Persona       // cxLPC target persona (nil: initiator's current)
+	fn   func()         // cxLPC body
+
+	rpcArgs []byte       // cxRPC serialized arguments
+	rpcInv  rpcFFInvoker // cxRPC invoker (code reference)
+}
+
+// OpCxAsFuture requests operation completion as a future, returned in
+// CxFutures.Op — the default completion of every operation.
+func OpCxAsFuture() Cx { return Cx{ev: OpDone, kind: cxFuture} }
+
+// OpCxAsPromise registers operation completion as one anonymous
+// dependency on p, discharged when the operation completes — the paper's
+// flood-bandwidth idiom (§IV-B).
+func OpCxAsPromise(p *Promise[Unit]) Cx { return Cx{ev: OpDone, kind: cxPromise, prom: p} }
+
+// OpCxAsLPC delivers operation completion by running fn as an LPC on
+// persona pers (nil: the initiating goroutine's current persona).
+func OpCxAsLPC(pers *Persona, fn func()) Cx { return Cx{ev: OpDone, kind: cxLPC, pers: pers, fn: fn} }
+
+// SourceCxAsFuture requests source completion as a future
+// (CxFutures.Source). Source descriptors are valid on puts only.
+func SourceCxAsFuture() Cx { return Cx{ev: SourceDone, kind: cxFuture} }
+
+// SourceCxAsPromise registers source completion on p (puts only).
+func SourceCxAsPromise(p *Promise[Unit]) Cx { return Cx{ev: SourceDone, kind: cxPromise, prom: p} }
+
+// SourceCxAsLPC delivers source completion as an LPC on pers (puts only).
+func SourceCxAsLPC(pers *Persona, fn func()) Cx {
+	return Cx{ev: SourceDone, kind: cxLPC, pers: pers, fn: fn}
+}
+
+// RemoteCxAsFuture requests remote completion as an initiator-side future
+// (CxFutures.Remote): it readies once the data is known to be visible in
+// the destination segment.
+func RemoteCxAsFuture() Cx { return Cx{ev: RemoteDone, kind: cxFuture} }
+
+// RemoteCxAsPromise registers remote completion on p.
+func RemoteCxAsPromise(p *Promise[Unit]) Cx { return Cx{ev: RemoteDone, kind: cxPromise, prom: p} }
+
+// RemoteCxAsLPC delivers remote completion as an LPC on pers.
+func RemoteCxAsLPC(pers *Persona, fn func()) Cx {
+	return Cx{ev: RemoteDone, kind: cxLPC, pers: pers, fn: fn}
+}
+
+// RemoteCxAsRPC attaches fn(arg) to the *remote* completion of a put or
+// copy: it executes at the destination rank, on its execution persona,
+// strictly after the transferred data is visible in the destination
+// segment (for device destinations, after the final DMA hop). This is the
+// signaling put: the notification piggybacks on the transfer itself, with
+// no extra round trip. arg is serialized at descriptor construction; fn
+// travels as a code reference, exactly like an RPCFF body.
+func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx {
+	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		fn(trk, a)
+	})
+	return Cx{ev: RemoteDone, kind: cxRPC, rpcArgs: mustMarshal(arg), rpcInv: inv}
+}
+
+// CxFutures carries the futures produced by …AsFuture descriptors of one
+// operation. Only the fields whose events were requested as futures are
+// valid (Future.Valid reports which).
+type CxFutures struct {
+	Op     Future[Unit]
+	Source Future[Unit]
+	Remote Future[Unit]
+}
+
+// cxDelivery is one initiator-side completion delivery: fn runs as an LPC
+// on pers, which is resolved once at descriptor registration (futures and
+// promises deliver to their owning persona, explicit LPCs to the persona
+// they name).
+type cxDelivery struct {
+	pers *Persona
+	fn   func()
+}
+
+// cxPlan is the resolved completion set of one logical operation — the
+// cxSet side of the inject(op, cxSet) pair. One plan may span several
+// conduit operations (a vector put's fragments); events aggregate across
+// them: source fires once every fragment's buffer is captured, operation
+// and remote fire once every fragment has completed.
+type cxPlan struct {
+	rk   *Rank
+	futs CxFutures
+
+	op, src, rem []cxDelivery
+
+	// Remote-RPC notification. For a single-fragment put/copy the AM is
+	// handed to the conduit, which fires it at the destination when the
+	// final hop lands (remoteAM consumed via takeConduitAM). Multi-fragment
+	// operations gate it initiator-side instead: once every fragment's ack
+	// is in (data visible everywhere), a one-way AM carries it over.
+	remoteAM   *gasnet.RemoteAM
+	remotePeer Intrank
+	gated      bool
+
+	nops atomic.Int64 // outstanding conduit operations
+}
+
+// newCxPlan resolves descriptors against one operation. kind names the
+// operation for validation; remotePeer is the destination rank a gated
+// remote RPC would be sent to (-1 when the operation has no single
+// destination — remote descriptors then panic).
+func newCxPlan(rk *Rank, kind opKind, remotePeer Intrank, cxs []Cx) *cxPlan {
+	c := &cxPlan{rk: rk, remotePeer: remotePeer}
+	if len(cxs) == 0 {
+		cxs = []Cx{OpCxAsFuture()}
+	}
+	for _, cx := range cxs {
+		c.add(kind, cx)
+	}
+	return c
+}
+
+// add validates one descriptor against the operation kind and registers
+// its delivery.
+func (c *cxPlan) add(kind opKind, cx Cx) {
+	switch cx.ev {
+	case SourceDone:
+		// Only puts have an initiator-local source buffer. A copy's
+		// source is a global pointer — possibly remote, and read by the
+		// conduit only when the hop chain reaches it — so a source event
+		// at injection time would license overwriting bytes still to be
+		// read.
+		if kind != opPut {
+			panic(fmt.Sprintf("upcxx: %s requested on a %s, which has no local source buffer", cx.ev, kind))
+		}
+	case RemoteDone:
+		if kind == opGet || kind == opAMO {
+			panic(fmt.Sprintf("upcxx: %s requested on a %s, which has no remote-completion event", cx.ev, kind))
+		}
+		if c.remotePeer < 0 {
+			panic(fmt.Sprintf("upcxx: %s requires a single destination rank (vector operations with mixed destinations cannot carry one)", cx.ev))
+		}
+	}
+	if cx.kind == cxRPC {
+		if cx.ev != RemoteDone {
+			panic(fmt.Sprintf("upcxx: %s cannot be delivered as_rpc (only remote_cx executes at the target)", cx.ev))
+		}
+		if c.remoteAM != nil {
+			panic("upcxx: at most one remote_cx as_rpc per operation (compose the work inside one function)")
+		}
+		c.remoteAM = &gasnet.RemoteAM{
+			Handler: c.rk.w.amRemote,
+			Payload: encodeRemoteCx(c.rk.me, cx.rpcArgs),
+			Aux:     cx.rpcInv,
+		}
+		return
+	}
+	var d cxDelivery
+	switch cx.kind {
+	case cxFuture:
+		fut := c.eventFuture(cx.ev)
+		if fut.Valid() {
+			panic(fmt.Sprintf("upcxx: duplicate %s as_future descriptor", cx.ev))
+		}
+		p := NewPromise[Unit](c.rk)
+		*fut = p.Future()
+		d = cxDelivery{pers: p.c.pers, fn: func() { p.fulfillOwnedResult(Unit{}) }}
+	case cxPromise:
+		p := cx.prom
+		if p == nil {
+			panic(fmt.Sprintf("upcxx: %s as_promise with nil promise", cx.ev))
+		}
+		p.RequireAnonymous(1)
+		d = cxDelivery{pers: p.c.pers, fn: func() { p.fulfillAnon(1, true) }}
+	case cxLPC:
+		pers := cx.pers
+		if pers == nil {
+			pers = c.rk.currentPersona()
+		}
+		d = cxDelivery{pers: pers, fn: cx.fn}
+	default:
+		panic(fmt.Sprintf("upcxx: unknown completion delivery %d", cx.kind))
+	}
+	switch cx.ev {
+	case OpDone:
+		c.op = append(c.op, d)
+	case SourceDone:
+		c.src = append(c.src, d)
+	case RemoteDone:
+		c.rem = append(c.rem, d)
+	default:
+		panic(fmt.Sprintf("upcxx: unknown completion event %d", cx.ev))
+	}
+}
+
+// eventFuture returns the CxFutures slot of ev.
+func (c *cxPlan) eventFuture(ev CxEvent) *Future[Unit] {
+	switch ev {
+	case OpDone:
+		return &c.futs.Op
+	case SourceDone:
+		return &c.futs.Source
+	default:
+		return &c.futs.Remote
+	}
+}
+
+// takeConduitAM hands the remote-RPC notification to the conduit for the
+// single-fragment fast path; subsequent calls (and the gated fallback)
+// see nil. For multi-fragment plans the caller leaves the AM in place and
+// marks the plan gated.
+func (c *cxPlan) takeConduitAM() *gasnet.RemoteAM {
+	if c.gated {
+		return nil
+	}
+	am := c.remoteAM
+	c.remoteAM = nil
+	return am
+}
+
+// deliver routes one bucket of completions, each to its persona's LPC
+// queue. Delivery is always by LPC: the firing goroutine is whichever one
+// harvested the conduit completion, and futures/promises must only be
+// touched from their owning persona (the fulfillOwned fast path in
+// future.go relies on exactly this routing).
+func deliver(ds []cxDelivery) {
+	for _, d := range ds {
+		d.pers.LPC(d.fn)
+	}
+}
+
+// sourceDone fires source completions; called once per plan, after every
+// fragment has been handed to the conduit (which captures source buffers
+// eagerly).
+func (c *cxPlan) sourceDone() { deliver(c.src) }
+
+// opDone notes one fragment's completion; the last one fires operation
+// and remote completions. Conduit acks imply remote visibility in this
+// conduit, so initiator-side remote deliveries ride the same edge, and a
+// gated remote RPC is shipped now — one one-way AM, no round trip, sent
+// only when the data is visible everywhere.
+func (c *cxPlan) opDone() {
+	if c.nops.Add(-1) != 0 {
+		return
+	}
+	if c.remoteAM != nil {
+		am := c.remoteAM
+		c.remoteAM = nil
+		c.rk.ep.AM(gasnetRank(c.remotePeer), am.Handler, am.Payload, am.Aux)
+	}
+	deliver(c.rem)
+	deliver(c.op)
+}
+
+// --- remote-cx wire form -------------------------------------------------
+
+// The remote-cx AM payload is self-describing:
+//
+//	| magic 0xC7 | version 1 | initiator u32 LE | arglen uvarint | args |
+//
+// The initiator rank rides in the payload (not only in the conduit
+// envelope) so the notification body can learn who signaled it even when
+// relayed, and the explicit arglen pins the args span. decodeRemoteCx
+// rejects anything malformed — FuzzRemoteCxWire hammers it with hostile
+// bytes and checks the canonical round-trip property.
+
+const (
+	remoteCxMagic   = 0xC7
+	remoteCxVersion = 1
+)
+
+// encodeRemoteCx builds the remote-cx AM payload.
+func encodeRemoteCx(initiator Intrank, args []byte) []byte {
+	e := serial.NewEncoder(make([]byte, 0, 16+len(args)))
+	e.PutU8(remoteCxMagic)
+	e.PutU8(remoteCxVersion)
+	e.PutU32(uint32(initiator))
+	e.PutUvarint(uint64(len(args)))
+	e.PutRaw(args)
+	return e.Bytes()
+}
+
+// decodeRemoteCx parses and validates a remote-cx AM payload.
+func decodeRemoteCx(b []byte) (initiator Intrank, args []byte, err error) {
+	d := serial.NewDecoder(b)
+	magic := d.U8()
+	version := d.U8()
+	init := d.U32()
+	alen := d.Uvarint()
+	if d.Err() != nil {
+		return 0, nil, d.Err()
+	}
+	if magic != remoteCxMagic {
+		return 0, nil, fmt.Errorf("remote-cx AM: bad magic %#x", magic)
+	}
+	if version != remoteCxVersion {
+		return 0, nil, fmt.Errorf("remote-cx AM: unsupported version %d", version)
+	}
+	if init > 1<<31-1 {
+		return 0, nil, fmt.Errorf("remote-cx AM: initiator rank %d out of range", init)
+	}
+	if alen != uint64(d.Remaining()) {
+		return 0, nil, fmt.Errorf("remote-cx AM: argument length %d does not match remaining %d bytes", alen, d.Remaining())
+	}
+	args = d.Raw(int(alen))
+	if err := d.Finish(); err != nil {
+		return 0, nil, err
+	}
+	return Intrank(init), args, nil
+}
+
+// handleRemoteCx is the conduit AM handler for remote-completion RPCs. It
+// runs at the destination of a put/copy; the conduit enqueues it only
+// after the transferred bytes are in place, so the body observes them.
+// Like every incoming RPC, the body executes on the rank's durable
+// execution persona via execBody.
+func (w *World) handleRemoteCx(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
+	trk := w.ranks[ep.Rank()]
+	initiator, args, err := decodeRemoteCx(payload)
+	if err != nil {
+		panic(fmt.Sprintf("upcxx: rank %d malformed remote-cx AM from %d: %v", trk.me, src, err))
+	}
+	inv := aux.(rpcFFInvoker)
+	trk.execBody(func() { inv(trk, initiator, args) })
+}

@@ -1,0 +1,481 @@
+package upcxx
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"upcxx/internal/gasnet"
+)
+
+// Completion-object conformance matrix:
+//
+//	{operation, source, remote} × {future, promise, LPC, RPC}
+//	  × {host, device destination} × {self, cross-rank}
+//
+// Each valid cell issues one put with exactly that descriptor (plus an
+// op-future where the cell itself provides no way to block), proves the
+// event fired, and proves the put's bytes are correct at the destination.
+// The matrix runs under -race in CI (make race) — the deliveries cross
+// the persona LPC queues, which is precisely the machinery the race gate
+// exists to watch. The cells the type system cannot rule out but the
+// model forbids (RPC delivery of op/source events; source/remote events
+// on gets) are pinned to panic in TestCxInvalidCombos.
+
+// cxDeliveries enumerates the delivery methods under test.
+var cxDeliveries = []string{"future", "promise", "lpc", "rpc"}
+
+// cxEvents enumerates the events under test.
+var cxEvents = []CxEvent{OpDone, SourceDone, RemoteDone}
+
+// cxSigArgs is the argument bundle of the matrix's remote-RPC cells.
+type cxSigArgs struct {
+	Dst  GPtr[uint64] // the put's destination
+	Flag GPtr[uint64] // host flag at the target: 1 = data correct, 2 = wrong
+	N    int64
+}
+
+// cxCheckLanded verifies at the target that the put's payload (the
+// pattern i+1) is fully visible, using a direct segment read so
+// device-kind destinations are checkable from inside a restricted
+// context. Test-only: applications use RunKernel or kind-aware copies.
+func cxCheckLanded(trk *Rank, a cxSigArgs) bool {
+	seg := trk.ep.SegByID(a.Dst.segID("cxCheckLanded"))
+	got := seg.Bytes(a.Dst.Off, int(a.N)*8)
+	want := make([]byte, 0, a.N*8)
+	for i := int64(0); i < a.N; i++ {
+		want = append(want, byte(i+1), 0, 0, 0, 0, 0, 0, 0)
+	}
+	return bytes.Equal(got, want)
+}
+
+func cxSignalBody(trk *Rank, a cxSigArgs) {
+	if cxCheckLanded(trk, a) {
+		Local(trk, a.Flag, 1)[0] = 1
+	} else {
+		Local(trk, a.Flag, 1)[0] = 2
+	}
+}
+
+// readFlag reads a flag word through an RPC at its owner: the read
+// executes on the same execution persona as the remote-cx body that
+// writes it, so polling never races the writer (one-sided gets of a word
+// another rank's CPU is writing would, exactly as on real RDMA hardware).
+func readFlag(rk *Rank, flag GPtr[uint64]) uint64 {
+	return RPC(rk, flag.Owner, func(trk *Rank, f GPtr[uint64]) uint64 {
+		return Local(trk, f, 1)[0]
+	}, flag).Wait()
+}
+
+// resetFlag zeroes a flag word at its owner through the same RPC path.
+func resetFlag(rk *Rank, flag GPtr[uint64]) {
+	RPC(rk, flag.Owner, func(trk *Rank, f GPtr[uint64]) Unit {
+		Local(trk, f, 1)[0] = 0
+		return Unit{}
+	}, flag).Wait()
+}
+
+// cxSlots holds one target rank's published buffers for the matrix.
+type cxSlots struct {
+	Host GPtr[uint64]
+	Dev  GPtr[uint64]
+	Flag GPtr[uint64]
+}
+
+const cxN = 16 // put payload elements
+
+func TestCxMatrix(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<16)
+		slots := cxSlots{
+			Host: MustNewArray[uint64](rk, cxN),
+			Dev:  MustNewDeviceArray[uint64](da, cxN),
+			Flag: MustNewArray[uint64](rk, 1),
+		}
+		obj := NewDistObject(rk, slots)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			src := make([]uint64, cxN)
+			for i := range src {
+				src[i] = uint64(i + 1)
+			}
+			for _, cross := range []bool{false, true} {
+				target := Intrank(0)
+				if cross {
+					target = 1
+				}
+				tgt := FetchDist[cxSlots](rk, obj.ID(), target).Wait()
+				for _, dev := range []bool{false, true} {
+					dst := tgt.Host
+					if dev {
+						dst = tgt.Dev
+					}
+					for _, ev := range cxEvents {
+						for _, how := range cxDeliveries {
+							name := fmt.Sprintf("%v/%s/dev=%v/cross=%v", ev, how, dev, cross)
+							if how == "rpc" && ev != RemoteDone {
+								continue // forbidden; pinned in TestCxInvalidCombos
+							}
+							runCxCell(t, rk, name, src, dst, tgt.Flag, ev, how)
+						}
+					}
+				}
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// runCxCell executes one matrix cell: a put of src to dst carrying the
+// descriptor (ev, how), blocking until both the put and the event have
+// demonstrably completed, then verifying the destination bytes.
+func runCxCell(t *testing.T, rk *Rank, name string, src []uint64, dst, flag GPtr[uint64], ev CxEvent, how string) {
+	// Zero the destination and the flag so each cell stands alone.
+	zero := make([]uint64, cxN)
+	RPut(rk, zero, dst).Wait()
+	resetFlag(rk, flag)
+
+	var cx Cx
+	fired := false
+	var prom *Promise[Unit]
+	switch how {
+	case "future", "rpc":
+	case "promise":
+		prom = NewPromise[Unit](rk)
+	case "lpc":
+	}
+	switch {
+	case how == "rpc":
+		cx = RemoteCxAsRPC(cxSignalBody, cxSigArgs{Dst: dst, Flag: flag, N: cxN})
+	case how == "future" && ev == OpDone:
+		cx = OpCxAsFuture()
+	case how == "future" && ev == SourceDone:
+		cx = SourceCxAsFuture()
+	case how == "future" && ev == RemoteDone:
+		cx = RemoteCxAsFuture()
+	case how == "promise" && ev == OpDone:
+		cx = OpCxAsPromise(prom)
+	case how == "promise" && ev == SourceDone:
+		cx = SourceCxAsPromise(prom)
+	case how == "promise" && ev == RemoteDone:
+		cx = RemoteCxAsPromise(prom)
+	case how == "lpc" && ev == OpDone:
+		cx = OpCxAsLPC(nil, func() { fired = true })
+	case how == "lpc" && ev == SourceDone:
+		cx = SourceCxAsLPC(nil, func() { fired = true })
+	case how == "lpc" && ev == RemoteDone:
+		cx = RemoteCxAsLPC(nil, func() { fired = true })
+	}
+
+	// Every cell also requests op-as-future so it can bound the put —
+	// except the cell that *is* op-as-future.
+	cxs := []Cx{cx}
+	if !(ev == OpDone && how == "future") {
+		cxs = append(cxs, OpCxAsFuture())
+	}
+	fs := RPutWith(rk, src, dst, cxs...)
+
+	// Block on the cell's own delivery.
+	switch how {
+	case "future":
+		var f Future[Unit]
+		switch ev {
+		case OpDone:
+			f = fs.Op
+		case SourceDone:
+			f = fs.Source
+		case RemoteDone:
+			f = fs.Remote
+		}
+		if !f.Valid() {
+			t.Fatalf("%s: requested future is invalid", name)
+		}
+		f.Wait()
+	case "promise":
+		prom.Finalize().Wait()
+	case "lpc":
+		waitUntil(t, rk, name+" lpc", func() bool { return fired })
+	case "rpc":
+		waitUntil(t, rk, name+" rpc flag", func() bool {
+			return readFlag(rk, flag) != 0
+		})
+		if got := readFlag(rk, flag); got != 1 {
+			t.Errorf("%s: remote RPC observed wrong/partial data (flag=%d)", name, got)
+		}
+	}
+	// Operation completion always bounds the cell.
+	fs.Op.Wait()
+
+	// The put's bytes must be at the destination (read back through the
+	// kind-aware path).
+	got := make([]uint64, cxN)
+	RGet(rk, dst, got).Wait()
+	for i := range got {
+		if got[i] != uint64(i+1) {
+			t.Fatalf("%s: dst[%d] = %d, want %d", name, i, got[i], i+1)
+		}
+	}
+}
+
+// waitUntil spins user progress until cond holds, yielding on idle
+// passes so peer-rank goroutines run on few-core hosts.
+func waitUntil(t *testing.T, rk *Rank, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if rk.Progress() == 0 {
+			runtime.Gosched()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: never became true", what)
+		}
+	}
+}
+
+// TestCxSourceBufferReuse pins the source-completion contract: once
+// source_cx fires, the initiator may scribble on the source buffer
+// without affecting the data in flight.
+func TestCxSourceBufferReuse(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, 4)
+		obj := NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			rdst := FetchDist[GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			src := []uint64{10, 20, 30, 40}
+			fs := RPutWith(rk, src, rdst, OpCxAsFuture(), SourceCxAsFuture())
+			fs.Source.Wait()
+			for i := range src {
+				src[i] = 999 // reuse after source completion
+			}
+			fs.Op.Wait()
+			got := make([]uint64, 4)
+			RGet(rk, rdst, got).Wait()
+			for i, v := range []uint64{10, 20, 30, 40} {
+				if got[i] != v {
+					t.Errorf("dst[%d] = %d, want %d (source buffer not captured)", i, got[i], v)
+				}
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// TestCxVectorAggregation: a multi-fragment put with one completion set —
+// operation and remote events must fire exactly once, after *all*
+// fragments have landed, and the gated remote RPC must observe every
+// fragment's bytes.
+func TestCxVectorAggregation(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, cxN)
+		flag := MustNewArray[uint64](rk, 1)
+		obj := NewDistObject(rk, [2]GPtr[uint64]{dst, flag})
+		rk.Barrier()
+		if rk.Me() == 0 {
+			tg := FetchDist[[2]GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			rdst, rflag := tg[0], tg[1]
+			src := make([]uint64, cxN)
+			for i := range src {
+				src[i] = uint64(i + 1)
+			}
+			// Four fragments of four elements each, one shared cx set.
+			var frags []PutPair[uint64]
+			for f := 0; f < 4; f++ {
+				frags = append(frags, PutPair[uint64]{Src: src[f*4 : (f+1)*4], Dst: rdst.Add(f * 4)})
+			}
+			lpcs := 0
+			p := NewPromise[Unit](rk)
+			fs := RPutVWith(rk, frags,
+				OpCxAsFuture(),
+				OpCxAsPromise(p),
+				OpCxAsLPC(nil, func() { lpcs++ }),
+				RemoteCxAsRPC(cxSignalBody, cxSigArgs{Dst: rdst, Flag: rflag, N: cxN}))
+			fs.Op.Wait()
+			p.Finalize().Wait()
+			waitUntil(t, rk, "aggregated lpc", func() bool { return lpcs > 0 })
+			if lpcs != 1 {
+				t.Errorf("op LPC fired %d times for a 4-fragment put, want once", lpcs)
+			}
+			waitUntil(t, rk, "gated remote rpc", func() bool {
+				return readFlag(rk, rflag) != 0
+			})
+			if got := readFlag(rk, rflag); got != 1 {
+				t.Errorf("gated remote RPC saw partial data (flag=%d)", got)
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// TestCxEmptyVector: a zero-fragment vector put with completions must
+// complete immediately rather than hang.
+func TestCxEmptyVector(t *testing.T) {
+	Run(1, func(rk *Rank) {
+		p := NewPromise[Unit](rk)
+		fs := RPutVWith(rk, []PutPair[uint64](nil), OpCxAsFuture(), OpCxAsPromise(p))
+		fs.Op.Wait()
+		p.Finalize().Wait()
+	})
+}
+
+// TestCxInvalidCombos pins the cells of the matrix the model forbids.
+func TestCxInvalidCombos(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, 4)
+		obj := NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			rdst := FetchDist[GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			buf := make([]uint64, 4)
+			expectPanic(t, "source_cx on get", func() {
+				RGetWith(rk, rdst, buf, SourceCxAsFuture())
+			})
+			// A copy's source is a global pointer the conduit reads only
+			// when the hop chain reaches it (lazily, in realtime mode) —
+			// a source event at injection would license overwriting bytes
+			// still to be read.
+			expectPanic(t, "source_cx on copy", func() {
+				CopyWith(rk, dst, rdst, 4, SourceCxAsFuture())
+			})
+			expectPanic(t, "remote_cx on get", func() {
+				RGetWith(rk, rdst, buf, RemoteCxAsFuture())
+			})
+			expectPanic(t, "remote_cx as_rpc on get", func() {
+				RGetWith(rk, rdst, buf, RemoteCxAsRPC(func(*Rank, int) {}, 0))
+			})
+			expectPanic(t, "duplicate op as_future", func() {
+				RPutWith(rk, buf, rdst, OpCxAsFuture(), OpCxAsFuture())
+			})
+			expectPanic(t, "nil promise", func() {
+				RPutWith(rk, buf, rdst, OpCxAsPromise(nil))
+			})
+			expectPanic(t, "mixed-destination remote_cx", func() {
+				frags := []PutPair[uint64]{
+					{Src: buf[:1], Dst: rdst},
+					{Src: buf[1:2], Dst: dst}, // different owner
+				}
+				RPutVWith(rk, frags, RemoteCxAsRPC(func(*Rank, int) {}, 0))
+			})
+			rk.Quiesce()
+		}
+		rk.Barrier()
+	})
+}
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestCxRemoteAfterDeviceDMA is the acceptance pin for the conduit's
+// remote-completion hop placement: on a cross-rank put into *device*
+// memory under a real-time model whose DMA hop is far slower than the
+// wire, the remote RPC must still observe the complete payload — i.e. the
+// notification is enqueued after the h2d DMA lands, not when the wire hop
+// reaches the target's host side. An implementation that fired at wire
+// landing would run the body ~milliseconds before the copy engine writes
+// the bytes and reliably fail the content check.
+func TestCxRemoteAfterDeviceDMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time model run")
+	}
+	cfg := Config{
+		Ranks:        2,
+		RanksPerNode: 1,
+		Model:        &gasnet.LogGP{L: 20 * time.Microsecond, Gp: time.Microsecond},
+		DMA:          &gasnet.PCIeDMA{L: 4 * time.Millisecond, Gp: 100 * time.Microsecond},
+	}
+	RunConfig(cfg, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<16)
+		slots := cxSlots{
+			Dev:  MustNewDeviceArray[uint64](da, cxN),
+			Flag: MustNewArray[uint64](rk, 1),
+		}
+		obj := NewDistObject(rk, slots)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			tgt := FetchDist[cxSlots](rk, obj.ID(), 1).Wait()
+			src := make([]uint64, cxN)
+			for i := range src {
+				src[i] = uint64(i + 1)
+			}
+			RPutWith(rk, src, tgt.Dev,
+				OpCxAsFuture(),
+				RemoteCxAsRPC(cxSignalBody, cxSigArgs{Dst: tgt.Dev, Flag: tgt.Flag, N: cxN}))
+			waitUntil(t, rk, "device remote rpc", func() bool {
+				return readFlag(rk, tgt.Flag) != 0
+			})
+			if got := readFlag(rk, tgt.Flag); got != 1 {
+				t.Errorf("remote RPC ran before the destination DMA completed (flag=%d)", got)
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// TestCxCopyRemoteRPC: remote completion on upcxx::copy, including a
+// same-rank device destination and a third-party initiator.
+func TestCxCopyRemoteRPC(t *testing.T) {
+	Run(3, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<16)
+		slots := cxSlots{
+			Host: MustNewArray[uint64](rk, cxN),
+			Dev:  MustNewDeviceArray[uint64](da, cxN),
+			Flag: MustNewArray[uint64](rk, 1),
+		}
+		obj := NewDistObject(rk, slots)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			src := make([]uint64, cxN)
+			for i := range src {
+				src[i] = uint64(i + 1)
+			}
+			// Stage the pattern into rank 1's host slot.
+			s1 := FetchDist[cxSlots](rk, obj.ID(), 1).Wait()
+			s2 := FetchDist[cxSlots](rk, obj.ID(), 2).Wait()
+			RPut(rk, src, s1.Host).Wait()
+			// Third-party copy rank1.host → rank2.dev with a remote RPC at
+			// rank 2.
+			CopyWith(rk, s1.Host, s2.Dev, cxN,
+				OpCxAsFuture(),
+				RemoteCxAsRPC(cxSignalBody, cxSigArgs{Dst: s2.Dev, Flag: s2.Flag, N: cxN}))
+			waitUntil(t, rk, "third-party copy remote rpc", func() bool {
+				return readFlag(rk, s2.Flag) != 0
+			})
+			if got := readFlag(rk, s2.Flag); got != 1 {
+				t.Errorf("copy remote RPC saw wrong data (flag=%d)", got)
+			}
+		}
+		rk.Barrier()
+	})
+}
+
+// TestCxLPCToExplicitPersona: completions must land on the persona the
+// descriptor names, not the initiating goroutine's.
+func TestCxLPCToExplicitPersona(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, 1)
+		obj := NewDistObject(rk, dst)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			rdst := FetchDist[GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			// The master persona is current on this goroutine; deliver the
+			// op LPC to it explicitly and confirm it arrives through its
+			// queue.
+			hit := false
+			fs := RPutWith(rk, []uint64{7}, rdst,
+				OpCxAsFuture(),
+				OpCxAsLPC(rk.MasterPersona(), func() { hit = true }))
+			fs.Op.Wait()
+			waitUntil(t, rk, "explicit persona lpc", func() bool { return hit })
+		}
+		rk.Barrier()
+	})
+}

@@ -15,9 +15,10 @@ import (
 // (Local panics); computation on it goes through RunKernel, the
 // simulation's stand-in for launching a device kernel.
 type DeviceAllocator struct {
-	rk   *Rank
-	id   uint16 // conduit segment id of this device segment
-	size int
+	rk     *Rank
+	id     uint16 // conduit segment id of this device segment
+	size   int
+	closed bool
 }
 
 // NewDeviceAllocator opens a device segment of the given size in bytes on
@@ -40,16 +41,57 @@ func (da *DeviceAllocator) Size() int { return da.size }
 
 // FreeBytes returns the unallocated bytes remaining in the device segment.
 func (da *DeviceAllocator) FreeBytes() int64 {
+	da.requireOpen("FreeBytes")
 	return da.rk.ep.SegByID(gasnet.SegID(da.id)).FreeBytes()
 }
 
-func (da *DeviceAllocator) String() string {
-	return fmt.Sprintf("device_allocator(rank %d, dev %d, %d B)", da.rk.me, da.id, da.size)
+// requireOpen faults allocator operations after Close with an
+// allocator-level message (pointer-level use-after-close faults come from
+// the conduit's segment resolution).
+func (da *DeviceAllocator) requireOpen(op string) {
+	if da.closed {
+		panic(fmt.Sprintf("upcxx: %s on %v: allocator is closed", op, da))
+	}
 }
+
+func (da *DeviceAllocator) String() string {
+	state := ""
+	if da.closed {
+		state = ", closed"
+	}
+	return fmt.Sprintf("device_allocator(rank %d, dev %d, %d B%s)", da.rk.me, da.id, da.size, state)
+}
+
+// Closed reports whether the allocator's segment has been torn down.
+func (da *DeviceAllocator) Closed() bool { return da.closed }
+
+// Close tears the device segment down — the analogue of destroying a
+// upcxx::device_allocator, which unregisters the GPU segment from the
+// network. The segment id is retired, never reused, so every outstanding
+// GPtr into the segment is poisoned: any later RMA, copy, kernel launch,
+// or Delete through one faults with a clear use-after-close error instead
+// of silently addressing other memory. The caller must have quiesced
+// transfers touching the segment first (close with puts in flight is a
+// use-after-free, and faults as one). Close is local; like allocator
+// construction on a single rank, it requires no collective.
+func (da *DeviceAllocator) Close() {
+	if da.closed {
+		panic(fmt.Sprintf("upcxx: %v closed twice", da))
+	}
+	da.closed = true
+	da.rk.ep.CloseDeviceSegment(gasnet.SegID(da.id))
+}
+
+// CloseDeviceAllocator is Close as a package-level function, matching the
+// NewDeviceAllocator constructor.
+func CloseDeviceAllocator(da *DeviceAllocator) { da.Close() }
 
 // NewDeviceArray allocates n contiguous Ts in the device segment,
 // zero-initialized, returning a device-kind global pointer.
 func NewDeviceArray[T serial.Scalar](da *DeviceAllocator, n int) (GPtr[T], error) {
+	if da.closed {
+		return NilGPtr[T](), fmt.Errorf("upcxx: NewDeviceArray on %v: allocator is closed", da)
+	}
 	seg := da.rk.ep.SegByID(gasnet.SegID(da.id))
 	sz := n * serial.SizeOf[T]()
 	off, err := seg.Alloc(sz)
@@ -85,6 +127,7 @@ func RunKernel[T serial.Scalar](da *DeviceAllocator, p GPtr[T], n int, kernel fu
 	if p.Owner != da.rk.me || p.Kind != KindDevice || p.Dev != da.id {
 		panic(fmt.Sprintf("upcxx: RunKernel on %v, which is not in %v", p, da))
 	}
+	da.requireOpen("RunKernel")
 	seg := da.rk.ep.SegByID(gasnet.SegID(da.id))
 	kernel(serial.FromBytes[T](seg.Bytes(p.Off, n*serial.SizeOf[T]())))
 }

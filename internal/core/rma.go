@@ -3,52 +3,183 @@ package upcxx
 import (
 	"fmt"
 
+	"upcxx/internal/gasnet"
 	"upcxx/internal/serial"
 )
 
 // One-sided Remote Memory Access. All operations are non-blocking and
-// asynchronous by default (paper principle #1); each returns a Future or
-// registers with a caller-supplied Promise (operation_cx::as_promise).
-// Source buffers are captured before the call returns; destination buffers
-// of gets must not be touched until the operation completes.
+// asynchronous by default (paper principle #1); each returns a Future, and
+// the …With variants accept arbitrary completion-descriptor sets (see
+// completion.go) — operation, source, and remote events delivered as
+// futures, promises, LPCs, or target-side RPCs. Source buffers are
+// captured before the operation is in flight; destination buffers of gets
+// must not be touched until the operation completes.
+//
+// Every entry point — RPut/RGet/CopyGG, the vector/indexed/strided
+// variants, and the remote atomics in atomic.go — lowers its arguments to
+// one or more rmaOp descriptors and hands them to Rank.inject, the single
+// injection path. There is exactly one place where a conduit operation is
+// born and exactly one shape of completion routing.
+
+// opKind names the conduit operation class of an rmaOp.
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opGet
+	opCopy
+	opAMO
+)
+
+// String returns the kind mnemonic (used in completion-validation faults).
+func (k opKind) String() string {
+	switch k {
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opCopy:
+		return "copy"
+	case opAMO:
+		return "atomic"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// rmaOp is one conduit operation in lowered, byte-addressed form. Puts
+// fill the dst side and buf (source bytes); gets fill the src side and
+// buf (destination bytes); copies fill both sides and nbytes; atomics
+// fill the dst side plus the amo fields.
+type rmaOp struct {
+	kind opKind
+
+	srcPeer Intrank
+	srcSeg  gasnet.SegID
+	srcOff  uint64
+
+	dstPeer Intrank
+	dstSeg  gasnet.SegID
+	dstOff  uint64
+
+	buf    []byte
+	nbytes int
+
+	amo        gasnet.AMOOp
+	amoA, amoB uint64
+	onOld      func(uint64) // runs with the previous value before op-cx fires
+}
+
+// inject hands a batch of lowered operations to the conduit with the
+// completion plan attached — the inject(op, cxSet) path every RMA, copy,
+// and atomic entry point routes through. The batch is injected as one
+// deferred unit (defQ → conduit), after which source completion fires;
+// operation and remote completions aggregate across the batch (see
+// cxPlan). An empty batch completes immediately.
+func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
+	cx.nops.Store(int64(len(ops)) + 1)
+	rk.deferOp(func() {
+		for i := range ops {
+			op := &ops[i]
+			rk.actCount.Add(1)
+			onDone := func() {
+				// LPC deliveries precede the actCount decrement: a
+				// quiescing owner must never observe actQ empty while a
+				// completion is unqueued.
+				cx.opDone()
+				rk.actCount.Add(-1)
+			}
+			switch op.kind {
+			case opPut:
+				rk.ep.PutSeg(gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.buf, onDone, cx.takeConduitAM())
+			case opGet:
+				rk.ep.GetSeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff, op.buf, onDone)
+			case opCopy:
+				rk.ep.CopySeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff,
+					gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.nbytes, onDone, cx.takeConduitAM())
+			case opAMO:
+				onOld := op.onOld
+				rk.ep.AMO(gasnetRank(op.dstPeer), op.dstOff, op.amo, op.amoA, op.amoB, func(old uint64) {
+					if onOld != nil {
+						onOld(old)
+					}
+					onDone()
+				})
+			default:
+				panic(fmt.Sprintf("upcxx: inject of unknown op kind %d", op.kind))
+			}
+		}
+		// Source completion: only puts carry source descriptors
+		// (cxPlan.add), and PutSeg captures its source bytes before
+		// returning on every path — a copy's source is read lazily when
+		// the hop chain reaches it, which is why copies reject them.
+		cx.sourceDone()
+		// Discharge the batch sentinel: with zero operations this is the
+		// edge that fires op/remote completion.
+		cx.opDone()
+	})
+}
+
+// injectCx builds the plan for cxs, injects ops under it, and returns the
+// requested futures.
+func (rk *Rank) injectCx(ops []rmaOp, kind opKind, remotePeer Intrank, cxs []Cx) CxFutures {
+	cx := newCxPlan(rk, kind, remotePeer, cxs)
+	// Multi-fragment remote RPCs are gated initiator-side: the conduit AM
+	// would fire when *one* fragment lands, not when all have.
+	if len(ops) != 1 && cx.remoteAM != nil {
+		cx.gated = true
+	}
+	rk.inject(ops, cx)
+	return cx.futs
+}
+
+// lowerPut builds the rmaOp of one put fragment.
+func lowerPut[T serial.Scalar](src []T, dst GPtr[T], opName string) rmaOp {
+	if dst.IsNil() {
+		panic("upcxx: " + opName + " to nil GPtr")
+	}
+	return rmaOp{
+		kind:    opPut,
+		dstPeer: dst.Owner,
+		dstSeg:  dst.segID(opName),
+		dstOff:  dst.Off,
+		buf:     serial.AsBytes(src),
+	}
+}
+
+// lowerGet builds the rmaOp of one get fragment.
+func lowerGet[T serial.Scalar](src GPtr[T], dst []T, opName string) rmaOp {
+	if src.IsNil() {
+		panic("upcxx: " + opName + " from nil GPtr")
+	}
+	return rmaOp{
+		kind:    opGet,
+		srcPeer: src.Owner,
+		srcSeg:  src.segID(opName),
+		srcOff:  src.Off,
+		buf:     serial.AsBytes(dst),
+	}
+}
+
+// RPutWith copies src into the remote memory at dst with an explicit
+// completion set; with no descriptors it defaults to operation completion
+// as a future. dst may be of any memory kind; device destinations route
+// through the target's DMA engine, and a RemoteCxAsRPC notification fires
+// at dst.Owner only after that DMA hop lands.
+func RPutWith[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], cxs ...Cx) CxFutures {
+	return rk.injectCx([]rmaOp{lowerPut(src, dst, "RPut")}, opPut, dst.Owner, cxs)
+}
 
 // RPut copies src into the remote memory at dst, returning a future that
 // readies at operation completion (data globally visible at the target).
-// dst may be of any memory kind; device destinations route through the
-// target's DMA engine.
 func RPut[T serial.Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	rputInto(rk, src, dst, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
-	return p.Future()
+	return RPutWith(rk, src, dst).Op
 }
 
-// RPutPromise is RPut with promise-based completion: the operation
-// registers one anonymous dependency on p and fulfills it at completion —
-// the paper's flood-bandwidth idiom.
+// RPutPromise is RPut with promise-based completion
+// (operation_cx::as_promise) — the paper's flood-bandwidth idiom.
 func RPutPromise[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], p *Promise[Unit]) {
-	p.RequireAnonymous(1)
-	rputInto(rk, src, dst, p.c.pers, func() { p.fulfillAnon(1, true) })
-}
-
-// rputInto injects the put; pers is the persona owning the completion
-// (the promise's, already resolved — re-deriving it per op would pay the
-// goroutine-id lookup again, and delivery to the promise's own persona is
-// what makes the owned fulfill path sound).
-func rputInto[T serial.Scalar](rk *Rank, src []T, dst GPtr[T], pers *Persona, onDone func()) {
-	if dst.IsNil() {
-		panic("upcxx: RPut to nil GPtr")
-	}
-	seg := dst.segID("RPut")
-	bytes := serial.AsBytes(src)
-	rk.deferOp(func() {
-		rk.actCount.Add(1)
-		rk.ep.PutSeg(gasnetRank(dst.Owner), seg, dst.Off, bytes, func() {
-			// LPC before the actCount decrement: a quiescing owner must
-			// never observe actQ empty while the completion is unqueued.
-			pers.LPC(onDone)
-			rk.actCount.Add(-1)
-		})
-	})
+	RPutWith(rk, src, dst, OpCxAsPromise(p))
 }
 
 // PutValue writes a single value to remote memory.
@@ -56,35 +187,24 @@ func PutValue[T serial.Scalar](rk *Rank, v T, dst GPtr[T]) Future[Unit] {
 	return RPut(rk, []T{v}, dst)
 }
 
+// RGetWith copies from the remote memory at src into the local buffer dst
+// with an explicit completion set. Gets expose only operation completion
+// (there is no reusable source buffer and no destination-side event).
+func RGetWith[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, cxs ...Cx) CxFutures {
+	return rk.injectCx([]rmaOp{lowerGet(src, dst, "RGet")}, opGet, -1, cxs)
+}
+
 // RGet copies from the remote memory at src into the local buffer dst,
 // returning a future that readies once dst holds the data. dst may be
 // ordinary private memory. Device-kind sources drain through the owning
 // rank's DMA engine before crossing the wire.
 func RGet[T serial.Scalar](rk *Rank, src GPtr[T], dst []T) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	rgetInto(rk, src, dst, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
-	return p.Future()
+	return RGetWith(rk, src, dst).Op
 }
 
 // RGetPromise is RGet with promise-based completion.
 func RGetPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, p *Promise[Unit]) {
-	p.RequireAnonymous(1)
-	rgetInto(rk, src, dst, p.c.pers, func() { p.fulfillAnon(1, true) })
-}
-
-func rgetInto[T serial.Scalar](rk *Rank, src GPtr[T], dst []T, pers *Persona, onDone func()) {
-	if src.IsNil() {
-		panic("upcxx: RGet from nil GPtr")
-	}
-	seg := src.segID("RGet")
-	bytes := serial.AsBytes(dst)
-	rk.deferOp(func() {
-		rk.actCount.Add(1)
-		rk.ep.GetSeg(gasnetRank(src.Owner), seg, src.Off, bytes, func() {
-			pers.LPC(onDone)
-			rk.actCount.Add(-1)
-		})
-	})
+	RGetWith(rk, src, dst, OpCxAsPromise(p))
 }
 
 // GetValue fetches a single value from remote memory.
@@ -93,42 +213,44 @@ func GetValue[T serial.Scalar](rk *Rank, src GPtr[T]) Future[T] {
 	return Then(RGet(rk, src, buf), func(Unit) T { return buf[0] })
 }
 
-// CopyGG copies n elements from one global location to another —
-// upcxx::copy over any pair of memory kinds. The conduit executes the
-// whole transfer as one operation: source-side DMA when the source is
-// device memory, a wire hop when the ranks differ, destination-side DMA
-// when the destination is device memory (same-rank device→device copies
-// collapse to a single on-node DMA). The initiator may be a third party
-// to both sides; completion lands on its current persona.
-func CopyGG[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	copyInto(rk, src, dst, n, p.c.pers, func() { p.fulfillOwnedResult(Unit{}) })
-	return p.Future()
-}
-
-// CopyGGPromise is CopyGG with promise-based completion.
-func CopyGGPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int, p *Promise[Unit]) {
-	p.RequireAnonymous(1)
-	copyInto(rk, src, dst, n, p.c.pers, func() { p.fulfillAnon(1, true) })
-}
-
-func copyInto[T serial.Scalar](rk *Rank, src, dst GPtr[T], n int, pers *Persona, onDone func()) {
+// CopyWith copies n elements from one global location to another with an
+// explicit completion set — upcxx::copy over any pair of memory kinds.
+// The conduit executes the whole transfer as one operation: source-side
+// DMA when the source is device memory, a wire hop when the ranks differ,
+// destination-side DMA when the destination is device memory (same-rank
+// device→device copies collapse to a single on-node DMA). The initiator
+// may be a third party to both sides; initiator-side completions land on
+// its chosen personas, and a RemoteCxAsRPC notification executes at
+// dst.Owner once the destination bytes are in place.
+func CopyWith[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int, cxs ...Cx) CxFutures {
 	if src.IsNil() {
 		panic("upcxx: CopyGG from nil GPtr")
 	}
 	if dst.IsNil() {
 		panic("upcxx: CopyGG to nil GPtr")
 	}
-	ss := src.segID("CopyGG")
-	ds := dst.segID("CopyGG")
-	nb := n * serial.SizeOf[T]()
-	rk.deferOp(func() {
-		rk.actCount.Add(1)
-		rk.ep.CopySeg(gasnetRank(src.Owner), ss, src.Off, gasnetRank(dst.Owner), ds, dst.Off, nb, func() {
-			pers.LPC(onDone)
-			rk.actCount.Add(-1)
-		})
-	})
+	op := rmaOp{
+		kind:    opCopy,
+		srcPeer: src.Owner,
+		srcSeg:  src.segID("CopyGG"),
+		srcOff:  src.Off,
+		dstPeer: dst.Owner,
+		dstSeg:  dst.segID("CopyGG"),
+		dstOff:  dst.Off,
+		nbytes:  n * serial.SizeOf[T](),
+	}
+	return rk.injectCx([]rmaOp{op}, opCopy, dst.Owner, cxs)
+}
+
+// CopyGG copies n elements from one global location to another, returning
+// a future that readies at operation completion.
+func CopyGG[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int) Future[Unit] {
+	return CopyWith(rk, src, dst, n).Op
+}
+
+// CopyGGPromise is CopyGG with promise-based completion.
+func CopyGGPromise[T serial.Scalar](rk *Rank, src GPtr[T], dst GPtr[T], n int, p *Promise[Unit]) {
+	CopyWith(rk, src, dst, n, OpCxAsPromise(p))
 }
 
 // PutPair names one (local source, remote destination) fragment of a
@@ -145,77 +267,130 @@ type GetPair[T serial.Scalar] struct {
 	Dst []T
 }
 
-// RPutV issues a vector put: every fragment transfers independently and
-// the returned future readies when all have completed. This is the
-// VIS (vector/indexed/strided) entry point the paper lists among UPC++'s
-// non-contiguous RMA support.
-func RPutV[T serial.Scalar](rk *Rank, frags []PutPair[T]) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	for _, f := range frags {
-		RPutPromise(rk, f.Src, f.Dst, p)
+// uniformDst returns the shared destination rank of a put batch, or -1
+// when fragments target different ranks (remote completion then has no
+// single destination to fire at).
+func uniformDst(ops []rmaOp) Intrank {
+	if len(ops) == 0 {
+		return -1
 	}
-	return p.Finalize()
+	dst := ops[0].dstPeer
+	for _, op := range ops[1:] {
+		if op.dstPeer != dst {
+			return -1
+		}
+	}
+	return dst
+}
+
+// RPutVWith issues a vector put with an explicit completion set: every
+// fragment transfers independently, and operation/remote completion fire
+// once all fragments have landed. This is the VIS (vector/indexed/strided)
+// entry point the paper lists among UPC++'s non-contiguous RMA support.
+func RPutVWith[T serial.Scalar](rk *Rank, frags []PutPair[T], cxs ...Cx) CxFutures {
+	ops := make([]rmaOp, len(frags))
+	for i, f := range frags {
+		ops[i] = lowerPut(f.Src, f.Dst, "RPutV")
+	}
+	return rk.injectCx(ops, opPut, uniformDst(ops), cxs)
+}
+
+// RPutV issues a vector put; the returned future readies when all
+// fragments have completed.
+func RPutV[T serial.Scalar](rk *Rank, frags []PutPair[T]) Future[Unit] {
+	return RPutVWith(rk, frags).Op
+}
+
+// RGetVWith issues a vector get with an explicit completion set.
+func RGetVWith[T serial.Scalar](rk *Rank, frags []GetPair[T], cxs ...Cx) CxFutures {
+	ops := make([]rmaOp, len(frags))
+	for i, f := range frags {
+		ops[i] = lowerGet(f.Src, f.Dst, "RGetV")
+	}
+	return rk.injectCx(ops, opGet, -1, cxs)
 }
 
 // RGetV issues a vector get; the future readies when every fragment has
 // landed.
 func RGetV[T serial.Scalar](rk *Rank, frags []GetPair[T]) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	for _, f := range frags {
-		RGetPromise(rk, f.Src, f.Dst, p)
-	}
-	return p.Finalize()
+	return RGetVWith(rk, frags).Op
 }
 
-// RPutIndexed scatters equally-sized blocks of src to element offsets
-// within a remote base pointer: block i (blockElems elements) lands at
-// base.Add(indices[i]). len(src) must equal len(indices)*blockElems.
-func RPutIndexed[T serial.Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int) Future[Unit] {
+// RPutIndexedWith scatters equally-sized blocks of src to element offsets
+// within a remote base pointer with an explicit completion set: block i
+// (blockElems elements) lands at base.Add(indices[i]). len(src) must
+// equal len(indices)*blockElems.
+func RPutIndexedWith[T serial.Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int, cxs ...Cx) CxFutures {
 	if len(src) != len(indices)*blockElems {
 		panic(fmt.Sprintf("upcxx: RPutIndexed size mismatch: %d src elems, %d blocks of %d",
 			len(src), len(indices), blockElems))
 	}
-	p := NewPromise[Unit](rk)
+	ops := make([]rmaOp, len(indices))
 	for i, idx := range indices {
-		RPutPromise(rk, src[i*blockElems:(i+1)*blockElems], base.Add(idx), p)
+		ops[i] = lowerPut(src[i*blockElems:(i+1)*blockElems], base.Add(idx), "RPutIndexed")
 	}
-	return p.Finalize()
+	return rk.injectCx(ops, opPut, base.Owner, cxs)
+}
+
+// RPutIndexed scatters equally-sized blocks of src to element offsets
+// within a remote base pointer.
+func RPutIndexed[T serial.Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int) Future[Unit] {
+	return RPutIndexedWith(rk, src, base, indices, blockElems).Op
+}
+
+// RGetIndexedWith gathers equally-sized blocks from element offsets within
+// a remote base pointer into dst, with an explicit completion set.
+func RGetIndexedWith[T serial.Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T, cxs ...Cx) CxFutures {
+	if len(dst) != len(indices)*blockElems {
+		panic(fmt.Sprintf("upcxx: RGetIndexed size mismatch: %d dst elems, %d blocks of %d",
+			len(dst), len(indices), blockElems))
+	}
+	ops := make([]rmaOp, len(indices))
+	for i, idx := range indices {
+		ops[i] = lowerGet(base.Add(idx), dst[i*blockElems:(i+1)*blockElems], "RGetIndexed")
+	}
+	return rk.injectCx(ops, opGet, -1, cxs)
 }
 
 // RGetIndexed gathers equally-sized blocks from element offsets within a
 // remote base pointer into dst.
 func RGetIndexed[T serial.Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T) Future[Unit] {
-	if len(dst) != len(indices)*blockElems {
-		panic(fmt.Sprintf("upcxx: RGetIndexed size mismatch: %d dst elems, %d blocks of %d",
-			len(dst), len(indices), blockElems))
-	}
-	p := NewPromise[Unit](rk)
-	for i, idx := range indices {
-		RGetPromise(rk, base.Add(idx), dst[i*blockElems:(i+1)*blockElems], p)
-	}
-	return p.Finalize()
+	return RGetIndexedWith(rk, base, indices, blockElems, dst).Op
 }
 
-// RPutStrided2D puts rows blocks of rowLen elements: block i is
-// src[i*srcStride : i*srcStride+rowLen] and lands at dst.Add(i*dstStride).
-// This expresses the regular sections multidimensional-array halo
-// exchanges need.
-func RPutStrided2D[T serial.Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int) Future[Unit] {
-	p := NewPromise[Unit](rk)
+// RPutStrided2DWith puts rows blocks of rowLen elements with an explicit
+// completion set: block i is src[i*srcStride : i*srcStride+rowLen] and
+// lands at dst.Add(i*dstStride). This expresses the regular sections
+// multidimensional-array halo exchanges need.
+func RPutStrided2DWith[T serial.Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int, cxs ...Cx) CxFutures {
+	ops := make([]rmaOp, rows)
 	for i := 0; i < rows; i++ {
 		lo := i * srcStride
-		RPutPromise(rk, src[lo:lo+rowLen], dst.Add(i*dstStride), p)
+		ops[i] = lowerPut(src[lo:lo+rowLen], dst.Add(i*dstStride), "RPutStrided2D")
 	}
-	return p.Finalize()
+	return rk.injectCx(ops, opPut, dst.Owner, cxs)
+}
+
+// RPutStrided2D puts rows blocks of rowLen elements from a strided local
+// buffer into a strided remote section.
+func RPutStrided2D[T serial.Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int) Future[Unit] {
+	return RPutStrided2DWith(rk, src, srcStride, dst, dstStride, rowLen, rows).Op
+}
+
+// RGetStrided2DWith gathers rows blocks of rowLen elements from a strided
+// remote section into a strided local buffer, with an explicit completion
+// set.
+func RGetStrided2DWith[T serial.Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int, cxs ...Cx) CxFutures {
+	ops := make([]rmaOp, rows)
+	for i := 0; i < rows; i++ {
+		lo := i * dstStride
+		ops[i] = lowerGet(src.Add(i*srcStride), dst[lo:lo+rowLen], "RGetStrided2D")
+	}
+	return rk.injectCx(ops, opGet, -1, cxs)
 }
 
 // RGetStrided2D gathers rows blocks of rowLen elements from a strided
 // remote section into a strided local buffer.
 func RGetStrided2D[T serial.Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int) Future[Unit] {
-	p := NewPromise[Unit](rk)
-	for i := 0; i < rows; i++ {
-		lo := i * dstStride
-		RGetPromise(rk, src.Add(i*srcStride), dst[lo:lo+rowLen], p)
-	}
-	return p.Finalize()
+	return RGetStrided2DWith(rk, src, srcStride, dst, dstStride, rowLen, rows).Op
 }

@@ -18,6 +18,13 @@ type Team struct {
 	id    uint64
 	ranks []Intrank // world ranks indexed by team rank
 	me    Intrank   // this process's team rank
+
+	// identity marks a team whose team ranks equal world ranks (the world
+	// team), making FromWorld a no-op; other teams carry the inverse map,
+	// built once at construction so FromWorld is O(1) in collective and
+	// completion hot paths instead of a linear scan.
+	identity  bool
+	fromWorld map[Intrank]Intrank
 }
 
 const worldTeamID uint64 = 0
@@ -27,7 +34,16 @@ func newWorldTeam(rk *Rank) *Team {
 	for i := range ranks {
 		ranks[i] = Intrank(i)
 	}
-	return &Team{rk: rk, id: worldTeamID, ranks: ranks, me: rk.me}
+	return &Team{rk: rk, id: worldTeamID, ranks: ranks, me: rk.me, identity: true}
+}
+
+// buildIndex constructs the world→team rank map; called once per team at
+// construction.
+func (t *Team) buildIndex() {
+	t.fromWorld = make(map[Intrank]Intrank, len(t.ranks))
+	for i, wr := range t.ranks {
+		t.fromWorld[wr] = Intrank(i)
+	}
 }
 
 // WorldTeam returns the team containing every rank in the job.
@@ -44,12 +60,17 @@ func (t *Team) RankN() Intrank { return Intrank(len(t.ranks)) }
 func (t *Team) WorldRank(i Intrank) Intrank { return t.ranks[i] }
 
 // FromWorld translates a world rank to this team's rank, or -1 if the
-// rank is not a member.
+// rank is not a member. O(1): the world team is the identity and every
+// other team indexes the map built at construction.
 func (t *Team) FromWorld(r Intrank) Intrank {
-	for i, wr := range t.ranks {
-		if wr == r {
-			return Intrank(i)
+	if t.identity {
+		if r < 0 || int(r) >= len(t.ranks) {
+			return -1
 		}
+		return r
+	}
+	if tr, ok := t.fromWorld[r]; ok {
+		return tr
 	}
 	return -1
 }
@@ -465,6 +486,7 @@ func (t *Team) Split(color, key int) *Team {
 			continue
 		}
 		nt := &Team{rk: rk, id: splitTeamID(t.id, idx, g.Color), ranks: g.Members}
+		nt.buildIndex()
 		nt.me = nt.FromWorld(rk.me)
 		if nt.me < 0 {
 			continue

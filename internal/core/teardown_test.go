@@ -1,0 +1,157 @@
+package upcxx
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- Team.FromWorld index -------------------------------------------------
+
+func TestFromWorldWorldTeamIdentity(t *testing.T) {
+	Run(4, func(rk *Rank) {
+		wt := rk.WorldTeam()
+		for r := Intrank(0); r < rk.N(); r++ {
+			if got := wt.FromWorld(r); got != r {
+				t.Errorf("world team FromWorld(%d) = %d", r, got)
+			}
+		}
+		if got := wt.FromWorld(-1); got != -1 {
+			t.Errorf("FromWorld(-1) = %d, want -1", got)
+		}
+		if got := wt.FromWorld(rk.N()); got != -1 {
+			t.Errorf("FromWorld(N) = %d, want -1", got)
+		}
+		rk.Barrier()
+	})
+}
+
+func TestFromWorldSplitTeamIndex(t *testing.T) {
+	Run(6, func(rk *Rank) {
+		// Odd/even split with reversed key order: the map must agree with
+		// the ranks slice exactly, members and non-members alike.
+		sub := rk.WorldTeam().Split(int(rk.Me())%2, -int(rk.Me()))
+		for i := Intrank(0); i < sub.RankN(); i++ {
+			wr := sub.WorldRank(i)
+			if got := sub.FromWorld(wr); got != i {
+				t.Errorf("FromWorld(%d) = %d, want %d", wr, got, i)
+			}
+		}
+		for r := Intrank(0); r < rk.N(); r++ {
+			member := r%2 == rk.Me()%2
+			if got := sub.FromWorld(r); (got >= 0) != member {
+				t.Errorf("FromWorld(%d) = %d, membership should be %v", r, got, member)
+			}
+		}
+		if sub.FromWorld(rk.Me()) != sub.RankMe() {
+			t.Errorf("FromWorld(me) = %d, want %d", sub.FromWorld(rk.Me()), sub.RankMe())
+		}
+		rk.Barrier()
+	})
+}
+
+// --- CloseDeviceAllocator -------------------------------------------------
+
+// mustPanicContaining runs fn expecting a panic whose message contains
+// want.
+func mustPanicContaining(t *testing.T, what, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected panic", what)
+			return
+		}
+		var msg string
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		}
+		if !strings.Contains(msg, want) {
+			t.Errorf("%s: panic %q does not mention %q", what, msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestCloseDeviceAllocatorPoisonsPointers(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<12)
+		p := MustNewDeviceArray[uint64](da, 8)
+		obj := NewDistObject(rk, p)
+		rk.Barrier()
+
+		// The segment works before close.
+		if rk.Me() == 0 {
+			remote := FetchDist[GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			RPut(rk, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, remote).Wait()
+		}
+		rk.Barrier()
+
+		da.Close()
+		if !da.Closed() {
+			t.Fatal("Closed() false after Close")
+		}
+		if rk.ep.DeviceSegments() != 0 {
+			t.Fatalf("%d device segments still registered after close", rk.ep.DeviceSegments())
+		}
+
+		// Local use of a poisoned pointer faults with a use-after-close
+		// message, not a wild-pointer one.
+		mustPanicContaining(t, "RPut to closed segment", "closed", func() {
+			RPut(rk, []uint64{1}, p)
+		})
+		mustPanicContaining(t, "RGet from closed segment", "closed", func() {
+			RGet(rk, p, make([]uint64, 1))
+		})
+		mustPanicContaining(t, "RunKernel on closed allocator", "closed", func() {
+			RunKernel(da, p, 8, func([]uint64) {})
+		})
+		mustPanicContaining(t, "Delete on closed segment", "closed", func() {
+			if err := Delete(rk, p); err != nil {
+				panic(err)
+			}
+		})
+		if _, err := NewDeviceArray[uint64](da, 1); err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Errorf("NewDeviceArray after close: err = %v, want closed error", err)
+		}
+		mustPanicContaining(t, "double close", "twice", func() { da.Close() })
+		rk.Barrier()
+
+		// Cross-rank use of a poisoned pointer faults on the initiating
+		// goroutine (eager segment resolution), with the same clear error.
+		if rk.Me() == 0 {
+			remote := FetchDist[GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			mustPanicContaining(t, "cross-rank put to closed segment", "closed", func() {
+				RPut(rk, []uint64{9}, remote)
+				rk.Quiesce()
+			})
+		}
+		rk.Barrier()
+	})
+}
+
+func TestCloseDeviceAllocatorLeavesOthersOpen(t *testing.T) {
+	Run(1, func(rk *Rank) {
+		da1 := NewDeviceAllocator(rk, 1<<12)
+		da2 := NewDeviceAllocator(rk, 1<<12)
+		p2 := MustNewDeviceArray[uint64](da2, 4)
+		da1.Close()
+		// Segment ids are positional and never reused: da2 keeps working.
+		RPut(rk, []uint64{4, 3, 2, 1}, p2).Wait()
+		got := make([]uint64, 4)
+		RGet(rk, p2, got).Wait()
+		if got[0] != 4 || got[3] != 1 {
+			t.Errorf("surviving device segment corrupted: %v", got)
+		}
+		if rk.ep.DeviceSegments() != 1 {
+			t.Errorf("DeviceSegments = %d, want 1", rk.ep.DeviceSegments())
+		}
+		// A fresh allocator opens a new id beyond the closed one.
+		da3 := NewDeviceAllocator(rk, 1<<12)
+		if da3.DeviceID() == da1.DeviceID() {
+			t.Errorf("closed device id %d was reused", da1.DeviceID())
+		}
+	})
+}

@@ -61,6 +61,34 @@ func FuzzGPtrWire(f *testing.F) {
 	})
 }
 
+// FuzzRemoteCxWire hammers the remote-cx AM header decoder with hostile
+// bytes: it must never panic, never accept a payload whose declared
+// argument length disagrees with the actual span, and anything it does
+// accept must re-encode to the identical canonical bytes. Valid encodes
+// must round-trip.
+func FuzzRemoteCxWire(f *testing.F) {
+	f.Add(encodeRemoteCx(0, nil))
+	f.Add(encodeRemoteCx(3, []byte{1, 2, 3}))
+	f.Add(encodeRemoteCx(1<<31-1, bytes.Repeat([]byte{0xaa}, 64)))
+	f.Add([]byte{})
+	f.Add([]byte{0xc7})
+	f.Add([]byte{0xc7, 1, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge uvarint arglen
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		initiator, args, err := decodeRemoteCx(data)
+		if err != nil {
+			return
+		}
+		if initiator < 0 {
+			t.Fatalf("decoder accepted negative initiator %d from % x", initiator, data)
+		}
+		re := encodeRemoteCx(initiator, args)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("wire form not canonical: % x -> (%d, % x) -> % x", data, initiator, args, re)
+		}
+	})
+}
+
 // FuzzGPtrDecode throws arbitrary bytes at the GPtr decoder: it must
 // never accept a kind-mismatched pointer, and anything it does accept
 // must re-encode to the identical canonical bytes.

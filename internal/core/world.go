@@ -48,10 +48,11 @@ type World struct {
 	cfg Config
 	net *gasnet.Network
 
-	amRPC   gasnet.HandlerID
-	amReply gasnet.HandlerID
-	amFF    gasnet.HandlerID
-	amColl  gasnet.HandlerID
+	amRPC    gasnet.HandlerID
+	amReply  gasnet.HandlerID
+	amFF     gasnet.HandlerID
+	amColl   gasnet.HandlerID
+	amRemote gasnet.HandlerID // remote-completion RPCs (remote_cx::as_rpc)
 
 	ranks []*Rank
 
@@ -80,6 +81,7 @@ func NewWorld(cfg Config) *World {
 	w.amReply = w.net.RegisterAM(w.handleReply)
 	w.amFF = w.net.RegisterAM(w.handleFF)
 	w.amColl = w.net.RegisterAM(w.handleColl)
+	w.amRemote = w.net.RegisterAM(w.handleRemoteCx)
 	w.ranks = make([]*Rank, cfg.Ranks)
 	for r := range w.ranks {
 		rk := &Rank{

@@ -27,7 +27,17 @@ const (
 	// RPCOnly ships values inside RPCs.
 	RPCOnly Mode = iota
 	// LandingZone ships values with RMA into RPC-allocated landing zones.
+	// The zone is published when it is allocated, before the data lands —
+	// the paper's original recipe, which leaves a window where Find
+	// returns a zone whose bytes are still in flight.
 	LandingZone
+	// SignalingPut is LandingZone with remote completion: the zone is
+	// allocated by RPC but *published* by a remote_cx::as_rpc notification
+	// that piggybacks on the value's rput, firing at the home rank only
+	// after the bytes are visible there. Publication is race-free and the
+	// follow-up publish round trip the put+RPC idiom would need is gone —
+	// the notification costs no extra wire message.
+	SignalingPut
 )
 
 func (m Mode) String() string {
@@ -36,6 +46,8 @@ func (m Mode) String() string {
 		return "rpc-only"
 	case LandingZone:
 		return "landing-zone"
+	case SignalingPut:
+		return "signaling-put"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -125,9 +137,44 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 		return core.ThenFut(f, func(dest core.GPtr[uint8]) core.Future[core.Unit] {
 			return core.RPut(d.rk, valCopy, dest)
 		})
+	case SignalingPut:
+		// RPC allocates the zone without publishing it; the rput carries a
+		// remote-completion RPC that publishes (key → zone) at the home
+		// rank once the bytes are visible — a signaling put in place of a
+		// publish round trip.
+		valCopy := val
+		f := core.RPC(d.rk, target, func(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
+			return lookup(trk, a.ID).allocLZ(trk, int(a.Len))
+		}, lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
+		return core.ThenFut(f, func(dest core.GPtr[uint8]) core.Future[core.Unit] {
+			pub := publishArgs{ID: d.id, Key: key, Zone: lz{Ptr: dest, Len: int64(len(valCopy))}}
+			return core.RPutWith(d.rk, valCopy, dest,
+				core.OpCxAsFuture(),
+				core.RemoteCxAsRPC(publishLZ, pub)).Op
+		})
 	default:
 		panic("dht: unknown mode")
 	}
+}
+
+type publishArgs struct {
+	ID   core.DistID
+	Key  uint64
+	Zone lz
+}
+
+// publishLZ runs at the home rank as the remote completion of a
+// signaling-put insert: the zone's bytes are already visible, so linking
+// it into the table is race-free. An overwritten key's previous zone is
+// reclaimed here, where the map lives.
+func publishLZ(trk *core.Rank, a publishArgs) {
+	t := lookup(trk, a.ID)
+	if old, ok := t.localLZ[a.Key]; ok {
+		if err := core.Delete(trk, old.Ptr); err != nil {
+			panic(err)
+		}
+	}
+	t.localLZ[a.Key] = a.Zone
 }
 
 // makeLZ allocates an uninitialized landing zone for a value of the given
@@ -145,6 +192,12 @@ func (d *DHT) makeLZ(trk *core.Rank, key uint64, size int) core.GPtr[uint8] {
 	return dest
 }
 
+// allocLZ allocates a landing zone without publishing it; the
+// signaling-put insert publishes at remote completion (publishLZ).
+func (d *DHT) allocLZ(trk *core.Rank, size int) core.GPtr[uint8] {
+	return core.MustNewArray[uint8](trk, size)
+}
+
 type findArgs struct {
 	ID  core.DistID
 	Key uint64
@@ -160,7 +213,7 @@ func (d *DHT) Find(key uint64) core.Future[[]byte] {
 		return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) []byte {
 			return lookup(trk, a.ID).localVal[a.Key]
 		}, findArgs{ID: d.id, Key: key})
-	case LandingZone:
+	case LandingZone, SignalingPut:
 		f := core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) lz {
 			z, ok := lookup(trk, a.ID).localLZ[a.Key]
 			if !ok {
@@ -210,7 +263,7 @@ func (d *DHT) Erase(key uint64) core.Future[bool] {
 			_, ok := t.localVal[a.Key]
 			delete(t.localVal, a.Key)
 			return ok
-		case LandingZone:
+		case LandingZone, SignalingPut:
 			z, ok := t.localLZ[a.Key]
 			if ok {
 				if err := core.Delete(trk, z.Ptr); err != nil {

@@ -11,7 +11,7 @@ import (
 )
 
 func testBothModes(t *testing.T, ranks int, fn func(t *testing.T, rk *core.Rank, d *DHT)) {
-	for _, mode := range []Mode{RPCOnly, LandingZone} {
+	for _, mode := range []Mode{RPCOnly, LandingZone, SignalingPut} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
 			core.Run(ranks, func(rk *core.Rank) {

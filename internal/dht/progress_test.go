@@ -69,3 +69,6 @@ func testDHTConcurrentUsers(t *testing.T, mode Mode) {
 
 func TestDHTConcurrentUsersRPCOnly(t *testing.T)     { testDHTConcurrentUsers(t, RPCOnly) }
 func TestDHTConcurrentUsersLandingZone(t *testing.T) { testDHTConcurrentUsers(t, LandingZone) }
+func TestDHTConcurrentUsersSignalingPut(t *testing.T) {
+	testDHTConcurrentUsers(t, SignalingPut)
+}

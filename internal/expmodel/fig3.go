@@ -64,6 +64,28 @@ func (m Machine) MPIFloodBW(n int) float64 {
 	return float64(n) / perMsg
 }
 
+// SignalNotifyLatency returns the modeled time from injecting a
+// signaling put (remote_cx::as_rpc riding the transfer) to the
+// notification body running at the target: one one-way message — the
+// notification is enqueued at the destination the instant the data
+// lands, costing only the handler dispatch on top of the wire.
+func (m Machine) SignalNotifyLatency(n int) float64 {
+	return m.overhead(n, false) + m.gap(n, false) + m.lat(n, false) +
+		m.cpu(rpcHandler)
+}
+
+// PutRPCNotifyLatency returns the modeled time for the pre-completion-
+// object idiom delivering the same event: a blocking rput (full round
+// trip — the initiator must observe remote visibility before it may
+// notify), then a fire-and-forget notification RPC crossing the wire
+// once more. Exactly one round trip more than SignalNotifyLatency's
+// one-way piggyback, which is the saving EXPERIMENTS.md quantifies.
+func (m Machine) PutRPCNotifyLatency(n int) float64 {
+	notify := m.cpu(rpcInject) + m.overhead(32, false) + m.gap(32, false) + m.lat(32, false) +
+		m.cpu(rpcHandler)
+	return m.UPCXXPutLatency(n) + notify
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

@@ -15,16 +15,21 @@ import "time"
 //
 // Completions are delivered to the initiating endpoint's completion queue
 // exactly as for host transfers, so the runtime's persona routing applies
-// unchanged.
+// unchanged. Each chain also accepts an optional RemoteAM, enqueued on the
+// destination rank at the instant the final hop lands — after the h2d DMA
+// for device destinations — which is what makes remote completion honest
+// about device memory: the notification never races ahead of the copy
+// engine.
 
 // PutSeg is Put targeting an arbitrary segment of the destination rank:
 // seg 0 is the host segment (identical to Put), higher ids are device
 // segments reached through the target's DMA engine. The source buffer is
 // captured before PutSeg returns; onAck, if non-nil, is delivered to this
-// endpoint once the data is visible in the target segment.
-func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck func()) {
+// endpoint once the data is visible in the target segment. rem, if
+// non-nil, is enqueued on the destination at that same instant.
+func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck func(), rem *RemoteAM) {
 	if seg == HostSeg {
-		ep.Put(dst, dstOff, src, onAck)
+		ep.put(dst, dstOff, src, onAck, rem)
 		return
 	}
 	n := len(src)
@@ -37,6 +42,7 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 	tb := tgt.SegByID(seg).Bytes(dstOff, n)
 	if !ep.net.realtime {
 		copy(tb, src)
+		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			ep.enqueueComp(onAck)
 		}
@@ -50,6 +56,7 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 		spinFor(dm.Overhead(n))
 		eng.injectDMAAt(int(dst), time.Now(), dgap, dlat, func(at time.Time) {
 			copy(tb, staged)
+			ep.deliverRemote(dst, rem)
 			if onAck != nil {
 				eng.schedule(at, func(time.Time) { ep.enqueueComp(onAck) })
 			}
@@ -63,8 +70,11 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 	eng.injectFrom(int(ep.rank), m.Gap(n, intra), m.Latency(n, intra), func(at time.Time) {
 		// Landed in the target's host staging area; the target's copy
 		// engine now moves it into device memory, then the ack returns.
+		// The remote AM waits for the DMA hop too: remote completion
+		// means visible *in device memory*, not merely at the NIC.
 		eng.injectDMAAt(int(dst), at, dgap, dlat, func(at2 time.Time) {
 			copy(tb, staged)
+			ep.deliverRemote(dst, rem)
 			if onAck != nil {
 				eng.schedule(at2.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
 			}
@@ -132,8 +142,9 @@ func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDon
 // destination-side h2d DMA when the destination is device memory, and an
 // ack hop back to the initiator. Same-rank device→device copies collapse
 // to a single on-node d2d DMA. onDone is delivered to this endpoint's
-// completion queue.
-func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func()) {
+// completion queue; rem, if non-nil, is enqueued on dstRank the instant
+// the final hop's bytes are in place.
+func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func(), rem *RemoteAM) {
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
 	srcEP, dstEP := ep.net.eps[srcRank], ep.net.eps[dstRank]
@@ -153,6 +164,7 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 	db := dstEP.SegByID(dstSeg).Bytes(dstOff, n)
 	if !ep.net.realtime {
 		copy(db, sb)
+		ep.deliverRemote(dstRank, rem)
 		if onDone != nil {
 			ep.enqueueComp(onDone)
 		}
@@ -160,6 +172,10 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 	}
 	m, dm, eng := ep.net.model, ep.net.dma, ep.net.eng
 	var staged []byte
+
+	// landed: the destination bytes are in place — hand the remote
+	// notification to dstRank before anything else is scheduled.
+	landed := func() { ep.deliverRemote(dstRank, rem) }
 
 	// finish: data visible at the destination at time at; return the
 	// completion to the initiator.
@@ -181,11 +197,13 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 		if dstDev {
 			eng.injectDMAAt(int(dstRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
 				copy(db, staged)
+				landed()
 				finish(at2)
 			})
 			return
 		}
 		copy(db, staged)
+		landed()
 		finish(at)
 	}
 
@@ -203,18 +221,21 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 				// On-node d2d: one copy-engine descriptor at device speed.
 				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, true), dm.Latency(n, true), func(at2 time.Time) {
 					copy(db, sb)
+					landed()
 					finish(at2)
 				})
 			case srcDev || dstDev:
 				// One h2d or d2h hop.
 				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
 					copy(db, sb)
+					landed()
 					finish(at2)
 				})
 			default:
 				// Host→host on one rank: a shared-memory move at intra cost.
 				eng.injectFromAt(int(srcRank), at, m.Gap(n, true), m.Latency(n, true), func(at2 time.Time) {
 					copy(db, sb)
+					landed()
 					finish(at2)
 				})
 			}

@@ -216,17 +216,41 @@ func (ep *Endpoint) AddDeviceSegment(size int) SegID {
 	return SegID(len(ep.devs))
 }
 
-// DeviceSegments returns the number of device segments registered on this
-// rank.
+// CloseDeviceSegment unregisters a device segment — the conduit half of
+// closing a device allocator. The id is retired, never reused: later
+// resolutions of pointers into the segment fault with a use-after-close
+// error rather than silently reading unrelated memory, which is the
+// poisoning the runtime promises for GPtrs that outlive their allocator.
+func (ep *Endpoint) CloseDeviceSegment(id SegID) {
+	ep.devMu.Lock()
+	defer ep.devMu.Unlock()
+	if id == HostSeg || int(id) > len(ep.devs) {
+		panic(fmt.Sprintf("gasnet: rank %d: CloseDeviceSegment(%d): no such device segment (%d registered)",
+			ep.rank, id, len(ep.devs)))
+	}
+	if ep.devs[id-1] == nil {
+		panic(fmt.Sprintf("gasnet: rank %d: device segment %d closed twice", ep.rank, id))
+	}
+	ep.devs[id-1] = nil
+}
+
+// DeviceSegments returns the number of device segments currently
+// registered (open) on this rank.
 func (ep *Endpoint) DeviceSegments() int {
 	ep.devMu.Lock()
 	defer ep.devMu.Unlock()
-	return len(ep.devs)
+	n := 0
+	for _, s := range ep.devs {
+		if s != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // SegByID resolves a segment id: 0 is the host segment, 1.. are device
 // segments. An unknown id panics — the analogue of dereferencing a wild
-// device pointer.
+// device pointer — and a closed one panics with a use-after-close fault.
 func (ep *Endpoint) SegByID(id SegID) *Segment {
 	if id == HostSeg {
 		return ep.seg
@@ -237,7 +261,12 @@ func (ep *Endpoint) SegByID(id SegID) *Segment {
 		panic(fmt.Sprintf("gasnet: rank %d has no device segment %d (%d registered) — wild device pointer",
 			ep.rank, id, len(ep.devs)))
 	}
-	return ep.devs[id-1]
+	seg := ep.devs[id-1]
+	if seg == nil {
+		panic(fmt.Sprintf("gasnet: rank %d device segment %d is closed — GPtr used after CloseDeviceAllocator",
+			ep.rank, id))
+	}
+	return seg
 }
 
 // Stats returns a snapshot of this endpoint's traffic counters.
@@ -392,6 +421,31 @@ func spinFor(d time.Duration) {
 	}
 }
 
+// RemoteAM describes an Active Message to deliver at the *destination*
+// rank of a put or copy at the moment the transferred bytes become
+// visible in the destination segment — the conduit half of remote
+// completion (remote_cx), modeled on GASNet-EX's signaling put / remote
+// completion events. The notification piggybacks on the transfer: it is
+// enqueued on the destination at the landing timestamp of the final
+// wire/DMA hop, costs no extra wire message, and the destination's AM
+// handler is guaranteed to observe the transferred data.
+type RemoteAM struct {
+	Handler HandlerID
+	Payload []byte
+	Aux     any
+}
+
+// deliverRemote enqueues rem on dst's AM queue, attributed to this
+// (initiating) endpoint. Callers invoke it only after the data of the
+// owning transfer has been copied into dst's segment, so the enqueue's
+// synchronization publishes the data to the handler.
+func (ep *Endpoint) deliverRemote(dst Rank, rem *RemoteAM) {
+	if rem == nil {
+		return
+	}
+	ep.net.eps[dst].enqueueAM(inboundAM{src: ep.rank, handler: rem.Handler, payload: rem.Payload, aux: rem.Aux})
+}
+
 // Put starts a one-sided put of src into (dst, dstOff). The source buffer
 // is captured before Put returns (source completion is synchronous, as with
 // an eager-copy rput). onAck, if non-nil, is delivered to this endpoint's
@@ -399,6 +453,12 @@ func spinFor(d time.Duration) {
 // (operation completion; requires initiator attentiveness to observe, but
 // the transfer itself completes without it).
 func (ep *Endpoint) Put(dst Rank, dstOff uint64, src []byte, onAck func()) {
+	ep.put(dst, dstOff, src, onAck, nil)
+}
+
+// put is Put with an optional remote-completion AM, fired at the target
+// when the data lands (before the ack starts its trip back).
+func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *RemoteAM) {
 	n := len(src)
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
@@ -406,6 +466,7 @@ func (ep *Endpoint) Put(dst Rank, dstOff uint64, src []byte, onAck func()) {
 	intra := ep.net.Intra(ep.rank, dst)
 	if !ep.net.realtime {
 		copy(tgt.seg.Bytes(dstOff, n), src)
+		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			ep.enqueueComp(onAck)
 		}
@@ -420,6 +481,7 @@ func (ep *Endpoint) Put(dst Rank, dstOff uint64, src []byte, onAck func()) {
 	ackLat := m.Latency(0, intra)
 	eng.injectFrom(int(ep.rank), gap, lat, func(at time.Time) {
 		copy(tgt.seg.Bytes(dstOff, n), staged)
+		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			eng.schedule(at.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
 		}

@@ -81,6 +81,14 @@ type (
 	// DeviceAllocator manages one device memory segment on a rank
 	// (upcxx::device_allocator).
 	DeviceAllocator = core.DeviceAllocator
+	// Cx is a completion descriptor: one of the three completion events
+	// of a communication operation (operation, source, remote) paired
+	// with a delivery method (future, promise, LPC, or target-side RPC).
+	Cx = core.Cx
+	// CxEvent identifies a completion event.
+	CxEvent = core.CxEvent
+	// CxFutures carries the futures requested with …AsFuture descriptors.
+	CxFutures = core.CxFutures
 )
 
 // Memory kinds (paper §VI): device-kind pointers route RMA through the
@@ -186,6 +194,11 @@ func NewDeviceAllocator(rk *Rank, size int) *DeviceAllocator {
 	return core.NewDeviceAllocator(rk, size)
 }
 
+// CloseDeviceAllocator tears the device segment down. Outstanding GPtrs
+// into it are poisoned: later use faults with a clear use-after-close
+// error.
+func CloseDeviceAllocator(da *DeviceAllocator) { core.CloseDeviceAllocator(da) }
+
 // NewDeviceArray allocates n zero-initialized Ts in the device segment.
 func NewDeviceArray[T Scalar](da *DeviceAllocator, n int) (GPtr[T], error) {
 	return core.NewDeviceArray[T](da, n)
@@ -203,11 +216,60 @@ func RunKernel[T Scalar](da *DeviceAllocator, p GPtr[T], n int, kernel func([]T)
 	core.RunKernel(da, p, n, kernel)
 }
 
-// One-sided RMA (upcxx::rput/rget and the VIS variants).
+// Completion descriptors (paper §III; spec §7). Every communication
+// operation exposes operation, source, and remote completion events; the
+// …With entry points below accept any combination of descriptors, and the
+// requested futures come back in CxFutures. RemoteCxAsRPC is the
+// signaling put: the function executes at the destination rank strictly
+// after the transferred data is visible there (for device destinations,
+// after the final DMA hop), piggybacked on the transfer with no extra
+// round trip.
+
+// OpCxAsFuture requests operation completion as a future (the default).
+func OpCxAsFuture() Cx { return core.OpCxAsFuture() }
+
+// OpCxAsPromise registers operation completion on p.
+func OpCxAsPromise(p *Promise[Unit]) Cx { return core.OpCxAsPromise(p) }
+
+// OpCxAsLPC delivers operation completion by running fn on persona pers.
+func OpCxAsLPC(pers *Persona, fn func()) Cx { return core.OpCxAsLPC(pers, fn) }
+
+// SourceCxAsFuture requests source-buffer completion as a future
+// (puts only — copies read their global-pointer source lazily).
+func SourceCxAsFuture() Cx { return core.SourceCxAsFuture() }
+
+// SourceCxAsPromise registers source completion on p (puts only).
+func SourceCxAsPromise(p *Promise[Unit]) Cx { return core.SourceCxAsPromise(p) }
+
+// SourceCxAsLPC delivers source completion by running fn on persona
+// pers (puts only).
+func SourceCxAsLPC(pers *Persona, fn func()) Cx { return core.SourceCxAsLPC(pers, fn) }
+
+// RemoteCxAsFuture requests remote completion as an initiator-side future.
+func RemoteCxAsFuture() Cx { return core.RemoteCxAsFuture() }
+
+// RemoteCxAsPromise registers remote completion on p.
+func RemoteCxAsPromise(p *Promise[Unit]) Cx { return core.RemoteCxAsPromise(p) }
+
+// RemoteCxAsLPC delivers remote completion by running fn on persona pers.
+func RemoteCxAsLPC(pers *Persona, fn func()) Cx { return core.RemoteCxAsLPC(pers, fn) }
+
+// RemoteCxAsRPC executes fn(arg) at the destination rank once the data is
+// visible there — the signaling put.
+func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx { return core.RemoteCxAsRPC(fn, arg) }
+
+// One-sided RMA (upcxx::rput/rget and the VIS variants). Every entry
+// point routes through one internal injection path; the …With variants
+// take explicit completion sets.
 
 // RPut copies src into remote memory; the future readies at operation
 // completion.
 func RPut[T Scalar](rk *Rank, src []T, dst GPtr[T]) Future[Unit] { return core.RPut(rk, src, dst) }
+
+// RPutWith is RPut with an explicit completion-descriptor set.
+func RPutWith[T Scalar](rk *Rank, src []T, dst GPtr[T], cxs ...Cx) CxFutures {
+	return core.RPutWith(rk, src, dst, cxs...)
+}
 
 // RPutPromise is RPut with completion registered on a promise
 // (operation_cx::as_promise).
@@ -217,6 +279,11 @@ func RPutPromise[T Scalar](rk *Rank, src []T, dst GPtr[T], p *Promise[Unit]) {
 
 // RGet copies remote memory into the local buffer dst.
 func RGet[T Scalar](rk *Rank, src GPtr[T], dst []T) Future[Unit] { return core.RGet(rk, src, dst) }
+
+// RGetWith is RGet with an explicit completion-descriptor set.
+func RGetWith[T Scalar](rk *Rank, src GPtr[T], dst []T, cxs ...Cx) CxFutures {
+	return core.RGetWith(rk, src, dst, cxs...)
+}
 
 // RGetPromise is RGet with promise-based completion.
 func RGetPromise[T Scalar](rk *Rank, src GPtr[T], dst []T, p *Promise[Unit]) {
@@ -235,14 +302,27 @@ func CopyGG[T Scalar](rk *Rank, src, dst GPtr[T], n int) Future[Unit] {
 	return core.CopyGG(rk, src, dst, n)
 }
 
+// CopyCx is upcxx::copy with an explicit completion-descriptor set — the
+// kind-aware completion variants (remote_cx on device puts) ride here.
+func CopyCx[T Scalar](rk *Rank, src, dst GPtr[T], n int, cxs ...Cx) CxFutures {
+	return core.CopyWith(rk, src, dst, n, cxs...)
+}
+
 // CopyGGPromise is CopyGG with promise-based completion.
 func CopyGGPromise[T Scalar](rk *Rank, src, dst GPtr[T], n int, p *Promise[Unit]) {
 	core.CopyGGPromise(rk, src, dst, n, p)
 }
 
-// RPutV / RGetV issue vector RMA over fragment lists.
+// RPutV / RGetV issue vector RMA over fragment lists; the With variants
+// take completion sets (operation/remote fire once all fragments land).
 func RPutV[T Scalar](rk *Rank, frags []PutPair[T]) Future[Unit] { return core.RPutV(rk, frags) }
 func RGetV[T Scalar](rk *Rank, frags []GetPair[T]) Future[Unit] { return core.RGetV(rk, frags) }
+func RPutVWith[T Scalar](rk *Rank, frags []PutPair[T], cxs ...Cx) CxFutures {
+	return core.RPutVWith(rk, frags, cxs...)
+}
+func RGetVWith[T Scalar](rk *Rank, frags []GetPair[T], cxs ...Cx) CxFutures {
+	return core.RGetVWith(rk, frags, cxs...)
+}
 
 // RPutIndexed scatters fixed-size blocks to element offsets of a remote
 // base pointer; RGetIndexed gathers them.
@@ -252,6 +332,12 @@ func RPutIndexed[T Scalar](rk *Rank, src []T, base GPtr[T], indices []int, block
 func RGetIndexed[T Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T) Future[Unit] {
 	return core.RGetIndexed(rk, base, indices, blockElems, dst)
 }
+func RPutIndexedWith[T Scalar](rk *Rank, src []T, base GPtr[T], indices []int, blockElems int, cxs ...Cx) CxFutures {
+	return core.RPutIndexedWith(rk, src, base, indices, blockElems, cxs...)
+}
+func RGetIndexedWith[T Scalar](rk *Rank, base GPtr[T], indices []int, blockElems int, dst []T, cxs ...Cx) CxFutures {
+	return core.RGetIndexedWith(rk, base, indices, blockElems, dst, cxs...)
+}
 
 // RPutStrided2D / RGetStrided2D move regular 2D sections.
 func RPutStrided2D[T Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int) Future[Unit] {
@@ -259,6 +345,12 @@ func RPutStrided2D[T Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstS
 }
 func RGetStrided2D[T Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int) Future[Unit] {
 	return core.RGetStrided2D(rk, src, srcStride, dst, dstStride, rowLen, rows)
+}
+func RPutStrided2DWith[T Scalar](rk *Rank, src []T, srcStride int, dst GPtr[T], dstStride, rowLen, rows int, cxs ...Cx) CxFutures {
+	return core.RPutStrided2DWith(rk, src, srcStride, dst, dstStride, rowLen, rows, cxs...)
+}
+func RGetStrided2DWith[T Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, dstStride, rowLen, rows int, cxs ...Cx) CxFutures {
+	return core.RGetStrided2DWith(rk, src, srcStride, dst, dstStride, rowLen, rows, cxs...)
 }
 
 // Remote procedure calls (upcxx::rpc / rpc_ff). The function value ships
@@ -371,18 +463,23 @@ func NewAtomicU64(rk *Rank) *AtomicU64 { return core.NewAtomicU64(rk) }
 func NewAtomicI64(rk *Rank) *AtomicI64 { return core.NewAtomicI64(rk) }
 
 // Remote completions (remote_cx::as_rpc): attach work to the target-side
-// completion of a put.
+// completion of a put. Built on the completion-object system; see also
+// RPutWith/CopyCx with RemoteCxAsRPC for composed forms.
 
-// RPutThenRemote puts src to dst and, once remotely visible, runs fn at
-// dst's owner; the future readies when the notification has executed.
-func RPutThenRemote[T Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
-	return core.RPutThenRemote(rk, src, dst, fn, arg)
-}
-
-// RPutSignal is the fire-and-forget remote completion: the notification
-// runs at the target with no acknowledgment.
+// RPutSignal is the signaling put: the notification runs at the target
+// once the data lands, piggybacked on the transfer (no extra round trip,
+// no execution acknowledgment). The future is the put's operation
+// completion.
 func RPutSignal[T Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
 	return core.RPutSignal(rk, src, dst, fn, arg)
+}
+
+// RPutThenRemote puts src to dst and, once remotely visible, runs fn at
+// dst's owner; the future readies only when the notification has
+// *executed* (stronger than RPutSignal, at the cost of an explicit RPC
+// round trip after remote completion).
+func RPutThenRemote[T Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn func(*Rank, A), arg A) Future[Unit] {
+	return core.RPutThenRemote(rk, src, dst, fn, arg)
 }
 
 // Gather collects every team member's value at root (root's future holds
