@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check fmt bench fuzz-smoke examples-run ci
+.PHONY: all build test test-short race vet fmt-check fmt bench bench-smoke fuzz-smoke examples-run ci
 
 all: build
 
@@ -16,11 +16,13 @@ test-short:
 # The persona subsystem's acceptance gate: cross-thread LPC delivery,
 # scope nesting, and progress-thread mode must be race-clean — plus the
 # memory-kinds conformance matrix (every {host,device}×{same,cross} copy
-# pair plus the DMA engine) and the completion-object matrix
+# pair plus the DMA engine), the completion-object matrix
 # ({op,source,remote} × {future,promise,LPC,RPC} × kinds × locality,
-# including the remote-cx AM path) on top of it.
+# including the remote-cx AM path), and the collectives matrix
+# ({barrier,bcast,reduce,allreduce} × {future,promise,LPC,remote-RPC} ×
+# {host,device} × {world,split-team} plus persona handoff) on top of it.
 race:
-	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx'
+	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll'
 	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
 	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
 
@@ -30,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzGPtrWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzGPtrDecode -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRemoteCxWire -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzCollWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
@@ -56,6 +59,17 @@ fmt:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...
+
+# Run every figure/benchmark tool for one short (model-only or tiny)
+# iteration — catches bit-rotted benches without burning CI time.
+bench-smoke:
+	$(GO) run ./cmd/upcxx-info
+	$(GO) run ./cmd/rma-bench -mode all -model-only
+	$(GO) run ./cmd/kinds-bench -model-only
+	$(GO) run ./cmd/coll-bench -model-only
+	$(GO) run ./cmd/dht-bench -inserts 4
+	$(GO) run ./cmd/eadd-bench
+	$(GO) run ./cmd/sympack-bench
 
 # Tier-1 verification in one command.
 ci: build vet fmt-check test race examples-run

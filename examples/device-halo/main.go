@@ -112,15 +112,28 @@ func main() {
 		}
 		rk.Barrier()
 
-		// Drain the answer to the host the sanctioned way: a d2h get of
-		// my interior, then a global residual reduction.
-		host := make([]float64, local)
-		upcxx.RGet(rk, mine[iters%2].Add(1), host).Wait()
-		sum := 0.0
-		for _, v := range host {
-			sum += v
-		}
-		total := upcxx.AllReduce(rk.WorldTeam(), sum, func(a, b float64) float64 { return a + b }).Wait()
+		// Device-resident convergence check: sum my interior into a
+		// one-element device buffer with a kernel, then AllReduceBufWith
+		// folds the per-rank partials *on the device* — exchange hops are
+		// DMA-costed copies and the folds run as kernels, so the payload
+		// never bounces through host staging (contrast the old port,
+		// which d2h-copied the whole slab and reduced marshaled host
+		// values). Only the final scalar crosses to the host, for
+		// printing.
+		msum := upcxx.MustNewDeviceArray[float64](da, 1)
+		upcxx.RunKernel(da, mine[iters%2], local+2, func(s []float64) {
+			upcxx.RunKernel(da, msum, 1, func(acc []float64) {
+				acc[0] = 0
+				for i := 1; i <= local; i++ {
+					acc[0] += s[i]
+				}
+			})
+		})
+		upcxx.AllReduceBufWith(rk.WorldTeam(), da, msum, 1,
+			func(a, b float64) float64 { return a + b }).Op.Wait()
+		hostSum := make([]float64, 1)
+		upcxx.RGet(rk, msum, hostSum).Wait()
+		total := hostSum[0]
 
 		stats := rk.World().Network().Endpoint(rk.Me()).Stats()
 		if me == 0 {

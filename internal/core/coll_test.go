@@ -1,0 +1,544 @@
+package upcxx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"upcxx/internal/gasnet"
+)
+
+// Tests for the collectives engine: tree topologies (table-driven over
+// every shape and team size), the completion conformance matrix
+// ({barrier, bcast, reduce, allreduce} × {future, promise, LPC,
+// remote-RPC} × {host, device} × {world, split-team}), persona handoff,
+// the device-resident reduction path (zero host-staging copies, pinned
+// by the DMA hop trace), the leaf-side broadcast RPC ordering against
+// the h2d DMA, and the conduit's last-landing piggyback for
+// multi-fragment remote completions. The matrix and handoff tests run
+// under -race in CI (make race).
+
+// --- topology table -------------------------------------------------------
+
+// checkTopology verifies the collTopo contract for one shape and team
+// size: children in range and strictly increasing, exactly one parent
+// per non-root (Children and Parent agreeing), everything reachable
+// from the root, and the depth bound of the shape.
+func checkTopology(t *testing.T, name string, topo collTopo, p int) {
+	t.Helper()
+	parent := make([]int, p)
+	for i := range parent {
+		parent[i] = -1
+	}
+	seen := 0
+	for rr := 0; rr < p; rr++ {
+		prev := rr
+		for _, c := range topo.Children(rr, p) {
+			if c <= rr || c >= p {
+				t.Fatalf("%s p=%d: child %d of %d out of range", name, p, c, rr)
+			}
+			if c <= prev && prev != rr {
+				t.Fatalf("%s p=%d: children of %d not strictly increasing", name, p, rr)
+			}
+			prev = c
+			if parent[c] != -1 {
+				t.Fatalf("%s p=%d: rank %d has two parents (%d and %d)", name, p, c, parent[c], rr)
+			}
+			parent[c] = rr
+			seen++
+			if got := topo.Parent(c, p); got != rr {
+				t.Fatalf("%s p=%d: Parent(%d) = %d, want %d", name, p, c, got, rr)
+			}
+		}
+	}
+	if seen != p-1 {
+		t.Fatalf("%s p=%d: %d ranks have parents, want %d", name, p, seen, p-1)
+	}
+	maxDepth := 0
+	for rr := 1; rr < p; rr++ {
+		d, x := 0, rr
+		for x != 0 {
+			x = parent[x]
+			d++
+			if d > p {
+				t.Fatalf("%s p=%d: cycle above rank %d", name, p, rr)
+			}
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	switch topo := topo.(type) {
+	case flatTopo:
+		if p > 1 && maxDepth != 1 {
+			t.Fatalf("flat p=%d: depth %d, want 1", p, maxDepth)
+		}
+	case knomialTopo:
+		// Depth is bounded by the number of base-k digits of p-1.
+		want := 0
+		for x := p - 1; x > 0; x /= topo.radix {
+			want++
+		}
+		if maxDepth > want {
+			t.Fatalf("%s p=%d: depth %d exceeds digit bound %d", name, p, maxDepth, want)
+		}
+	}
+}
+
+// TestCollTopologyTable pins every tree shape for team sizes 1–17 and
+// every radix — including the non-power-of-two and size-1 edges the old
+// bcastChildren/ceilLog2 helpers were never table-tested on.
+func TestCollTopologyTable(t *testing.T) {
+	for p := 1; p <= 17; p++ {
+		checkTopology(t, "flat", flatTopo{}, p)
+		for _, r := range []int{2, 3, 4, 5, 8, 16} {
+			checkTopology(t, fmt.Sprintf("knomial-%d", r), knomialTopo{radix: r}, p)
+		}
+		// The engine's selection (Config.CollRadix semantics, including
+		// the flat cut-over for tiny teams) must itself be a valid shape.
+		for _, r := range []int{0, 1, 2, 3, 4, 8} {
+			checkTopology(t, fmt.Sprintf("radix-%d", r), topoForRadix(r, p), p)
+		}
+	}
+}
+
+// TestCollRadixSweepSemantics runs real collectives over non-power-of-two
+// teams under every topology class: results must not depend on the tree.
+func TestCollRadixSweepSemantics(t *testing.T) {
+	for _, radix := range []int{0, 1, 3, 4} {
+		for _, p := range []int{5, 7} {
+			radix, p := radix, p
+			t.Run(fmt.Sprintf("radix=%d/p=%d", radix, p), func(t *testing.T) {
+				RunConfig(Config{Ranks: p, CollRadix: radix}, func(rk *Rank) {
+					world := rk.WorldTeam()
+					got := Broadcast(world, Intrank(p-1), int64(rk.Me())).Wait()
+					if got != int64(p-1) {
+						t.Errorf("rank %d: broadcast = %d, want %d", rk.Me(), got, p-1)
+					}
+					sum := AllReduce(world, int64(rk.Me())+1,
+						func(a, b int64) int64 { return a + b }).Wait()
+					if want := int64(p * (p + 1) / 2); sum != want {
+						t.Errorf("rank %d: allreduce = %d, want %d", rk.Me(), sum, want)
+					}
+					red := ReduceOne(world, int64(rk.Me())+1,
+						func(a, b int64) int64 { return a + b }).Wait()
+					if rk.Me() == 0 {
+						if want := int64(p * (p + 1) / 2); red != want {
+							t.Errorf("reduce root = %d, want %d", red, want)
+						}
+					}
+					rk.Barrier()
+				})
+			})
+		}
+	}
+}
+
+// --- conformance matrix ---------------------------------------------------
+
+var collKinds = []string{"barrier", "bcast", "reduce", "allreduce"}
+
+func addI64(a, b int64) int64 { return a + b }
+
+// runCollCell executes one matrix cell: all team members run the same
+// collective carrying the cell's delivery descriptor, block until that
+// delivery demonstrably fired, and verify the collective's payload.
+// Device cells use the buffer collectives over device operands (the
+// barrier has no operands and is identical in both kind columns).
+func runCollCell(t *testing.T, rk *Rank, team *Team, da *DeviceAllocator, dev bool, kind, how string) {
+	name := fmt.Sprintf("%s/%s/dev=%v", kind, how, dev)
+	const n = 8
+	p := int64(team.RankN())
+	tr := int64(team.RankMe())
+	wantSum := p * (p + 1) / 2
+
+	// The delivery under test. The remote-RPC descriptor runs on the
+	// rank's execution persona — this goroutine in self-progress mode —
+	// when the collective's data lands locally, so the plain flag is
+	// race-free.
+	fired := false
+	var prom *Promise[Unit]
+	var cxs []Cx
+	switch how {
+	case "future":
+		cxs = []Cx{OpCxAsFuture()}
+	case "promise":
+		prom = NewPromise[Unit](rk)
+		cxs = []Cx{OpCxAsPromise(prom)}
+	case "lpc":
+		cxs = []Cx{OpCxAsLPC(nil, func() { fired = true }), OpCxAsFuture()}
+	case "rpc":
+		cxs = []Cx{RemoteCxAsRPC(func(*Rank, int) { fired = true }, 0), OpCxAsFuture()}
+	}
+
+	var futs CxFutures
+	buf := NilGPtr[int64]()
+	root := team.RankN() - 1 // exercise non-zero roots where allowed
+	switch {
+	case kind == "barrier":
+		futs = team.BarrierAsyncWith(cxs...)
+	case !dev:
+		switch kind {
+		case "bcast":
+			f, fs := BroadcastWith(team, root, 4242+tr, cxs...)
+			futs = fs
+			if got := f.Wait(); got != 4242+int64(root) {
+				t.Errorf("%s: value = %d, want %d", name, got, 4242+int64(root))
+			}
+		case "reduce":
+			f, fs := ReduceOneWith(team, tr+1, addI64, cxs...)
+			futs = fs
+			got := f.Wait()
+			want := int64(0)
+			if tr == 0 {
+				want = wantSum
+			}
+			if got != want {
+				t.Errorf("%s: value = %d, want %d", name, got, want)
+			}
+		case "allreduce":
+			f, fs := AllReduceWith(team, tr+1, addI64, cxs...)
+			futs = fs
+			if got := f.Wait(); got != wantSum {
+				t.Errorf("%s: value = %d, want %d", name, got, wantSum)
+			}
+		}
+	default:
+		buf = MustNewDeviceArray[int64](da, n)
+		switch kind {
+		case "bcast":
+			if tr == int64(root) {
+				RunKernel(da, buf, n, func(s []int64) {
+					for i := range s {
+						s[i] = int64(i) + 7
+					}
+				})
+			}
+			futs = BroadcastBufWith(team, root, buf, n, cxs...)
+		case "reduce":
+			fillCollBuf(da, buf, n, tr+1)
+			futs = ReduceOneBufWith(team, da, buf, n, addI64, cxs...)
+		case "allreduce":
+			fillCollBuf(da, buf, n, tr+1)
+			futs = AllReduceBufWith(team, da, buf, n, addI64, cxs...)
+		}
+	}
+
+	// Block on the cell's own delivery.
+	switch how {
+	case "future":
+		if !futs.Op.Valid() {
+			t.Fatalf("%s: requested future is invalid", name)
+		}
+		futs.Op.Wait()
+	case "promise":
+		prom.Finalize().Wait()
+	case "lpc", "rpc":
+		futs.Op.Wait()
+		waitUntil(t, rk, name+" delivery", func() bool { return fired })
+	}
+
+	// Verify device payloads landed device-resident.
+	if dev && !buf.IsNil() {
+		check := func(want func(i int) int64) {
+			RunKernel(da, buf, n, func(s []int64) {
+				for i, v := range s {
+					if v != want(i) {
+						t.Errorf("%s: buf[%d] = %d, want %d", name, i, v, want(i))
+					}
+				}
+			})
+		}
+		switch kind {
+		case "bcast":
+			check(func(i int) int64 { return int64(i) + 7 })
+		case "reduce":
+			if tr == 0 {
+				check(func(i int) int64 { return int64(i+1) * wantSum })
+			}
+		case "allreduce":
+			check(func(i int) int64 { return int64(i+1) * wantSum })
+		}
+		if err := Delete(rk, buf); err != nil {
+			t.Errorf("%s: free device operand: %v", name, err)
+		}
+	}
+}
+
+// fillCollBuf writes scale*(i+1) into the n elements at p.
+func fillCollBuf(da *DeviceAllocator, p GPtr[int64], n int, scale int64) {
+	RunKernel(da, p, n, func(s []int64) {
+		for i := range s {
+			s[i] = scale * int64(i+1)
+		}
+	})
+}
+
+// TestCollCxMatrix drives every collective × delivery × kind × team
+// combination. Cells run back to back without barriers between them —
+// the per-team collective sequence numbers keep them matched.
+func TestCollCxMatrix(t *testing.T) {
+	for _, dev := range []bool{false, true} {
+		for _, split := range []bool{false, true} {
+			dev, split := dev, split
+			t.Run(fmt.Sprintf("dev=%v/split=%v", dev, split), func(t *testing.T) {
+				Run(4, func(rk *Rank) {
+					da := NewDeviceAllocator(rk, 1<<20)
+					team := rk.WorldTeam()
+					if split {
+						team = rk.WorldTeam().Split(int(rk.Me())%2, int(rk.Me()))
+					}
+					for _, kind := range collKinds {
+						for _, how := range cxDeliveries {
+							runCollCell(t, rk, team, da, dev, kind, how)
+						}
+					}
+					team.Barrier()
+					rk.Barrier()
+				})
+			})
+		}
+	}
+}
+
+// TestCollInvalidCombos pins the descriptor combinations the model
+// forbids on collectives.
+func TestCollInvalidCombos(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<16)
+		dbuf := MustNewDeviceArray[int64](da, 4)
+		if rk.Me() == 0 {
+			expectPanic(t, "source_cx on a collective", func() {
+				rk.WorldTeam().BarrierAsyncWith(SourceCxAsFuture())
+			})
+			expectPanic(t, "remote_cx as_future on a collective", func() {
+				rk.WorldTeam().BarrierAsyncWith(RemoteCxAsFuture())
+			})
+			expectPanic(t, "remote_cx as_promise on a collective", func() {
+				rk.WorldTeam().BarrierAsyncWith(RemoteCxAsPromise(NewPromise[Unit](rk)))
+			})
+			expectPanic(t, "device operand without its allocator", func() {
+				ReduceOneBufWith(rk.WorldTeam(), nil, dbuf, 4, addI64)
+			})
+			expectPanic(t, "non-local operand", func() {
+				remote := dbuf
+				remote.Owner = 1
+				BroadcastBufWith(rk.WorldTeam(), 0, remote, 4)
+			})
+			expectPanic(t, "broadcast root out of range", func() {
+				BroadcastWith(rk.WorldTeam(), 5, int64(0))
+			})
+			expectPanic(t, "buffer broadcast root out of range", func() {
+				BroadcastBufWith(rk.WorldTeam(), 5, dbuf, 4)
+			})
+			expectPanic(t, "gather root out of range", func() {
+				Gather(rk.WorldTeam(), 99, int64(0))
+			})
+		}
+		rk.Barrier()
+	})
+}
+
+// TestCollRequiresHeldExecPersona: a world driven without Run has no
+// held master persona, so execBody's inline fallback would advance the
+// engine on arbitrary goroutines; collectives must fail loud there (as
+// the seed's master-persona check did) instead of racing on the engine
+// maps.
+func TestCollRequiresHeldExecPersona(t *testing.T) {
+	w := NewWorld(Config{Ranks: 2})
+	defer w.Close()
+	expectPanic(t, "collective without a held execution persona", func() {
+		w.Rank(0).BarrierAsync()
+	})
+}
+
+// --- persona handoff ------------------------------------------------------
+
+// TestCollPersonaHandoffProgressThread: in progress-thread mode the
+// engine advances on the progress persona, so collectives initiated by
+// user goroutines complete even while every master sits blocked, and the
+// completion routes back to the initiating persona.
+func TestCollPersonaHandoffProgressThread(t *testing.T) {
+	RunConfig(Config{Ranks: 4, ProgressThread: true}, func(rk *Rank) {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := rk.CurrentPersona()
+			f, _ := AllReduceWith(rk.WorldTeam(), int64(1), addI64)
+			var on *Persona
+			ThenDo(f, func(int64) { on = rk.CurrentPersona() }).Wait()
+			if got := f.Result(); got != 4 {
+				t.Errorf("rank %d: allreduce from user goroutine = %d, want 4", rk.Me(), got)
+			}
+			if on != mine {
+				t.Errorf("rank %d: completion ran on %v, want initiating persona %v", rk.Me(), on, mine)
+			}
+		}()
+		// The master blocks without a single Progress call: the progress
+		// thread must drive the whole collective.
+		wg.Wait()
+		rk.Barrier()
+	})
+}
+
+// --- device-resident reduction -------------------------------------------
+
+// TestCollDeviceAllReduceNoHostStaging proves the kind-aware reduction
+// path: an allreduce over device operands moves its payload exclusively
+// through the DMA channel — the hop trace shows exactly the tree's
+// exchange copies (two descriptors per link per direction: d2h at the
+// source engine, h2d at the destination engine) and nothing else, and
+// the AM ledger stays at header size (no payload marshaled through host
+// memory).
+func TestCollDeviceAllReduceNoHostStaging(t *testing.T) {
+	const p, n = 8, 64
+	w := NewWorld(Config{Ranks: p})
+	defer w.Close()
+	das := make([]*DeviceAllocator, p)
+	bufs := make([]GPtr[float64], p)
+	w.Run(func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<20)
+		buf := MustNewDeviceArray[float64](da, n)
+		RunKernel(da, buf, n, func(s []float64) {
+			for i := range s {
+				s[i] = float64(rk.Me() + 1)
+			}
+		})
+		das[rk.Me()], bufs[rk.Me()] = da, buf
+	})
+
+	amBytesBefore := uint64(0)
+	for r := Intrank(0); r < p; r++ {
+		amBytesBefore += w.Network().Endpoint(r).Stats().AMBytes
+	}
+	w.Network().TraceDMA(true)
+	w.Run(func(rk *Rank) {
+		AllReduceBufWith(rk.WorldTeam(), das[rk.Me()], bufs[rk.Me()], n,
+			func(a, b float64) float64 { return a + b }).Op.Wait()
+	})
+	trace := w.Network().DMATrace()
+	w.Network().TraceDMA(false)
+	amBytesAfter := uint64(0)
+	for r := Intrank(0); r < p; r++ {
+		amBytesAfter += w.Network().Endpoint(r).Stats().AMBytes
+	}
+
+	// Correctness: every rank's buffer holds the elementwise global sum.
+	want := float64(p * (p + 1) / 2)
+	w.Run(func(rk *Rank) {
+		RunKernel(das[rk.Me()], bufs[rk.Me()], n, func(s []float64) {
+			for i, v := range s {
+				if v != want {
+					t.Errorf("rank %d: buf[%d] = %v, want %v", rk.Me(), i, v, want)
+				}
+			}
+		})
+	})
+
+	// Hop trace: p-1 tree links, one cross-rank d2d copy up and one down
+	// per link, two DMA descriptors each — and nothing more. Any host
+	// staging (an RGet to host plus a host put / marshaled AM) would add
+	// descriptors or payload-sized AM bytes and fail these bounds.
+	links := p - 1
+	wantHops := 4 * links
+	if len(trace) != wantHops {
+		t.Errorf("DMA trace has %d hops, want %d (2 per link per direction)", len(trace), wantHops)
+	}
+	for _, h := range trace {
+		if h.Bytes != n*8 {
+			t.Errorf("DMA hop on rank %d moved %d bytes, want %d (whole payload per hop)", h.Rank, h.Bytes, n*8)
+		}
+	}
+	if delta := amBytesAfter - amBytesBefore; delta > 4096 {
+		t.Errorf("collective moved %d AM bytes, want headers only (payload must ride the DMA channel)", delta)
+	}
+}
+
+// --- leaf-side broadcast RPC vs the h2d DMA -------------------------------
+
+// TestCollBcastLeafRPCAfterDeviceDMA is the collective analogue of
+// TestCxRemoteAfterDeviceDMA: on a broadcast over device buffers under a
+// real-time model whose DMA hop is far slower than the wire, each
+// member's RemoteCxAsRPC descriptor must observe the complete payload in
+// its device buffer — i.e. the landing notice rides the copy's final
+// h2d DMA hop, not the wire arrival.
+func TestCollBcastLeafRPCAfterDeviceDMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time model run")
+	}
+	cfg := Config{
+		Ranks:        3,
+		RanksPerNode: 1,
+		Model:        &gasnet.LogGP{L: 20 * time.Microsecond, Gp: time.Microsecond},
+		DMA:          &gasnet.PCIeDMA{L: 4 * time.Millisecond, Gp: 100 * time.Microsecond},
+	}
+	RunConfig(cfg, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, 1<<16)
+		buf := MustNewDeviceArray[uint64](da, cxN)
+		if rk.Me() == 0 {
+			RunKernel(da, buf, cxN, func(s []uint64) {
+				for i := range s {
+					s[i] = uint64(i + 1)
+				}
+			})
+		}
+		saw := 0 // 1 = payload complete when the RPC ran, 2 = premature
+		fs := BroadcastBufWith(rk.WorldTeam(), 0, buf, cxN,
+			OpCxAsFuture(),
+			RemoteCxAsRPC(func(trk *Rank, dst GPtr[uint64]) {
+				if cxCheckLanded(trk, cxSigArgs{Dst: dst, N: cxN}) {
+					saw = 1
+				} else {
+					saw = 2
+				}
+			}, buf))
+		fs.Op.Wait()
+		waitUntil(t, rk, "leaf-side broadcast rpc", func() bool { return saw != 0 })
+		if saw != 1 {
+			t.Errorf("rank %d: broadcast RPC ran before the h2d DMA landed", rk.Me())
+		}
+		rk.Barrier()
+	})
+}
+
+// --- last-landing piggyback -----------------------------------------------
+
+// TestCollLastLandingPiggyback pins the conduit's counted remote AM: a
+// multi-fragment put to one rank fires its remote RPC from the
+// last-landing fragment, observing every fragment's bytes, and costs
+// zero extra wire messages (the old implementation gated initiator-side
+// and shipped a separate AM after all acks returned).
+func TestCollLastLandingPiggyback(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		dst := MustNewArray[uint64](rk, cxN)
+		flag := MustNewArray[uint64](rk, 1)
+		obj := NewDistObject(rk, [2]GPtr[uint64]{dst, flag})
+		rk.Barrier()
+		if rk.Me() == 0 {
+			tg := FetchDist[[2]GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			src := make([]uint64, cxN)
+			for i := range src {
+				src[i] = uint64(i + 1)
+			}
+			var frags []PutPair[uint64]
+			for f := 0; f < 4; f++ {
+				frags = append(frags, PutPair[uint64]{Src: src[f*4 : (f+1)*4], Dst: tg[0].Add(f * 4)})
+			}
+			before := rk.World().Network().Endpoint(0).Stats().AMs
+			fs := RPutVWith(rk, frags, OpCxAsFuture(),
+				RemoteCxAsRPC(cxSignalBody, cxSigArgs{Dst: tg[0], Flag: tg[1], N: cxN}))
+			fs.Op.Wait()
+			after := rk.World().Network().Endpoint(0).Stats().AMs
+			if after != before {
+				t.Errorf("notification cost %d extra wire AMs, want 0 (piggyback on the last-landing fragment)", after-before)
+			}
+			waitUntil(t, rk, "last-landing rpc", func() bool { return readFlag(rk, tg[1]) != 0 })
+			if got := readFlag(rk, tg[1]); got != 1 {
+				t.Errorf("remote RPC observed partial data (flag=%d)", got)
+			}
+		}
+		rk.Barrier()
+	})
+}

@@ -186,12 +186,14 @@ type cxPlan struct {
 
 	// Remote-RPC notification. For a single-fragment put/copy the AM is
 	// handed to the conduit, which fires it at the destination when the
-	// final hop lands (remoteAM consumed via takeConduitAM). Multi-fragment
-	// operations gate it initiator-side instead: once every fragment's ack
-	// is in (data visible everywhere), a one-way AM carries it over.
+	// final hop lands; a multi-fragment batch to one destination shares a
+	// counted AM that the conduit enqueues when the *last-landing*
+	// fragment arrives (no initiator-side gating round trip). Only a
+	// batch with no put/copy carrier at all falls back to shipping the
+	// notification as a plain AM from opDone. Collectives fire it
+	// member-side through collRemoteLocal instead.
 	remoteAM   *gasnet.RemoteAM
 	remotePeer Intrank
-	gated      bool
 
 	nops atomic.Int64 // outstanding conduit operations
 }
@@ -227,6 +229,14 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 	case RemoteDone:
 		if kind == opGet || kind == opAMO {
 			panic(fmt.Sprintf("upcxx: %s requested on a %s, which has no remote-completion event", cx.ev, kind))
+		}
+		if kind == opColl && cx.kind != cxRPC {
+			// A collective's "remote" side is every member; the only
+			// deliverable event is the member-side RPC fired when the
+			// collective's data lands locally. An initiator-side
+			// remote future/promise/LPC would need an ack wave (a
+			// second barrier) to mean anything.
+			panic(fmt.Sprintf("upcxx: %s on a collective is deliverable only as_rpc (fired at each member when the data lands)", cx.ev))
 		}
 		if c.remotePeer < 0 {
 			panic(fmt.Sprintf("upcxx: %s requires a single destination rank (vector operations with mixed destinations cannot carry one)", cx.ev))
@@ -296,18 +306,38 @@ func (c *cxPlan) eventFuture(ev CxEvent) *Future[Unit] {
 	}
 }
 
-// takeConduitAM hands the remote-RPC notification to the conduit for the
-// single-fragment fast path; subsequent calls (and the gated fallback)
-// see nil. For multi-fragment plans the caller leaves the AM in place and
-// marks the plan gated.
+// takeConduitAM hands the remote-RPC notification to the conduit:
+// inject calls it once per batch and attaches the AM to every put/copy
+// fragment (counted, so the last-landing fragment enqueues it at the
+// target). Subsequent calls see nil; a batch with no carrier leaves the
+// AM in place for opDone's plain-AM fallback.
 func (c *cxPlan) takeConduitAM() *gasnet.RemoteAM {
-	if c.gated {
-		return nil
-	}
 	am := c.remoteAM
 	c.remoteAM = nil
 	return am
 }
+
+// collRemoteLocal fires a collective's member-side remote-RPC
+// descriptor on the calling goroutine — always the rank's execution
+// persona, reached from the arrival path strictly after the
+// collective's data has landed locally (post-DMA for device operands).
+// Idempotent: the descriptor fires at most once per collective.
+func (c *cxPlan) collRemoteLocal() {
+	am := c.remoteAM
+	if am == nil {
+		return
+	}
+	c.remoteAM = nil
+	initiator, args, err := decodeRemoteCx(am.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("upcxx: rank %d corrupt collective remote-cx payload: %v", c.rk.me, err))
+	}
+	am.Aux.(rpcFFInvoker)(c.rk, initiator, args)
+}
+
+// collOpDone delivers a collective's operation completions to their
+// initiating personas (the collective analogue of the last opDone).
+func (c *cxPlan) collOpDone() { deliver(c.op) }
 
 // deliver routes one bucket of completions, each to its persona's LPC
 // queue. Delivery is always by LPC: the firing goroutine is whichever one
@@ -327,9 +357,9 @@ func (c *cxPlan) sourceDone() { deliver(c.src) }
 
 // opDone notes one fragment's completion; the last one fires operation
 // and remote completions. Conduit acks imply remote visibility in this
-// conduit, so initiator-side remote deliveries ride the same edge, and a
-// gated remote RPC is shipped now — one one-way AM, no round trip, sent
-// only when the data is visible everywhere.
+// conduit, so initiator-side remote deliveries ride the same edge. A
+// remote RPC still held here belongs to a batch with no put/copy
+// carrier; it ships now as one one-way AM.
 func (c *cxPlan) opDone() {
 	if c.nops.Add(-1) != 0 {
 		return

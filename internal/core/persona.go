@@ -20,13 +20,15 @@ import (
 // the goroutine holding their owning persona.
 //
 // Each rank has a distinguished master persona (held by the rank's SPMD
-// goroutine during World.Run; collectives must run on it) and, in
-// progress-thread mode, an internal progress persona owned by the
-// progress goroutine (incoming RPC bodies execute there). Any other
-// goroutine that performs communication on a rank is bound a default
-// persona automatically, or can create and activate personas explicitly
-// with NewPersona and AcquirePersona (the analogue of
-// upcxx::persona_scope).
+// goroutine during World.Run) and, in progress-thread mode, an internal
+// progress persona owned by the progress goroutine (incoming RPC bodies
+// and the collectives engine execute there). Any other goroutine that
+// performs communication on a rank is bound a default persona
+// automatically, or can create and activate personas explicitly with
+// NewPersona and AcquirePersona (the analogue of upcxx::persona_scope).
+// Collectives may be initiated from any persona: entry is handed off to
+// the rank's execution persona and completions route back to the
+// initiator (see coll.go).
 
 // lpcNode is one entry of a persona's LPC queue: an intrusive
 // multi-producer stack node. Producers push with a CAS; the owning
@@ -201,8 +203,9 @@ func (rk *Rank) CurrentPersona() *Persona { return rk.currentPersona() }
 
 // MasterPersona returns the rank's master persona
 // (upcxx::master_persona): the persona World.Run activates on the rank's
-// SPMD goroutine, and the only persona from which collectives may be
-// initiated.
+// SPMD goroutine, and — outside progress-thread mode — the rank's
+// durable execution persona (incoming RPC bodies and collective state
+// advance there).
 func (rk *Rank) MasterPersona() *Persona { return rk.master }
 
 // ProgressPersona returns the persona owned by the rank's dedicated
@@ -215,13 +218,17 @@ func (rk *Rank) ProgressPersona() *Persona {
 	return rk.progressP
 }
 
-// requireMaster panics unless the calling goroutine's current persona
-// for rk is the master persona — the UPC++ precondition on collective
-// operations.
-func (rk *Rank) requireMaster(op string) {
-	if rk.currentPersona() != rk.master {
-		panic(fmt.Sprintf("upcxx: %s must be called from rank %d's master persona (held by the World.Run goroutine)", op, rk.me))
+// execPersona returns the rank's durable execution persona: the
+// progress persona in progress-thread mode, the master persona
+// otherwise. Incoming RPC bodies run on it (execBody) and the
+// collectives engine advances on it, which is what lets any persona
+// initiate a collective — the owner handoff replaces the old
+// master-persona pin (and its panic) entirely.
+func (rk *Rank) execPersona() *Persona {
+	if rk.w.cfg.ProgressThread {
+		return rk.progressP
 	}
+	return rk.master
 }
 
 // PersonaScope pins a persona to the calling goroutine for a region of

@@ -1,7 +1,9 @@
 package upcxx
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -214,15 +216,27 @@ func TestPersonaCompletionDeliveredToInitiator(t *testing.T) {
 	})
 }
 
-func TestPersonaCollectivesRequireMaster(t *testing.T) {
+func TestPersonaCollectivesFromAnyPersona(t *testing.T) {
+	// Collectives no longer pin to the master persona: any persona may
+	// initiate, entry is handed off to the rank's execution persona, and
+	// the completion routes back to the initiating persona. The master
+	// keeps progressing (in non-progress-thread mode the engine advances
+	// on the master persona, same attentiveness rule as incoming RPCs).
 	Run(1, func(rk *Rank) {
-		done := make(chan bool)
+		var done atomic.Bool
 		go func() {
-			defer func() { done <- recover() != nil }()
+			defer done.Store(true)
 			rk.Barrier()
+			got := AllReduce(rk.WorldTeam(), int64(41),
+				func(a, b int64) int64 { return a + b }).Wait()
+			if got != 41 {
+				t.Errorf("off-master allreduce = %d, want 41", got)
+			}
 		}()
-		if !<-done {
-			t.Error("Barrier off the master persona should panic")
+		for !done.Load() {
+			if rk.Progress() == 0 {
+				runtime.Gosched()
+			}
 		}
 	})
 }

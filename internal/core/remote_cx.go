@@ -42,43 +42,21 @@ func RPutThenRemote[T serial.Scalar, A any](rk *Rank, src []T, dst GPtr[T], fn f
 }
 
 // Gather collects every team member's value at the root (flat, for
-// modest team sizes; the binomial collectives cover the scalable cases).
+// modest team sizes; the tree collectives cover the scalable cases).
 // The root's future yields values indexed by team rank; other members'
 // futures ready once their contribution is sent.
 func Gather[T any](t *Team, root Intrank, val T) Future[[]T] {
-	rk := t.rk
-	rk.requireMaster("Gather")
-	// Rotate so gatherBytes' fixed root 0 maps onto the requested root.
-	// Implemented directly: non-roots RPC their value to the root's
-	// collector keyed by a collective sequence number.
-	seq := rk.nextCollSeq(t.id)
-	p := int(t.RankN())
-	prom := NewPromise[[]T](rk)
-	if p == 1 {
-		prom.FulfillResult([]T{val})
-		return prom.Future()
-	}
-	key := collKey{t.id, seq}
-	if t.me != root {
-		rk.sendColl(t, root, seq, collGather, 0, mustMarshal(val))
-		prom.FulfillResult(nil)
-		return prom.Future()
-	}
-	st := rk.getColl(key)
-	check := func() {
-		if len(st.parts) == p-1 {
-			out := make([]T, p)
-			out[root] = val
-			for r, b := range st.parts {
-				mustUnmarshal(b, &out[r])
-			}
-			delete(rk.collStates, key)
-			prom.FulfillResult(out)
+	g := gatherBytesAt(t, root, mustMarshal(val))
+	return Then(g, func(bs [][]byte) []T {
+		if bs == nil {
+			return nil
 		}
-	}
-	st.onPart = check
-	check()
-	return prom.Future()
+		out := make([]T, len(bs))
+		for i, b := range bs {
+			mustUnmarshal(b, &out[i])
+		}
+		return out
+	})
 }
 
 // AllGather collects every member's value everywhere (gather to team

@@ -29,6 +29,14 @@ const (
 	opGet
 	opCopy
 	opAMO
+	// opAM is a one-way Active Message hop (collective headers): captured
+	// and handed to the conduit synchronously, so its operation edge fires
+	// at injection, like a fire-and-forget RPC.
+	opAM
+	// opColl names a whole collective operation for completion-descriptor
+	// validation; collectives resolve their cxPlan against it and lower
+	// each round to opAM / opCopy operations.
+	opColl
 )
 
 // String returns the kind mnemonic (used in completion-validation faults).
@@ -42,6 +50,10 @@ func (k opKind) String() string {
 		return "copy"
 	case opAMO:
 		return "atomic"
+	case opAM:
+		return "am"
+	case opColl:
+		return "collective"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -68,6 +80,9 @@ type rmaOp struct {
 	amo        gasnet.AMOOp
 	amoA, amoB uint64
 	onOld      func(uint64) // runs with the previous value before op-cx fires
+
+	amID  gasnet.HandlerID // opAM: handler; buf carries the payload
+	amAux any              // opAM: opaque code-reference token
 }
 
 // inject hands a batch of lowered operations to the conduit with the
@@ -79,24 +94,38 @@ type rmaOp struct {
 func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 	cx.nops.Store(int64(len(ops)) + 1)
 	rk.deferOp(func() {
+		// Remote-RPC notification: with one put/copy fragment the AM rides
+		// that fragment's hop chain; with several (all to one destination,
+		// validated at plan construction) the same AM is attached to every
+		// fragment, counted, and the conduit enqueues it at the target when
+		// the *last-landing* fragment arrives — destination-side timing,
+		// no initiator gating round trip. A batch with no carrier leaves
+		// it for the sentinel opDone to ship as a plain AM.
+		var rem *gasnet.RemoteAM
+		if n := remoteCarriers(ops); n > 0 {
+			rem = cx.takeConduitAM()
+			if rem != nil && n > 1 {
+				rem.SetFragments(n)
+			}
+		}
+		// One completion thunk serves every fragment. LPC deliveries
+		// precede the actCount decrement: a quiescing owner must never
+		// observe actQ empty while a completion is unqueued.
+		onDone := func() {
+			cx.opDone()
+			rk.actCount.Add(-1)
+		}
 		for i := range ops {
 			op := &ops[i]
 			rk.actCount.Add(1)
-			onDone := func() {
-				// LPC deliveries precede the actCount decrement: a
-				// quiescing owner must never observe actQ empty while a
-				// completion is unqueued.
-				cx.opDone()
-				rk.actCount.Add(-1)
-			}
 			switch op.kind {
 			case opPut:
-				rk.ep.PutSeg(gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.buf, onDone, cx.takeConduitAM())
+				rk.ep.PutSeg(gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.buf, onDone, rem)
 			case opGet:
 				rk.ep.GetSeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff, op.buf, onDone)
 			case opCopy:
 				rk.ep.CopySeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff,
-					gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.nbytes, onDone, cx.takeConduitAM())
+					gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.nbytes, onDone, rem)
 			case opAMO:
 				onOld := op.onOld
 				rk.ep.AMO(gasnetRank(op.dstPeer), op.dstOff, op.amo, op.amoA, op.amoB, func(old uint64) {
@@ -105,6 +134,11 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 					}
 					onDone()
 				})
+			case opAM:
+				// One-way message: the conduit captures the payload before
+				// AM returns, so the operation edge fires at injection.
+				rk.ep.AM(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux)
+				onDone()
 			default:
 				panic(fmt.Sprintf("upcxx: inject of unknown op kind %d", op.kind))
 			}
@@ -120,15 +154,22 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 	})
 }
 
+// remoteCarriers counts the operations of a batch whose hop chains can
+// carry a remote-completion AM to the destination.
+func remoteCarriers(ops []rmaOp) int {
+	n := 0
+	for i := range ops {
+		if ops[i].kind == opPut || ops[i].kind == opCopy {
+			n++
+		}
+	}
+	return n
+}
+
 // injectCx builds the plan for cxs, injects ops under it, and returns the
 // requested futures.
 func (rk *Rank) injectCx(ops []rmaOp, kind opKind, remotePeer Intrank, cxs []Cx) CxFutures {
 	cx := newCxPlan(rk, kind, remotePeer, cxs)
-	// Multi-fragment remote RPCs are gated initiator-side: the conduit AM
-	// would fire when *one* fragment lands, not when all have.
-	if len(ops) != 1 && cx.remoteAM != nil {
-		cx.gated = true
-	}
 	rk.inject(ops, cx)
 	return cx.futs
 }

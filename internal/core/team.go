@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-
-	"upcxx/internal/gasnet"
-	"upcxx/internal/serial"
 )
 
 // Team is an ordered subset of the job's ranks (cf. upcxx::team / an MPI
 // communicator). Teams are the unit over which collectives run, and —
 // unlike symmetric-heap designs the paper argues against — a team carries
 // no per-rank storage anywhere except on its own members.
+//
+// The collective machinery itself lives in coll.go: a per-rank engine
+// drives pluggable tree topologies and lowers every round through the
+// single Rank.inject path. This file keeps the team structure and the
+// blocking/default-completion wrappers.
 type Team struct {
 	rk    *Rank
 	id    uint64
@@ -82,192 +84,12 @@ func (t *Team) String() string {
 	return fmt.Sprintf("team %#x (%d ranks, me=%d)", t.id, len(t.ranks), t.me)
 }
 
-// --- collective plumbing -------------------------------------------------
+// --- default-completion wrappers ------------------------------------------
 
-type collKey struct {
-	team uint64
-	seq  uint64
-}
-
-const (
-	collBarrier uint8 = 1 + iota
-	collBcast
-	collReduce
-	collGather
-)
-
-// collState holds one in-flight collective's per-rank state. A state is
-// created either by local entry into the collective or by an early-arriving
-// message from a teammate, and deleted at local completion.
-type collState struct {
-	// barrier (dissemination)
-	arrived    map[uint8]bool
-	barAdvance func()
-
-	// broadcast (binomial)
-	bcastData []byte
-	hasBcast  bool
-	onBcast   func([]byte)
-
-	// reduction (binomial, toward team rank 0)
-	contribBuf [][]byte
-	onContrib  func([]byte)
-
-	// gather (flat, toward team rank 0; used by Split only)
-	parts  map[Intrank][]byte
-	onPart func()
-}
-
-func (rk *Rank) getColl(key collKey) *collState {
-	st, ok := rk.collStates[key]
-	if !ok {
-		st = &collState{arrived: make(map[uint8]bool), parts: make(map[Intrank][]byte)}
-		rk.collStates[key] = st
-	}
-	return st
-}
-
-func (rk *Rank) nextCollSeq(team uint64) uint64 {
-	s := rk.collSeqs[team]
-	rk.collSeqs[team] = s + 1
-	return s
-}
-
-// sendColl ships one collective message to a teammate.
-func (rk *Rank) sendColl(t *Team, destTeamRank Intrank, seq uint64, kind, round uint8, data []byte) {
-	e := serial.NewEncoder(make([]byte, 0, 22+len(data)))
-	e.PutU64(t.id)
-	e.PutU64(seq)
-	e.PutU8(kind)
-	e.PutU32(uint32(t.me))
-	e.PutU8(round)
-	e.PutRaw(data)
-	payload := e.Bytes()
-	world := t.ranks[destTeamRank]
-	rk.deferOp(func() {
-		rk.ep.AM(gasnetRank(world), rk.w.amColl, payload, nil)
-	})
-}
-
-// handleColl is the conduit AM handler for collective traffic. The AM
-// may be harvested by any goroutine making user-level progress (in
-// progress-thread mode, the progress goroutine); the collective state
-// machine itself always advances as an LPC on the master persona, which
-// keeps collStates and the per-collective closures single-threaded —
-// collectives are master-persona operations end to end. Message payload
-// buffers are unique per message, so retaining sub-slices is safe.
-func (w *World) handleColl(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, _ any) {
-	rk := w.ranks[ep.Rank()]
-	rk.master.LPC(func() { rk.applyColl(src, payload) })
-}
-
-// applyColl advances one collective's state machine with an arrived
-// message. It runs only on the goroutine holding the master persona.
-func (rk *Rank) applyColl(src gasnet.Rank, payload []byte) {
-	d := serial.NewDecoder(payload)
-	team := d.U64()
-	seq := d.U64()
-	kind := d.U8()
-	srcTeamRank := Intrank(d.U32())
-	round := d.U8()
-	rest := d.Raw(d.Remaining())
-	if d.Err() != nil {
-		panic(fmt.Sprintf("upcxx: rank %d malformed collective message from %d", rk.me, src))
-	}
-	st := rk.getColl(collKey{team, seq})
-	switch kind {
-	case collBarrier:
-		st.arrived[round] = true
-		if st.barAdvance != nil {
-			st.barAdvance()
-		}
-	case collBcast:
-		st.bcastData = rest
-		st.hasBcast = true
-		if st.onBcast != nil {
-			st.onBcast(rest)
-		}
-	case collReduce:
-		if st.onContrib != nil {
-			st.onContrib(rest)
-		} else {
-			st.contribBuf = append(st.contribBuf, rest)
-		}
-	case collGather:
-		st.parts[srcTeamRank] = rest
-		if st.onPart != nil {
-			st.onPart()
-		}
-	default:
-		panic(fmt.Sprintf("upcxx: unknown collective kind %d", kind))
-	}
-}
-
-func ceilLog2(n int) int {
-	r := 0
-	for (1 << r) < n {
-		r++
-	}
-	return r
-}
-
-// bcastChildren returns the binomial-tree children of relative rank rr in
-// a team of size p (tree rooted at relative rank 0): rr + 2^k for every
-// 2^k > rr with rr + 2^k < p. The parent of rr > 0 is rr with its highest
-// set bit cleared.
-func bcastChildren(rr, p int) []int {
-	var out []int
-	for k := 0; (1 << k) < p; k++ {
-		step := 1 << k
-		if step <= rr {
-			continue
-		}
-		if c := rr + step; c < p {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-// --- barrier --------------------------------------------------------------
-
-// BarrierAsync begins a non-blocking dissemination barrier over the team
-// and returns a future that readies once every member has entered it.
-// At most one barrier per team may be in flight from each rank (they
-// complete in order regardless).
-func (t *Team) BarrierAsync() Future[Unit] {
-	rk := t.rk
-	rk.requireMaster("BarrierAsync")
-	p := int(t.RankN())
-	seq := rk.nextCollSeq(t.id)
-	prom := NewPromise[Unit](rk)
-	if p == 1 {
-		prom.FulfillResult(Unit{})
-		return prom.Future()
-	}
-	key := collKey{t.id, seq}
-	st := rk.getColl(key)
-	rounds := ceilLog2(p)
-	round := 0
-	send := func(r int) {
-		peer := Intrank((int(t.me) + (1 << r)) % p)
-		rk.sendColl(t, peer, seq, collBarrier, uint8(r), nil)
-	}
-	st.barAdvance = func() {
-		for st.arrived[uint8(round)] {
-			round++
-			if round == rounds {
-				delete(rk.collStates, key)
-				prom.FulfillResult(Unit{})
-				return
-			}
-			send(round)
-		}
-	}
-	send(0)
-	st.barAdvance()
-	return prom.Future()
-}
+// BarrierAsync begins a non-blocking barrier over the team and returns a
+// future that readies once every member has entered it. Collectives on
+// one team complete in initiation order.
+func (t *Team) BarrierAsync() Future[Unit] { return t.BarrierAsyncWith().Op }
 
 // Barrier blocks until every team member has entered it.
 func (t *Team) Barrier() { t.BarrierAsync().Wait() }
@@ -278,156 +100,31 @@ func (rk *Rank) Barrier() { rk.worldTeam.Barrier() }
 // BarrierAsync is the job-wide non-blocking barrier.
 func (rk *Rank) BarrierAsync() Future[Unit] { return rk.worldTeam.BarrierAsync() }
 
-// --- broadcast -------------------------------------------------------------
-
-// Broadcast distributes root's value to every team member along a binomial
-// tree, returning a future for the value. Every member must call it (with
-// its own val ignored except at root) in matching collective order. These
-// non-blocking collectives are the "current work" the paper's conclusion
-// describes, built from the same AM machinery.
+// Broadcast distributes root's value to every team member along the
+// team's tree, returning a future for the value. Every member must call
+// it (with its own val ignored except at root) in matching collective
+// order. These non-blocking collectives are the "current work" the
+// paper's conclusion describes, built from the same injection machinery
+// as RMA.
 func Broadcast[T any](t *Team, root Intrank, val T) Future[T] {
-	rk := t.rk
-	rk.requireMaster("Broadcast")
-	p := int(t.RankN())
-	seq := rk.nextCollSeq(t.id)
-	prom := NewPromise[T](rk)
-	if p == 1 {
-		prom.FulfillResult(val)
-		return prom.Future()
-	}
-	key := collKey{t.id, seq}
-	st := rk.getColl(key)
-	rr := (int(t.me) - int(root) + p) % p
-	forward := func(data []byte) {
-		for _, crel := range bcastChildren(rr, p) {
-			child := Intrank((crel + int(root)) % p)
-			rk.sendColl(t, child, seq, collBcast, 0, data)
-		}
-	}
-	if int(t.me) == int(root) {
-		data := mustMarshal(val)
-		forward(data)
-		delete(rk.collStates, key)
-		prom.FulfillResult(val)
-		return prom.Future()
-	}
-	st.onBcast = func(data []byte) {
-		forward(data)
-		var v T
-		mustUnmarshal(data, &v)
-		delete(rk.collStates, key)
-		prom.FulfillResult(v)
-	}
-	if st.hasBcast {
-		st.onBcast(st.bcastData)
-	}
-	return prom.Future()
+	f, _ := BroadcastWith(t, root, val)
+	return f
 }
 
-// --- reduction ---------------------------------------------------------------
-
-// ReduceOne combines every member's val with op along a binomial tree,
+// ReduceOne combines every member's val with op along the team's tree,
 // delivering the result at team rank 0 (other ranks' futures ready with
 // the zero value once their subtree contribution is sent). op must be
 // associative and commutative.
 func ReduceOne[T any](t *Team, val T, op func(T, T) T) Future[T] {
-	rk := t.rk
-	rk.requireMaster("ReduceOne")
-	p := int(t.RankN())
-	seq := rk.nextCollSeq(t.id)
-	prom := NewPromise[T](rk)
-	if p == 1 {
-		prom.FulfillResult(val)
-		return prom.Future()
-	}
-	key := collKey{t.id, seq}
-	st := rk.getColl(key)
-	rr := int(t.me)
-	expect := len(bcastChildren(rr, p))
-	acc := val
-	got := 0
-	finish := func() {
-		delete(rk.collStates, key)
-		if rr == 0 {
-			prom.FulfillResult(acc)
-		} else {
-			parent := Intrank(rr &^ highestSetBit(rr))
-			rk.sendColl(t, parent, seq, collReduce, 0, mustMarshal(acc))
-			var zero T
-			prom.FulfillResult(zero)
-		}
-	}
-	st.onContrib = func(data []byte) {
-		var v T
-		mustUnmarshal(data, &v)
-		acc = op(acc, v)
-		got++
-		if got == expect {
-			finish()
-		}
-	}
-	if expect == 0 {
-		finish()
-		return prom.Future()
-	}
-	buffered := st.contribBuf
-	st.contribBuf = nil
-	for _, b := range buffered {
-		st.onContrib(b)
-	}
-	return prom.Future()
+	f, _ := ReduceOneWith(t, val, op)
+	return f
 }
 
-// AllReduce combines every member's val with op and delivers the result to
-// every member (reduce to team rank 0, then broadcast).
+// AllReduce combines every member's val with op and delivers the result
+// to every member (up the tree, then back down within one collective).
 func AllReduce[T any](t *Team, val T, op func(T, T) T) Future[T] {
-	red := ReduceOne(t, val, op)
-	return ThenFut(red, func(v T) Future[T] {
-		return Broadcast(t, 0, v)
-	})
-}
-
-func highestSetBit(x int) int {
-	h := 1
-	for h<<1 <= x {
-		h <<= 1
-	}
-	return h
-}
-
-// --- gather (flat; split support) ------------------------------------------
-
-// gatherBytes collects one byte payload per member at team rank 0. The
-// root's future yields the payloads indexed by team rank; other members'
-// futures ready immediately with nil. Flat and therefore non-scalable; the
-// runtime uses it only for team construction.
-func gatherBytes(t *Team, data []byte) Future[[][]byte] {
-	rk := t.rk
-	rk.requireMaster("gather")
-	p := int(t.RankN())
-	seq := rk.nextCollSeq(t.id)
-	prom := NewPromise[[][]byte](rk)
-	key := collKey{t.id, seq}
-	if t.me != 0 {
-		rk.sendColl(t, 0, seq, collGather, 0, data)
-		prom.FulfillResult(nil)
-		return prom.Future()
-	}
-	st := rk.getColl(key)
-	check := func() {
-		if len(st.parts) == p-1 {
-			out := make([][]byte, p)
-			out[0] = data
-			for r, b := range st.parts {
-				out[r] = b
-			}
-			delete(rk.collStates, key)
-			prom.FulfillResult(out)
-		}
-	}
-	st.onPart = check
-	check()
-	return prom.Future()
+	f, _ := AllReduceWith(t, val, op)
+	return f
 }
 
 // --- split -------------------------------------------------------------------
@@ -449,11 +146,13 @@ type splitGroup struct {
 // matching order.
 func (t *Team) Split(color, key int) *Team {
 	rk := t.rk
+	rk.teamMu.Lock()
 	idx := rk.splitSeqs[t.id]
 	rk.splitSeqs[t.id] = idx + 1
+	rk.teamMu.Unlock()
 
 	me := splitEntry{Color: int64(color), Key: int64(key), World: rk.me}
-	gathered := gatherBytes(t, mustMarshal(me)).Wait()
+	gathered := gatherBytesAt(t, 0, mustMarshal(me)).Wait()
 
 	var groups []splitGroup
 	if t.me == 0 {
@@ -491,7 +190,6 @@ func (t *Team) Split(color, key int) *Team {
 		if nt.me < 0 {
 			continue
 		}
-		rk.teams[nt.id] = nt
 		return nt
 	}
 	panic(fmt.Sprintf("upcxx: rank %d not present in any split group", rk.me))

@@ -89,6 +89,45 @@ func FuzzRemoteCxWire(f *testing.F) {
 	})
 }
 
+// FuzzCollWire hammers the collective wire header (team/seq/kind/round/
+// src + payload) with hostile bytes: the decoder must never panic, never
+// accept an unknown kind, round, or out-of-range sender, and anything it
+// does accept must re-encode to the identical canonical bytes.
+func FuzzCollWire(f *testing.F) {
+	f.Add(encodeCollMsg(collMsg{team: 0, seq: 0, kind: collBarrier, round: collRoundUp}))
+	f.Add(encodeCollMsg(collMsg{team: 7, seq: 3, kind: collBcast, round: collRoundDown, src: 2, data: []byte{1, 2, 3}}))
+	f.Add(encodeCollMsg(collMsg{team: 1 << 40, seq: 1 << 20, kind: collLand, round: collRoundUp,
+		src: 1<<31 - 1, data: bytes.Repeat([]byte{0xaa}, 64)}))
+	f.Add(encodeCollMsg(collMsg{team: 9, seq: 1, kind: collAddr, round: collRoundDown, src: 5,
+		data: encodeCollAddr(collBufAddr{kind: 1, dev: 2, off: 4096})}))
+	f.Add([]byte{})
+	f.Add([]byte{collMagic})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	// Unknown kind 200 plus a huge uvarint payload length.
+	hostile := encodeCollMsg(collMsg{team: 1, seq: 1, kind: collReduce, round: 0, src: 0})
+	hostile[18] = 200
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeCollMsg(data)
+		if err != nil {
+			return
+		}
+		if m.kind == 0 || m.kind > collKindMax {
+			t.Fatalf("decoder accepted unknown kind %d from % x", m.kind, data)
+		}
+		if m.round > collRoundDown {
+			t.Fatalf("decoder accepted unknown round %d from % x", m.round, data)
+		}
+		if m.src > 1<<31-1 {
+			t.Fatalf("decoder accepted out-of-range sender %d from % x", m.src, data)
+		}
+		re := encodeCollMsg(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("wire form not canonical: % x -> %+v -> % x", data, m, re)
+		}
+	})
+}
+
 // FuzzGPtrDecode throws arbitrary bytes at the GPtr decoder: it must
 // never accept a kind-mismatched pointer, and anything it does accept
 // must re-encode to the identical canonical bytes.

@@ -37,9 +37,17 @@ type Config struct {
 	// incoming RPC execution) so ranks stay attentive while their user
 	// goroutines compute, and multiple user goroutines can share one
 	// rank: each goroutine's completions are delivered to its own
-	// persona and drained by its own Progress/Wait calls. Collectives
-	// must still be initiated from the master persona.
+	// persona and drained by its own Progress/Wait calls. The
+	// collectives engine advances on the progress persona in this mode,
+	// so collectives make headway even while every user goroutine of a
+	// rank computes.
 	ProgressThread bool
+	// CollRadix selects the collective tree topology: 0 (the default)
+	// uses a binomial tree (radix 2), k >= 2 a k-nomial tree of that
+	// radix, and 1 the flat tree (the root exchanges with every member
+	// directly). Teams of at most 4 ranks always use the flat tree. All
+	// ranks share one Config, so the shapes agree job-wide.
+	CollRadix int
 }
 
 // World is one UPC++ job: a fixed set of ranks over one conduit instance.
@@ -90,17 +98,14 @@ func NewWorld(cfg Config) *World {
 			me:         Intrank(r),
 			n:          Intrank(cfg.Ranks),
 			rpcPending: make(map[uint64]func([]byte)),
-			collStates: make(map[collKey]*collState),
-			collSeqs:   make(map[uint64]uint64),
 			splitSeqs:  make(map[uint64]uint64),
-			teams:      make(map[uint64]*Team),
 			distObjs:   make(map[uint64]any),
 			distWaits:  make(map[uint64][]distWaiter),
 		}
+		rk.coll = newCollEngine(rk, cfg.CollRadix)
 		rk.master = NewPersona(rk, "master")
 		rk.progressP = NewPersona(rk, "progress")
 		rk.worldTeam = newWorldTeam(rk)
-		rk.teams[worldTeamID] = rk.worldTeam
 		w.ranks[r] = rk
 	}
 	if cfg.ProgressThread {
@@ -204,11 +209,15 @@ type Rank struct {
 	rpcSeq     uint64
 	rpcPending map[uint64]func(payload []byte)
 
-	collStates map[collKey]*collState
-	collSeqs   map[uint64]uint64 // per-team collective sequence numbers
-	splitSeqs  map[uint64]uint64 // per-team split counters
-	teams      map[uint64]*Team
-	worldTeam  *Team
+	coll *collEngine // per-rank collectives engine (coll.go)
+
+	// teamMu guards the split counters: Split runs on the calling
+	// goroutine (any persona may initiate collectives), so the map
+	// needs its own exclusion — the engine handoff only covers the
+	// engine's state.
+	teamMu    sync.Mutex
+	splitSeqs map[uint64]uint64 // per-team split counters
+	worldTeam *Team
 
 	distMu    sync.Mutex
 	distSeq   uint64

@@ -56,7 +56,41 @@ type Network struct {
 	hmu      sync.Mutex
 	handlers []AMHandler
 
+	// DMA hop trace: when armed, every device copy-engine descriptor is
+	// recorded so tests can prove a transfer path (e.g. that a
+	// device-resident collective moved its payload exclusively through
+	// the DMA channel, with zero host-staging copies).
+	dmaTraceOn atomic.Bool
+	dmaMu      sync.Mutex
+	dmaTrace   []DMAHop
+
 	closed atomic.Bool
+}
+
+// DMAHop records one device copy-engine descriptor: the rank whose
+// engine executed it and the bytes it moved.
+type DMAHop struct {
+	Rank  Rank
+	Bytes int
+}
+
+// TraceDMA arms (or disarms) the DMA hop trace, clearing any prior
+// record. Tracing is for tests and tooling; it serializes descriptor
+// accounting while armed.
+func (n *Network) TraceDMA(on bool) {
+	n.dmaMu.Lock()
+	n.dmaTrace = nil
+	n.dmaMu.Unlock()
+	n.dmaTraceOn.Store(on)
+}
+
+// DMATrace returns a copy of the hops recorded since TraceDMA(true).
+func (n *Network) DMATrace() []DMAHop {
+	n.dmaMu.Lock()
+	defer n.dmaMu.Unlock()
+	out := make([]DMAHop, len(n.dmaTrace))
+	copy(out, n.dmaTrace)
+	return out
 }
 
 // NewNetwork creates the conduit for a job.
@@ -288,6 +322,11 @@ func (ep *Endpoint) Stats() Stats {
 func (ep *Endpoint) countDMA(n int) {
 	ep.dmas.Add(1)
 	ep.dmaBytes.Add(uint64(n))
+	if ep.net.dmaTraceOn.Load() {
+		ep.net.dmaMu.Lock()
+		ep.net.dmaTrace = append(ep.net.dmaTrace, DMAHop{Rank: ep.rank, Bytes: n})
+		ep.net.dmaMu.Unlock()
+	}
 }
 
 func (ep *Endpoint) enqueueComp(f func()) {
@@ -429,18 +468,34 @@ func spinFor(d time.Duration) {
 // enqueued on the destination at the landing timestamp of the final
 // wire/DMA hop, costs no extra wire message, and the destination's AM
 // handler is guaranteed to observe the transferred data.
+//
+// One RemoteAM may be shared by every fragment of a multi-fragment
+// operation to a single destination (SetFragments): the conduit counts
+// landings and enqueues the notification exactly once, when the
+// last-landing fragment's bytes are in place — so the handler observes
+// the whole operation without any initiator-side gating round trip.
 type RemoteAM struct {
 	Handler HandlerID
 	Payload []byte
 	Aux     any
+
+	frags atomic.Int32 // shared landing countdown; 0 = single-shot
 }
+
+// SetFragments arms the AM to fire on the n'th landing instead of the
+// first. Call before handing the AM to the conduit.
+func (r *RemoteAM) SetFragments(n int) { r.frags.Store(int32(n)) }
 
 // deliverRemote enqueues rem on dst's AM queue, attributed to this
 // (initiating) endpoint. Callers invoke it only after the data of the
 // owning transfer has been copied into dst's segment, so the enqueue's
-// synchronization publishes the data to the handler.
+// synchronization publishes the data to the handler. A counted AM
+// (SetFragments) is enqueued only by the last-landing fragment.
 func (ep *Endpoint) deliverRemote(dst Rank, rem *RemoteAM) {
 	if rem == nil {
+		return
+	}
+	if rem.frags.Load() > 0 && rem.frags.Add(-1) > 0 {
 		return
 	}
 	ep.net.eps[dst].enqueueAM(inboundAM{src: ep.rank, handler: rem.Handler, payload: rem.Payload, aux: rem.Aux})

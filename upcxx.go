@@ -426,16 +426,64 @@ func NewPromise[T any](rk *Rank) *Promise[T] { return core.NewPromise[T](rk) }
 // MakeView wraps a slice for zero-copy serialization into an RPC.
 func MakeView[T Scalar](s []T) View[T] { return core.MakeView(s) }
 
-// Teams and collectives.
+// Teams and collectives. The collectives engine (internal/core/coll.go)
+// drives every collective over pluggable tree topologies — binomial by
+// default, k-nomial via Config.CollRadix, flat for tiny teams — and
+// lowers every round through the same injection path as RMA, so the
+// …With variants accept the full completion vocabulary: operation
+// completion as futures/promises/LPCs delivered to the initiating
+// persona, and RemoteCxAsRPC executed on each member's execution persona
+// the moment the collective's data lands there (for device operands,
+// after the h2d DMA) — barrier-free multicast/convergence signals.
+// Collectives may be initiated from any persona; completion routes back
+// to the initiator.
 
-// Broadcast distributes root's value over the team (binomial tree).
+// Broadcast distributes root's value over the team's tree.
 func Broadcast[T any](t *Team, root Intrank, val T) Future[T] { return core.Broadcast(t, root, val) }
+
+// BroadcastWith is Broadcast with an explicit completion set, returning
+// the value future plus the requested completion futures.
+func BroadcastWith[T any](t *Team, root Intrank, val T, cxs ...Cx) (Future[T], CxFutures) {
+	return core.BroadcastWith(t, root, val, cxs...)
+}
 
 // ReduceOne combines values toward team rank 0.
 func ReduceOne[T any](t *Team, val T, op func(T, T) T) Future[T] { return core.ReduceOne(t, val, op) }
 
+// ReduceOneWith is ReduceOne with an explicit completion set.
+func ReduceOneWith[T any](t *Team, val T, op func(T, T) T, cxs ...Cx) (Future[T], CxFutures) {
+	return core.ReduceOneWith(t, val, op, cxs...)
+}
+
 // AllReduce combines values and delivers the result everywhere.
 func AllReduce[T any](t *Team, val T, op func(T, T) T) Future[T] { return core.AllReduce(t, val, op) }
+
+// AllReduceWith is AllReduce with an explicit completion set.
+func AllReduceWith[T any](t *Team, val T, op func(T, T) T, cxs ...Cx) (Future[T], CxFutures) {
+	return core.AllReduceWith(t, val, op, cxs...)
+}
+
+// BroadcastBufWith distributes the root's n-element buffer into every
+// member's own local buffer (any memory kind) as kind-aware conduit
+// copies; a RemoteCxAsRPC descriptor fires at each member once the
+// payload is visible in its buffer (device: after the h2d DMA).
+func BroadcastBufWith[T Scalar](t *Team, root Intrank, buf GPtr[T], n int, cxs ...Cx) CxFutures {
+	return core.BroadcastBufWith(t, root, buf, n, cxs...)
+}
+
+// ReduceOneBufWith combines every member's n-element buffer elementwise
+// toward team rank 0's buffer. Device operands reduce device-resident:
+// partials move as DMA-costed copies and fold via RunKernel — no host
+// staging. da is the owning allocator for device operands (nil for host).
+func ReduceOneBufWith[T Scalar](t *Team, da *DeviceAllocator, buf GPtr[T], n int, op func(T, T) T, cxs ...Cx) CxFutures {
+	return core.ReduceOneBufWith(t, da, buf, n, op, cxs...)
+}
+
+// AllReduceBufWith is ReduceOneBufWith with the result fanned back down
+// into every member's buffer.
+func AllReduceBufWith[T Scalar](t *Team, da *DeviceAllocator, buf GPtr[T], n int, op func(T, T) T, cxs ...Cx) CxFutures {
+	return core.AllReduceBufWith(t, da, buf, n, op, cxs...)
+}
 
 // Distributed objects.
 
