@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzGPtrDecode -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRemoteCxWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzCollWire -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRPCWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
@@ -67,7 +68,7 @@ bench-smoke:
 	$(GO) run ./cmd/rma-bench -mode all -model-only
 	$(GO) run ./cmd/kinds-bench -model-only
 	$(GO) run ./cmd/coll-bench -model-only
-	$(GO) run ./cmd/dht-bench -inserts 4
+	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined
 	$(GO) run ./cmd/eadd-bench
 	$(GO) run ./cmd/sympack-bench
 

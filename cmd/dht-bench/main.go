@@ -9,9 +9,15 @@
 // cross-check the model's small-P behaviour, and the P=1 point is the
 // paper's serial std-map baseline.
 //
+// -pipelined additionally compares the blocking insert loop against the
+// completion-vocabulary hot loop (dht.RunInsertPipelinedBench: one value
+// buffer reused under source-cx, all op-cx events pooled on a promise)
+// on the real runtime.
+//
 // Usage:
 //
 //	go run ./cmd/dht-bench [-machine haswell|knl|both] [-inserts n] [-real]
+//	                       [-pipelined]
 package main
 
 import (
@@ -27,9 +33,10 @@ import (
 )
 
 var (
-	machine = flag.String("machine", "both", "haswell, knl, or both")
-	inserts = flag.Int("inserts", 64, "blocking inserts per process per data point")
-	real    = flag.Bool("real", false, "also run the real in-process runtime at small P")
+	machine   = flag.String("machine", "both", "haswell, knl, or both")
+	inserts   = flag.Int("inserts", 64, "blocking inserts per process per data point")
+	real      = flag.Bool("real", false, "also run the real in-process runtime at small P")
+	pipelined = flag.Bool("pipelined", false, "compare blocking vs pipelined (source-cx) insert loops on the real runtime")
 )
 
 // elemSizes are the value sizes swept (same total volume per size, per
@@ -91,6 +98,46 @@ func realRuns() *stats.Table {
 	return t
 }
 
+// pipelinedRuns compares the paper's blocking insert loop against the
+// completion-vocabulary pipeline (RPCOnly mode; the pipelined loop waits
+// only source-cx per insert and one pooled op-cx promise at the end).
+func pipelinedRuns() *stats.Table {
+	t := &stats.Table{
+		Title:  "Insert loop styles — real runtime, RPCOnly mode\n(zero-delay conduit; software-path comparison): aggregate inserts/s",
+		XLabel: "procs",
+		XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.3g", v) },
+	}
+	elem := elemSizes[0]
+	for _, style := range []string{"blocking", "pipelined"} {
+		style := style
+		s := &stats.Series{Name: style}
+		for _, p := range []int{2, 4, 8} {
+			cfg := dht.BenchConfig{ElemSize: elem, VolumePerRank: elem * *inserts, Seed: 7}
+			rates := make([]float64, p)
+			core.RunConfig(core.Config{Ranks: p, SegmentSize: 64 << 20}, func(rk *core.Rank) {
+				d := dht.New(rk, dht.RPCOnly)
+				rk.Barrier()
+				var res dht.BenchResult
+				if style == "pipelined" {
+					res = dht.RunInsertPipelinedBench(rk, d, cfg)
+				} else {
+					res = dht.RunInsertBench(rk, d, cfg)
+				}
+				rates[rk.Me()] = res.InsertsPerSec()
+				rk.Barrier()
+			})
+			agg := 0.0
+			for _, r := range rates {
+				agg += r
+			}
+			s.Add(float64(p), agg)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
 func main() {
 	flag.Parse()
 	if *machine == "haswell" || *machine == "both" {
@@ -103,5 +150,8 @@ func main() {
 	}
 	if *real {
 		realRuns().Fprint(os.Stdout)
+	}
+	if *pipelined {
+		pipelinedRuns().Fprint(os.Stdout)
 	}
 }

@@ -20,10 +20,16 @@
 // message) — measured as a notification ping-pong on the dilated Aries
 // conduit, next to the closed-form model.
 //
+// A fourth mode, rpc, compares the three ways RPC v2 moves data plus a
+// notification now that RPC rides the single injection path: rpc_ff (one
+// one-way message, payload serialized into the RPC), blocking rpc (the
+// same message plus a reply round trip), and the signaling put (payload
+// as one-sided RMA with the notification piggybacked on the transfer).
+//
 // Usage:
 //
-//	go run ./cmd/rma-bench [-mode latency|flood|signal|both|all] [-model-only]
-//	                       [-max-size bytes] [-reps n]
+//	go run ./cmd/rma-bench [-mode latency|flood|signal|rpc|both|all]
+//	                       [-model-only] [-max-size bytes] [-reps n]
 package main
 
 import (
@@ -43,7 +49,7 @@ import (
 )
 
 var (
-	mode      = flag.String("mode", "both", "latency, flood, signal, both (latency+flood), or all")
+	mode      = flag.String("mode", "both", "latency, flood, signal, rpc, both (latency+flood), or all")
 	modelOnly = flag.Bool("model-only", false, "skip the real-time measurement (fast)")
 	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
 	reps      = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
@@ -262,6 +268,117 @@ func measureNotify(size int, signaling bool) float64 {
 	return best
 }
 
+// rpcHopArgs carries one RPC notification hop's payload: the peer's
+// counter to bump plus size value bytes riding as a zero-copy view.
+type rpcHopArgs struct {
+	Ctr core.GPtr[uint64]
+	Val core.View[uint8]
+}
+
+func rpcHopBody(trk *core.Rank, a rpcHopArgs) {
+	core.Local(trk, a.Ctr, 1)[0]++
+}
+
+// measureRPCFF times one rpc_ff notification hop — payload serialized
+// into the message, body observing it at the target — as a ping-pong
+// between two single-rank nodes (there is no initiator-side completion
+// to wait on, exactly like measureNotify's signaling half).
+func measureRPCFF(size int) float64 {
+	best := 0.0
+	iters := latencyIters(size)
+	for rep := 0; rep < *reps; rep++ {
+		var perHop float64
+		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+			mine := core.MustNewArray[uint64](rk, 1)
+			obj := core.NewDistObject(rk, mine)
+			rk.Barrier()
+			peer := (rk.Me() + 1) % 2
+			theirs := core.FetchDist[core.GPtr[uint64]](rk, obj.ID(), peer).Wait()
+			ctr := core.Local(rk, mine, 1)
+			val := make([]uint8, size)
+			hop := func() {
+				core.RPCFF(rk, peer, rpcHopBody, rpcHopArgs{Ctr: theirs, Val: core.MakeView(val)})
+			}
+			await := func(v uint64) {
+				for ctr[0] < v {
+					if rk.Progress() == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			if rk.Me() == 0 {
+				hop()
+			}
+			await(1)
+			if rk.Me() == 1 {
+				hop()
+			}
+			if rk.Me() == 0 {
+				await(1)
+			}
+			rk.Barrier()
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if rk.Me() == 0 {
+					hop()
+				}
+				await(uint64(i + 2))
+				if rk.Me() == 1 {
+					hop()
+				}
+			}
+			if rk.Me() == 0 {
+				await(uint64(iters + 1))
+				perHop = time.Since(t0).Seconds() / float64(2*iters) / float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if best == 0 || (perHop > 0 && perHop < best) {
+			best = perHop
+		}
+	}
+	return best
+}
+
+// measureRPCRoundTrip times a blocking rpc carrying size payload bytes
+// and returning a small acknowledgment.
+func measureRPCRoundTrip(size int) float64 {
+	best := 0.0
+	iters := latencyIters(size)
+	for rep := 0; rep < *reps; rep++ {
+		var perOp float64
+		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+			mine := core.MustNewArray[uint64](rk, 1)
+			obj := core.NewDistObject(rk, mine)
+			rk.Barrier()
+			if rk.Me() == 0 {
+				theirs := core.FetchDist[core.GPtr[uint64]](rk, obj.ID(), 1).Wait()
+				val := make([]uint8, size)
+				call := func() {
+					core.RPC(rk, 1, func(trk *core.Rank, a rpcHopArgs) uint64 {
+						c := core.Local(trk, a.Ctr, 1)
+						c[0]++
+						return c[0]
+					}, rpcHopArgs{Ctr: theirs, Val: core.MakeView(val)}).Wait()
+				}
+				call() // warm up
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					call()
+				}
+				perOp = time.Since(t0).Seconds() / float64(iters) / float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if best == 0 || (perOp > 0 && perOp < best) {
+			best = perOp
+		}
+	}
+	return best
+}
+
 // measureMPILatency times MPI_Put + MPI_Win_flush per operation.
 func measureMPILatency(size int) float64 {
 	best := 0.0
@@ -391,6 +508,44 @@ func main() {
 		rtt := m.UPCXXPutLatency(8) * 1e6
 		fmt.Printf("saved per notification vs put+RPC: the put's full round trip (~%.2f us at 8 B) —\n", rtt)
 		fmt.Println("the remote-cx AM piggybacks on the transfer and costs no extra wire message.")
+		fmt.Println()
+	}
+
+	if *mode == "rpc" || *mode == "all" {
+		t := &stats.Table{
+			Title:  "RPC v2 — ff vs round-trip vs signaling-put notification latency, us (Cori Haswell model; lower is better)",
+			XLabel: "size",
+			XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+			YFmt:   func(v float64) string { return fmt.Sprintf("%.2f", v) },
+		}
+		ff := &stats.Series{Name: "rpc_ff (model)"}
+		rt := &stats.Series{Name: "rpc round-trip (model)"}
+		sp := &stats.Series{Name: "signaling put (model)"}
+		var ffM, rtM, spM *stats.Series
+		if !*modelOnly {
+			ffM = &stats.Series{Name: "rpc_ff (measured)"}
+			rtM = &stats.Series{Name: "rpc round-trip (measured)"}
+			spM = &stats.Series{Name: "signaling put (measured)"}
+		}
+		for _, n := range sizes() {
+			ff.Add(float64(n), m.RPCFFNotifyLatency(n)*1e6)
+			rt.Add(float64(n), m.RPCRoundTripLatency(n)*1e6)
+			sp.Add(float64(n), m.SignalNotifyLatency(n)*1e6)
+			if !*modelOnly {
+				ffM.Add(float64(n), measureRPCFF(n)*1e6)
+				rtM.Add(float64(n), measureRPCRoundTrip(n)*1e6)
+				spM.Add(float64(n), measureNotify(n, true)*1e6)
+			}
+		}
+		t.Series = []*stats.Series{ff, rt, sp}
+		if !*modelOnly {
+			t.Series = append(t.Series, ffM, rtM, spM)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+		fmt.Println("rpc_ff and the signaling put are both one one-way message; the signaling put wins at")
+		fmt.Println("size because the payload moves as RMA (no serialization on the handler path), while")
+		fmt.Println("the round-trip rpc pays one extra wire crossing for its reply.")
 		fmt.Println()
 	}
 

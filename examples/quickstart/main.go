@@ -55,6 +55,30 @@ func main() {
 		})
 		done.Wait()
 
+		// --- One completion vocabulary for every operation --------------
+		// RPCs speak the same completion language as RMA and collectives:
+		// source-cx fires when the argument buffer may be reused, op-cx
+		// when the reply lands. Here the same args buffer feeds several
+		// RPCs back to back, with all replies counted on one promise.
+		args := make([]uint64, 4)
+		replies := upcxx.NewPromise[upcxx.Unit](rk)
+		for round := uint64(0); round < 3; round++ {
+			for i := range args {
+				args[i] = round*10 + uint64(i)
+			}
+			_, fs := upcxx.RPCWith(rk, right, func(trk *upcxx.Rank, xs []uint64) uint64 {
+				var s uint64
+				for _, x := range xs {
+					s += x
+				}
+				return s
+			}, args,
+				upcxx.SourceCxAsFuture(),
+				upcxx.OpCxAsPromise(replies))
+			fs.Source.Wait() // args is reusable for the next round
+		}
+		replies.Finalize().Wait()
+
 		// --- Promises as completion counters ---------------------------
 		// Issue many puts tracked by one promise (the flood idiom).
 		p := upcxx.NewPromise[upcxx.Unit](rk)
@@ -106,6 +130,27 @@ func main() {
 						u, rk.CurrentPersona().Name(), u+2, sq)
 				}()
 			}
+			wg.Wait()
+
+			// --- Persona-addressed completions -------------------------
+			// Any completion can be delivered to a *named* persona: the
+			// master initiates an RPC whose operation-cx future belongs
+			// to a worker persona, and only the worker goroutine holding
+			// it may consume the future.
+			worker := upcxx.NewPersona(rk, "consumer")
+			handoff := make(chan upcxx.CxFutures, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := upcxx.AcquirePersona(worker)
+				defer sc.Release()
+				fs := <-handoff
+				fs.Op.Wait()
+				say("worker persona %q consumed the RPC's operation-cx", worker.Name())
+			}()
+			_, fs := upcxx.RPCWith(rk, 1, func(trk *upcxx.Rank, x int) int { return x + 1 }, 1,
+				upcxx.OpCxAsFutureOn(worker))
+			handoff <- fs
 			wg.Wait()
 		}
 		// Rank 1 never calls Progress here; its progress thread serves

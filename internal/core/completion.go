@@ -31,8 +31,20 @@ import (
 // (…AsLPC), or — for the remote event only — as an RPC executed at the
 // target after the data lands (RemoteCxAsRPC). Descriptors compose: pass
 // any set of them to the …With entry points (RPutWith, RGetWith, CopyWith,
-// and the vector/indexed/strided variants), which all feed the single
-// internal injection path, Rank.inject.
+// the vector/indexed/strided variants, the collective …With calls, and
+// RPCWith/RPCFFWith), which all feed the single internal injection path,
+// Rank.inject.
+//
+// Deliveries are persona-addressed (paper §II: personas are the unit of
+// completion affinity). By default every initiator-side event lands on
+// the persona that would naturally own it — futures and promises on the
+// initiating persona, target-side RPCs on the target's execution persona.
+// The On combinator (and the …On constructors) redirect any delivery to
+// a *named* persona instead: a future created by OpCxAsFutureOn(p) is
+// owned by p and only consumable from the goroutine holding p; an LPC
+// runs in p's queue; a RemoteCxAsRPC body lands on a named persona of
+// the *target* rank — the signaling-put notification a worker persona
+// harvests directly in progress-thread mode.
 
 // CxEvent identifies one of the three completion events of an operation.
 type CxEvent uint8
@@ -94,11 +106,29 @@ type Cx struct {
 	kind cxKind
 
 	prom *Promise[Unit] // cxPromise
-	pers *Persona       // cxLPC target persona (nil: initiator's current)
+	pers *Persona       // delivery persona (nil: the descriptor's default)
 	fn   func()         // cxLPC body
 
 	rpcArgs []byte       // cxRPC serialized arguments
 	rpcInv  rpcFFInvoker // cxRPC invoker (code reference)
+}
+
+// On returns a copy of the descriptor addressed to persona p instead of
+// its default delivery persona. For futures, the produced future is owned
+// by p (created as if by NewPromiseOn) and must only be consumed from the
+// goroutine holding p; for promises, p must be the persona that owns the
+// promise (create it with NewPromiseOn); for LPCs, fn runs in p's queue;
+// for RemoteCxAsRPC, p names a persona of the *target* rank and the body
+// is delivered to its LPC queue instead of the target's execution
+// persona. The persona pointer travels as a code reference, like RPC
+// function values — valid everywhere because SPMD ranks share one
+// process.
+func (cx Cx) On(p *Persona) Cx {
+	if p == nil {
+		panic("upcxx: Cx.On(nil persona)")
+	}
+	cx.pers = p
+	return cx
 }
 
 // OpCxAsFuture requests operation completion as a future, returned in
@@ -113,6 +143,20 @@ func OpCxAsPromise(p *Promise[Unit]) Cx { return Cx{ev: OpDone, kind: cxPromise,
 // OpCxAsLPC delivers operation completion by running fn as an LPC on
 // persona pers (nil: the initiating goroutine's current persona).
 func OpCxAsLPC(pers *Persona, fn func()) Cx { return Cx{ev: OpDone, kind: cxLPC, pers: pers, fn: fn} }
+
+// OpCxAsFutureOn requests operation completion as a future owned by the
+// named persona p: only the goroutine holding p may consume it. The
+// persona-addressed form of OpCxAsFuture (equivalent to
+// OpCxAsFuture().On(p)).
+func OpCxAsFutureOn(p *Persona) Cx { return OpCxAsFuture().On(p) }
+
+// SourceCxAsFutureOn requests source completion as a future owned by the
+// named persona p (puts and RPC argument buffers only).
+func SourceCxAsFutureOn(p *Persona) Cx { return SourceCxAsFuture().On(p) }
+
+// RemoteCxAsFutureOn requests remote completion as an initiator-side
+// future owned by the named persona p.
+func RemoteCxAsFutureOn(p *Persona) Cx { return RemoteCxAsFuture().On(p) }
 
 // SourceCxAsFuture requests source completion as a future
 // (CxFutures.Source). Source descriptors are valid on puts only.
@@ -139,13 +183,15 @@ func RemoteCxAsLPC(pers *Persona, fn func()) Cx {
 	return Cx{ev: RemoteDone, kind: cxLPC, pers: pers, fn: fn}
 }
 
-// RemoteCxAsRPC attaches fn(arg) to the *remote* completion of a put or
-// copy: it executes at the destination rank, on its execution persona,
-// strictly after the transferred data is visible in the destination
-// segment (for device destinations, after the final DMA hop). This is the
-// signaling put: the notification piggybacks on the transfer itself, with
-// no extra round trip. arg is serialized at descriptor construction; fn
-// travels as a code reference, exactly like an RPCFF body.
+// RemoteCxAsRPC attaches fn(arg) to the *remote* completion of a put,
+// copy, collective, or RPC: it executes at the destination rank, on its
+// execution persona (or a persona named with On), strictly after the
+// transferred data is visible in the destination segment (for device
+// destinations, after the final DMA hop; for RPC, at the request's
+// landing). This is the signaling put: the notification piggybacks on the
+// transfer itself, with no extra round trip. arg is serialized at
+// descriptor construction; fn travels as a code reference, exactly like
+// an RPCFF body.
 func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx {
 	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
 		var a A
@@ -153,6 +199,31 @@ func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx {
 		fn(trk, a)
 	})
 	return Cx{ev: RemoteDone, kind: cxRPC, rpcArgs: mustMarshal(arg), rpcInv: inv}
+}
+
+// remoteCxAux is the opaque code-reference half of a target-side
+// remote-completion notification: the body invoker plus the target-rank
+// persona it is addressed to (nil: the target's execution persona). It
+// travels as the conduit AM's aux, never as payload bytes.
+type remoteCxAux struct {
+	inv  rpcFFInvoker
+	pers *Persona
+}
+
+// runRemoteBody delivers one target-side remote-completion body at this
+// rank: to the named persona's LPC queue when the descriptor was
+// addressed with On, to the rank's execution persona otherwise. Callers
+// invoke it only after the owning transfer's data is visible locally.
+func (rk *Rank) runRemoteBody(aux remoteCxAux, initiator Intrank, args []byte) {
+	if aux.pers != nil {
+		if aux.pers.rk != rk {
+			panic(fmt.Sprintf("upcxx: rank %d: remote-cx persona %v belongs to rank %d",
+				rk.me, aux.pers, aux.pers.rk.me))
+		}
+		aux.pers.LPC(func() { aux.inv(rk, initiator, args) })
+		return
+	}
+	rk.execBody(func() { aux.inv(rk, initiator, args) })
 }
 
 // CxFutures carries the futures produced by …AsFuture descriptors of one
@@ -218,12 +289,13 @@ func newCxPlan(rk *Rank, kind opKind, remotePeer Intrank, cxs []Cx) *cxPlan {
 func (c *cxPlan) add(kind opKind, cx Cx) {
 	switch cx.ev {
 	case SourceDone:
-		// Only puts have an initiator-local source buffer. A copy's
+		// Only puts and RPCs have an initiator-local source buffer (a
+		// put's source bytes, an RPC's argument serialization). A copy's
 		// source is a global pointer — possibly remote, and read by the
 		// conduit only when the hop chain reaches it — so a source event
 		// at injection time would license overwriting bytes still to be
 		// read.
-		if kind != opPut {
+		if kind != opPut && kind != opRPC {
 			panic(fmt.Sprintf("upcxx: %s requested on a %s, which has no local source buffer", cx.ev, kind))
 		}
 	case RemoteDone:
@@ -238,6 +310,14 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 			// second barrier) to mean anything.
 			panic(fmt.Sprintf("upcxx: %s on a collective is deliverable only as_rpc (fired at each member when the data lands)", cx.ev))
 		}
+		if kind == opRPC && cx.kind != cxRPC {
+			// An RPC's remote event is the request's landing at the
+			// target. A fire-and-forget message carries no acknowledgment
+			// to ride back, so initiator-side delivery would need an
+			// extra wire message; the target-side as_rpc form is the one
+			// landing event both RPC shapes share.
+			panic(fmt.Sprintf("upcxx: %s on an rpc is deliverable only as_rpc (fired at the target when the request lands)", cx.ev))
+		}
 		if c.remotePeer < 0 {
 			panic(fmt.Sprintf("upcxx: %s requires a single destination rank (vector operations with mixed destinations cannot carry one)", cx.ev))
 		}
@@ -249,12 +329,23 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 		if c.remoteAM != nil {
 			panic("upcxx: at most one remote_cx as_rpc per operation (compose the work inside one function)")
 		}
+		if cx.pers != nil && cx.pers.rk.me != c.remotePeer {
+			// For puts/copies/RPCs remotePeer is the destination rank; for
+			// collectives it is this member itself (the descriptor fires
+			// locally when the payload lands here).
+			panic(fmt.Sprintf("upcxx: remote_cx as_rpc persona %v belongs to rank %d, but the notification fires at rank %d",
+				cx.pers, cx.pers.rk.me, c.remotePeer))
+		}
 		c.remoteAM = &gasnet.RemoteAM{
 			Handler: c.rk.w.amRemote,
 			Payload: encodeRemoteCx(c.rk.me, cx.rpcArgs),
-			Aux:     cx.rpcInv,
+			Aux:     remoteCxAux{inv: cx.rpcInv, pers: cx.pers},
 		}
 		return
+	}
+	if cx.pers != nil && cx.pers.rk != c.rk {
+		panic(fmt.Sprintf("upcxx: %s %s delivery persona %v belongs to rank %d, not initiating rank %d",
+			cx.ev, cx.kind, cx.pers, cx.pers.rk.me, c.rk.me))
 	}
 	var d cxDelivery
 	switch cx.kind {
@@ -263,13 +354,26 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 		if fut.Valid() {
 			panic(fmt.Sprintf("upcxx: duplicate %s as_future descriptor", cx.ev))
 		}
-		p := NewPromise[Unit](c.rk)
+		var p *Promise[Unit]
+		if cx.pers != nil {
+			// Persona-addressed future: owned by the named persona, so
+			// only the goroutine holding it may consume the future.
+			p = NewPromiseOn[Unit](c.rk, cx.pers)
+		} else {
+			p = NewPromise[Unit](c.rk)
+		}
 		*fut = p.Future()
 		d = cxDelivery{pers: p.c.pers, fn: func() { p.fulfillOwnedResult(Unit{}) }}
 	case cxPromise:
 		p := cx.prom
 		if p == nil {
 			panic(fmt.Sprintf("upcxx: %s as_promise with nil promise", cx.ev))
+		}
+		if cx.pers != nil && cx.pers != p.c.pers {
+			// Promise state is only ever touched from its owning persona;
+			// rerouting the fulfillment elsewhere would race the owner.
+			panic(fmt.Sprintf("upcxx: %s as_promise addressed to %v, but the promise is owned by %v (create it with NewPromiseOn)",
+				cx.ev, cx.pers, p.c.pers))
 		}
 		p.RequireAnonymous(1)
 		d = cxDelivery{pers: p.c.pers, fn: func() { p.fulfillAnon(1, true) }}
@@ -318,10 +422,11 @@ func (c *cxPlan) takeConduitAM() *gasnet.RemoteAM {
 }
 
 // collRemoteLocal fires a collective's member-side remote-RPC
-// descriptor on the calling goroutine — always the rank's execution
-// persona, reached from the arrival path strictly after the
-// collective's data has landed locally (post-DMA for device operands).
-// Idempotent: the descriptor fires at most once per collective.
+// descriptor on the calling goroutine — the rank's execution persona,
+// reached from the arrival path strictly after the collective's data has
+// landed locally (post-DMA for device operands) — or routes it to the
+// named persona the descriptor was addressed to. Idempotent: the
+// descriptor fires at most once per collective.
 func (c *cxPlan) collRemoteLocal() {
 	am := c.remoteAM
 	if am == nil {
@@ -332,7 +437,12 @@ func (c *cxPlan) collRemoteLocal() {
 	if err != nil {
 		panic(fmt.Sprintf("upcxx: rank %d corrupt collective remote-cx payload: %v", c.rk.me, err))
 	}
-	am.Aux.(rpcFFInvoker)(c.rk, initiator, args)
+	aux := am.Aux.(remoteCxAux)
+	if aux.pers != nil {
+		aux.pers.LPC(func() { aux.inv(c.rk, initiator, args) })
+		return
+	}
+	aux.inv(c.rk, initiator, args)
 }
 
 // collOpDone delivers a collective's operation completions to their
@@ -434,13 +544,13 @@ func decodeRemoteCx(b []byte) (initiator Intrank, args []byte, err error) {
 // runs at the destination of a put/copy; the conduit enqueues it only
 // after the transferred bytes are in place, so the body observes them.
 // Like every incoming RPC, the body executes on the rank's durable
-// execution persona via execBody.
+// execution persona — or on the named persona the descriptor was
+// addressed to with On.
 func (w *World) handleRemoteCx(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
 	trk := w.ranks[ep.Rank()]
 	initiator, args, err := decodeRemoteCx(payload)
 	if err != nil {
 		panic(fmt.Sprintf("upcxx: rank %d malformed remote-cx AM from %d: %v", trk.me, src, err))
 	}
-	inv := aux.(rpcFFInvoker)
-	trk.execBody(func() { inv(trk, initiator, args) })
+	trk.runRemoteBody(aux.(remoteCxAux), initiator, args)
 }

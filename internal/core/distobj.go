@@ -63,9 +63,11 @@ func (d *DistObject[T]) Fetch(from Intrank) Future[T] {
 }
 
 // FetchDist retrieves rank from's representative of the distributed object
-// with the given ID.
+// with the given ID. The fetch is a deferred-reply RPC on the single
+// injection path (RPCFutWith); like every RPC it accepts the full
+// completion vocabulary, though the value future is all a fetch needs.
 func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
-	return RPCFut(rk, from, func(trk *Rank, id DistID) Future[T] {
+	f, _ := RPCFutWith(rk, from, func(trk *Rank, id DistID) Future[T] {
 		trk.distMu.Lock()
 		if o, ok := trk.distObjs[uint64(id)]; ok {
 			trk.distMu.Unlock()
@@ -83,6 +85,7 @@ func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
 		trk.distMu.Unlock()
 		return p.Future()
 	}, id)
+	return f
 }
 
 // LookupDist resolves a DistID to this rank's local representative, the

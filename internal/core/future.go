@@ -288,9 +288,26 @@ type Promise[T any] struct {
 	finalized bool
 }
 
-// NewPromise creates a promise with one unfulfilled dependency.
+// NewPromise creates a promise with one unfulfilled dependency, owned by
+// the calling goroutine's current persona.
 func NewPromise[T any](rk *Rank) *Promise[T] {
 	return &Promise[T]{c: newFutCore[T](rk), deps: 1}
+}
+
+// NewPromiseOn creates a promise owned by the named persona pers instead
+// of the caller's current one: fulfillments route to pers's LPC queue,
+// and the promise (and its future) must only be consumed from the
+// goroutine holding pers. This is how a completion descriptor addresses
+// a promise to a non-initiating persona — create the promise on the
+// target persona, then pass it to …CxAsPromise.
+func NewPromiseOn[T any](rk *Rank, pers *Persona) *Promise[T] {
+	if pers == nil {
+		panic("upcxx: NewPromiseOn(nil persona)")
+	}
+	if pers.rk != rk {
+		panic(fmt.Sprintf("upcxx: NewPromiseOn: %v belongs to rank %d, not rank %d", pers, pers.rk.me, rk.me))
+	}
+	return &Promise[T]{c: &futCore[T]{rk: rk, pers: pers}, deps: 1}
 }
 
 // Future returns a future associated with this promise. Multiple calls

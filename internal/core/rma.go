@@ -29,14 +29,19 @@ const (
 	opGet
 	opCopy
 	opAMO
-	// opAM is a one-way Active Message hop (collective headers): captured
-	// and handed to the conduit synchronously, so its operation edge fires
-	// at injection, like a fire-and-forget RPC.
+	// opAM is a one-way Active Message hop (collective headers, RPC
+	// replies and fire-and-forget RPCs): captured and handed to the
+	// conduit synchronously, so its operation edge fires at injection.
 	opAM
 	// opColl names a whole collective operation for completion-descriptor
 	// validation; collectives resolve their cxPlan against it and lower
 	// each round to opAM / opCopy operations.
 	opColl
+	// opRPC is a round-trip RPC request: it travels as an AM like opAM,
+	// but its operation edge is deferred — the initiator's reply
+	// continuation fires the plan (and releases actCount) when the reply
+	// lands. Also the completion-validation kind of every RPC variant.
+	opRPC
 )
 
 // String returns the kind mnemonic (used in completion-validation faults).
@@ -54,6 +59,8 @@ func (k opKind) String() string {
 		return "am"
 	case opColl:
 		return "collective"
+	case opRPC:
+		return "rpc"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -139,6 +146,13 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 				// AM returns, so the operation edge fires at injection.
 				rk.ep.AM(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux)
 				onDone()
+			case opRPC:
+				// Round-trip request: the conduit captures the payload (so
+				// source completion fires at injection), but the operation
+				// edge waits for the reply — the pending-table continuation
+				// registered by rpcRoundTrip fires the plan and releases
+				// actCount when the reply lands.
+				rk.ep.AM(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux)
 			default:
 				panic(fmt.Sprintf("upcxx: inject of unknown op kind %d", op.kind))
 			}

@@ -1,7 +1,6 @@
 package upcxx
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"upcxx/internal/gasnet"
@@ -19,6 +18,25 @@ import (
 // values, exactly as UPC++ requires lambda captures to be trivially
 // serializable.
 //
+// RPC v2 speaks the same language as every other operation (paper §III):
+// requests, replies, and fire-and-forget messages are lowered to
+// operations on the single Rank.inject(ops, cxPlan) path, carrying the
+// versioned wire header below, and the …With entry points accept the full
+// completion-descriptor set —
+//
+//   - source completion: the argument serialization buffer has been
+//     captured by the conduit and may be reused (the flood-insert idiom);
+//   - operation completion: the reply has landed (for rpc_ff, the conduit
+//     has accepted the one-way message);
+//   - remote completion (as_rpc only): a target-side landing event fired
+//     the moment the request message arrives, independent of — and
+//     before — the body's execution on the target's execution persona.
+//
+// Every delivery may be persona-addressed (completion.go's On combinator):
+// an RPC initiated by a master persona can hand its operation-completion
+// future to a named worker persona, which is then the only context allowed
+// to consume it.
+//
 // The RPC executes at the target only during its user-level progress: an
 // inattentive target (one computing without calling Progress) stalls
 // incoming RPCs, as the paper emphasizes — unless the job runs dedicated
@@ -33,6 +51,15 @@ type rpcInvoker func(trk *Rank, src Intrank, seq uint64, args []byte)
 
 // rpcFFInvoker is the fire-and-forget variant: no sequence, no reply.
 type rpcFFInvoker func(trk *Rank, src Intrank, args []byte)
+
+// rpcAux is the opaque code-reference token that travels with every RPC
+// wire message: the body invoker (request or fire-and-forget form) plus
+// the remote-completion landing notification, when one was attached.
+type rpcAux struct {
+	inv   rpcInvoker   // rpcReqKind body
+	ffInv rpcFFInvoker // rpcFFKind body
+	rem   remoteCxAux  // target-side landing event (zero when absent)
+}
 
 func mustMarshal(v any) []byte {
 	b, err := serial.Marshal(v)
@@ -93,55 +120,192 @@ func (rk *Rank) execBody(fn func()) {
 	rk.master.LPC(fn)
 }
 
-// handleRPC is the conduit AM handler for requests (runs at the target in
-// user-level progress, on the rank's execution persona).
+// --- RPC wire form -------------------------------------------------------
+
+// Every RPC message — request, reply, and fire-and-forget — shares one
+// self-describing versioned header:
+//
+//	| magic 0xC8 | version 1 | kind u8 | seq u64 | src u32 LE |
+//	| arglen uvarint | args | remlen uvarint | rem |
+//
+// kind is rpcReqKind/rpcReplyKind/rpcFFKind; seq correlates requests with
+// replies (fire-and-forget messages carry 0); src is the sender's world
+// rank, riding in the payload (not only the conduit envelope) so the
+// message stays self-describing when relayed. rem is an embedded
+// remote-cx payload (the 0xC7 wire form of completion.go) carrying the
+// target-side landing notification of a request — empty when none was
+// attached, and required empty on replies. decodeRPCMsg rejects anything
+// malformed; FuzzRPCWire hammers it with hostile bytes and checks the
+// canonical round-trip property.
+
+const (
+	rpcMagic   = 0xC8
+	rpcVersion = 1
+)
+
+// RPC message kinds.
+const (
+	rpcReqKind   uint8 = 1 + iota // round-trip request (expects a reply)
+	rpcReplyKind                  // reply carrying the result bytes
+	rpcFFKind                     // fire-and-forget (upcxx rpc_ff)
+)
+
+const rpcKindMax = rpcFFKind
+
+// rpcMsg is one decoded RPC wire message.
+type rpcMsg struct {
+	kind uint8
+	seq  uint64
+	src  uint32
+	args []byte
+	rem  []byte // embedded remote-cx payload (encodeRemoteCx form)
+}
+
+// encodeRPCMsg builds the wire form.
+func encodeRPCMsg(m rpcMsg) []byte {
+	e := serial.NewEncoder(make([]byte, 0, 24+len(m.args)+len(m.rem)))
+	e.PutU8(rpcMagic)
+	e.PutU8(rpcVersion)
+	e.PutU8(m.kind)
+	e.PutU64(m.seq)
+	e.PutU32(m.src)
+	e.PutUvarint(uint64(len(m.args)))
+	e.PutRaw(m.args)
+	e.PutUvarint(uint64(len(m.rem)))
+	e.PutRaw(m.rem)
+	return e.Bytes()
+}
+
+// decodeRPCMsg parses and validates the wire form.
+func decodeRPCMsg(b []byte) (rpcMsg, error) {
+	var m rpcMsg
+	d := serial.NewDecoder(b)
+	magic := d.U8()
+	version := d.U8()
+	m.kind = d.U8()
+	m.seq = d.U64()
+	m.src = d.U32()
+	alen := d.Uvarint()
+	if d.Err() != nil {
+		return m, d.Err()
+	}
+	if magic != rpcMagic {
+		return m, fmt.Errorf("rpc message: bad magic %#x", magic)
+	}
+	if version != rpcVersion {
+		return m, fmt.Errorf("rpc message: unsupported version %d", version)
+	}
+	if m.kind == 0 || m.kind > rpcKindMax {
+		return m, fmt.Errorf("rpc message: unknown kind %d", m.kind)
+	}
+	if m.src > 1<<31-1 {
+		return m, fmt.Errorf("rpc message: sender rank %d out of range", m.src)
+	}
+	if m.kind == rpcFFKind && m.seq != 0 {
+		return m, fmt.Errorf("rpc message: fire-and-forget carries sequence %d", m.seq)
+	}
+	if alen > uint64(d.Remaining()) {
+		return m, fmt.Errorf("rpc message: argument length %d exceeds remaining %d bytes", alen, d.Remaining())
+	}
+	m.args = d.Raw(int(alen))
+	rlen := d.Uvarint()
+	if d.Err() != nil {
+		return m, d.Err()
+	}
+	if rlen != uint64(d.Remaining()) {
+		return m, fmt.Errorf("rpc message: remote-cx length %d does not match remaining %d bytes", rlen, d.Remaining())
+	}
+	if rlen > 0 && m.kind == rpcReplyKind {
+		return m, fmt.Errorf("rpc message: reply carries a remote-cx payload")
+	}
+	m.rem = d.Raw(int(rlen))
+	if err := d.Finish(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// handleRPC is the single conduit AM handler for all RPC traffic. Requests
+// and fire-and-forget bodies execute at the target during user-level
+// progress, on the rank's execution persona (execBody); a request's
+// embedded remote-cx landing event fires first — it signals the message's
+// arrival, not the body's execution, and may be persona-addressed.
+// Replies complete the initiator's pending operation: the continuation
+// routes the result to the initiating persona's LPC queue and fires the
+// operation's completion plan, no matter which goroutine's progress
+// harvested the reply.
 func (w *World) handleRPC(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
 	trk := w.ranks[ep.Rank()]
-	seq := binary.LittleEndian.Uint64(payload)
-	trk.execBody(func() { aux.(rpcInvoker)(trk, src, seq, payload[8:]) })
-}
-
-// handleFF is the conduit AM handler for fire-and-forget RPCs.
-func (w *World) handleFF(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, aux any) {
-	trk := w.ranks[ep.Rank()]
-	trk.execBody(func() { aux.(rpcFFInvoker)(trk, src, payload) })
-}
-
-// handleReply is the conduit AM handler for RPC results. It may run on
-// any goroutine making user-level progress (the initiator's own, or the
-// rank's progress thread); the continuation routes the result to the
-// initiating persona's LPC queue.
-func (w *World) handleReply(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, _ any) {
-	rk := w.ranks[ep.Rank()]
-	seq := binary.LittleEndian.Uint64(payload)
-	rk.rpcMu.Lock()
-	cont, ok := rk.rpcPending[seq]
-	delete(rk.rpcPending, seq)
-	rk.rpcMu.Unlock()
-	if !ok {
-		panic(fmt.Sprintf("upcxx: rank %d received RPC reply for unknown sequence %d", rk.me, seq))
+	m, err := decodeRPCMsg(payload)
+	if err != nil {
+		panic(fmt.Sprintf("upcxx: rank %d malformed RPC message from %d: %v", trk.me, src, err))
 	}
-	cont(payload[8:]) // enqueues the reply LPC before actCount drops
-	rk.actCount.Add(-1)
+	switch m.kind {
+	case rpcReqKind, rpcFFKind:
+		a := aux.(rpcAux)
+		if len(m.rem) > 0 {
+			initiator, args, derr := decodeRemoteCx(m.rem)
+			if derr != nil {
+				panic(fmt.Sprintf("upcxx: rank %d corrupt RPC remote-cx payload from %d: %v", trk.me, src, derr))
+			}
+			trk.runRemoteBody(a.rem, initiator, args)
+		}
+		if m.kind == rpcReqKind {
+			trk.execBody(func() { a.inv(trk, Intrank(src), m.seq, m.args) })
+		} else {
+			trk.execBody(func() { a.ffInv(trk, Intrank(src), m.args) })
+		}
+	case rpcReplyKind:
+		trk.rpcMu.Lock()
+		cont, ok := trk.rpcPending[m.seq]
+		delete(trk.rpcPending, m.seq)
+		trk.rpcMu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("upcxx: rank %d received RPC reply for unknown sequence %d", trk.me, m.seq))
+		}
+		cont(m.args)
+	}
 }
 
-// sendReply ships an RPC result back to the initiator. The result payload
-// travels through the regular injection path (defQ → conduit), mirroring
-// Fig 2's return flow through the target's queues.
-func (rk *Rank) sendReply(dst Intrank, seq uint64, result []byte) {
-	payload := make([]byte, 8+len(result))
-	binary.LittleEndian.PutUint64(payload, seq)
-	copy(payload[8:], result)
-	rk.deferOp(func() {
-		rk.ep.AM(gasnetRank(dst), rk.w.amReply, payload, nil)
-	})
+// --- lowering ------------------------------------------------------------
+
+// rpcOpFor lowers one RPC wire message to an injectable operation,
+// claiming the plan's remote-cx notification (if any) so it travels
+// embedded in this message instead of as a separate AM: the target fires
+// it at landing, exactly like the conduit does for put/copy hop chains.
+func rpcOpFor(rk *Rank, target Intrank, kind uint8, seq uint64, argBytes []byte, aux rpcAux, plan *cxPlan) rmaOp {
+	var rem []byte
+	if am := plan.takeConduitAM(); am != nil {
+		rem = am.Payload
+		aux.rem = am.Aux.(remoteCxAux)
+	}
+	opK := opAM // one-way: the operation edge fires at injection
+	if kind == rpcReqKind {
+		opK = opRPC // the reply continuation fires the operation edge
+	}
+	return rmaOp{
+		kind:    opK,
+		dstPeer: target,
+		amID:    rk.w.amRPC,
+		buf:     encodeRPCMsg(rpcMsg{kind: kind, seq: seq, src: uint32(rk.me), args: argBytes, rem: rem}),
+		amAux:   aux,
+	}
 }
 
-// rpcSend performs the initiator side shared by every RPC variant. The
-// calling goroutine's current persona owns the returned future and
-// receives the reply continuation, regardless of which goroutine's
-// progress observes the reply AM.
-func rpcSend[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker) Future[R] {
+// rpcRoundTrip is the one generic core entry every round-trip RPC variant
+// wraps: pre-serialized argument bytes, a body invoker riding as a code
+// reference, and the full completion-descriptor set. The request lowers
+// through Rank.inject; the value future (and any operation-cx deliveries)
+// fire when the reply lands, source-cx when the conduit has captured the
+// argument bytes, and a remote-cx as_rpc descriptor at the target when the
+// request arrives. The calling goroutine's current persona owns the
+// returned value future regardless of which goroutine's progress observes
+// the reply; completion descriptors may address other personas.
+func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker, cxs []Cx) (Future[R], CxFutures) {
+	plan := &cxPlan{rk: rk, remotePeer: target}
+	for _, cx := range cxs {
+		plan.add(opRPC, cx)
+	}
 	p := NewPromise[R](rk)
 	pers := p.c.pers // the current persona, resolved once by NewPromise
 	rk.rpcMu.Lock()
@@ -153,35 +317,117 @@ func rpcSend[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker) F
 			mustUnmarshal(res, &r)
 			p.fulfillOwnedResult(r)
 		})
+		// Completion deliveries enqueue before actCount drops: a quiescing
+		// owner must never observe actQ empty while a completion is
+		// unqueued.
+		plan.opDone()
+		rk.actCount.Add(-1)
 	}
 	rk.rpcMu.Unlock()
-	payload := make([]byte, 8+len(argBytes))
-	binary.LittleEndian.PutUint64(payload, seq)
-	copy(payload[8:], argBytes)
-	rk.deferOp(func() {
-		rk.actCount.Add(1)
-		rk.ep.AM(gasnetRank(target), rk.w.amRPC, payload, inv)
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcReqKind, seq, argBytes, rpcAux{inv: inv}, plan)}, plan)
+	return p.Future(), plan.futs
+}
+
+// rpcOneWay is the generic fire-and-forget core entry: operation
+// completion fires once the conduit has accepted the message (there is no
+// acknowledgment to wait for), source completion when the argument bytes
+// are captured, and a remote-cx as_rpc descriptor at the target on
+// landing.
+func rpcOneWay(rk *Rank, target Intrank, argBytes []byte, inv rpcFFInvoker, cxs []Cx) CxFutures {
+	plan := &cxPlan{rk: rk, remotePeer: target}
+	for _, cx := range cxs {
+		plan.add(opRPC, cx)
+	}
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcFFKind, 0, argBytes, rpcAux{ffInv: inv}, plan)}, plan)
+	return plan.futs
+}
+
+// replyTo ships an RPC result back to the initiator through the same
+// injection path as every other operation (defQ → conduit), mirroring
+// Fig 2's return flow through the target's queues.
+func (rk *Rank) replyTo(dst Intrank, seq uint64, result []byte) {
+	op := rmaOp{
+		kind:    opAM,
+		dstPeer: dst,
+		amID:    rk.w.amRPC,
+		buf:     encodeRPCMsg(rpcMsg{kind: rpcReplyKind, seq: seq, src: uint32(rk.me), args: result}),
+	}
+	rk.inject([]rmaOp{op}, &cxPlan{rk: rk, remotePeer: dst})
+}
+
+// --- public entry points -------------------------------------------------
+
+// RPCWith invokes fn(arg) on the target rank with an explicit
+// completion-descriptor set, returning the future for fn's result plus
+// the requested completion futures. Operation completion fires when the
+// reply lands (the same edge that readies the value future), source
+// completion when the argument serialization buffer may be reused, and a
+// RemoteCxAsRPC descriptor executes at the target the moment the request
+// message arrives — before the body. Any delivery may be
+// persona-addressed with On.
+func RPCWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A, cxs ...Cx) (Future[R], CxFutures) {
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		trk.replyTo(src, seq, mustMarshal(fn(trk, a)))
 	})
-	return p.Future()
+	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, cxs)
+}
+
+// RPCFutWith is RPCWith for a future-returning fn: the reply is deferred
+// until the body's future readies — the deferred-reply form upcxx RPCs
+// use when the callee must itself wait on asynchronous work.
+func RPCFutWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg A, cxs ...Cx) (Future[R], CxFutures) {
+	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		inner := fn(trk, a)
+		reply := func() {
+			inner.c.onReady(func(r R) {
+				trk.replyTo(src, seq, mustMarshal(r))
+			})
+		}
+		if inner.c.pers == nil || inner.c.pers.onOwnerGoroutine() {
+			reply()
+		} else {
+			// The body handed back a future owned by another persona
+			// (e.g. a deferred dist-object fetch pinned to the master
+			// persona); futures are persona-local, so the continuation
+			// must be registered on the owner's goroutine.
+			inner.c.pers.LPC(reply)
+		}
+	})
+	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, cxs)
+}
+
+// RPCFFWith invokes fn(arg) on the target rank with no acknowledgment or
+// result (upcxx rpc_ff) and an explicit completion set: operation
+// completion fires when the conduit accepts the message, source completion
+// when the argument buffer may be reused, and a RemoteCxAsRPC descriptor
+// at the target on landing.
+func RPCFFWith[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A, cxs ...Cx) CxFutures {
+	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
+		var a A
+		mustUnmarshal(args, &a)
+		fn(trk, a)
+	})
+	return rpcOneWay(rk, target, mustMarshal(arg), inv, cxs)
 }
 
 // RPC invokes fn(arg) on the target rank and returns a future for its
 // result.
 func RPC[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A) Future[R] {
-	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
-		var a A
-		mustUnmarshal(args, &a)
-		trk.sendReply(src, seq, mustMarshal(fn(trk, a)))
-	})
-	return rpcSend[R](rk, target, mustMarshal(arg), inv)
+	f, _ := RPCWith(rk, target, fn, arg)
+	return f
 }
 
 // RPC0 invokes a no-argument fn on the target rank.
 func RPC0[R any](rk *Rank, target Intrank, fn func(*Rank) R) Future[R] {
 	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, _ []byte) {
-		trk.sendReply(src, seq, mustMarshal(fn(trk)))
+		trk.replyTo(src, seq, mustMarshal(fn(trk)))
 	})
-	return rpcSend[R](rk, target, nil, inv)
+	f, _ := rpcRoundTrip[R](rk, target, nil, inv, nil)
+	return f
 }
 
 // RPC2 invokes a two-argument fn on the target rank.
@@ -196,58 +442,30 @@ func RPC2[A, B, R any](rk *Rank, target Intrank, fn func(*Rank, A, B) R, a A, b 
 			panic(fmt.Sprintf("upcxx: RPC2 first argument decode: %v", err))
 		}
 		mustUnmarshal(args[n:], &bv)
-		trk.sendReply(src, seq, mustMarshal(fn(trk, av, bv)))
+		trk.replyTo(src, seq, mustMarshal(fn(trk, av, bv)))
 	})
-	return rpcSend[R](rk, target, argBytes, inv)
+	f, _ := rpcRoundTrip[R](rk, target, argBytes, inv, nil)
+	return f
 }
 
 // RPCFut invokes fn on the target; fn returns a future, and the reply is
-// sent when that future readies — the deferred-reply form upcxx RPCs use
-// when the callee must itself wait on asynchronous work.
+// sent when that future readies.
 func RPCFut[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg A) Future[R] {
-	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
-		var a A
-		mustUnmarshal(args, &a)
-		inner := fn(trk, a)
-		reply := func() {
-			inner.c.onReady(func(r R) {
-				trk.sendReply(src, seq, mustMarshal(r))
-			})
-		}
-		if inner.c.pers == nil || inner.c.pers.onOwnerGoroutine() {
-			reply()
-		} else {
-			// The body handed back a future owned by another persona
-			// (e.g. a deferred dist-object fetch pinned to the master
-			// persona); futures are persona-local, so the continuation
-			// must be registered on the owner's goroutine.
-			inner.c.pers.LPC(reply)
-		}
-	})
-	return rpcSend[R](rk, target, mustMarshal(arg), inv)
+	f, _ := RPCFutWith(rk, target, fn, arg)
+	return f
 }
 
 // RPCFF invokes fn(arg) on the target rank with no acknowledgment or
 // result (upcxx rpc_ff): its progression matches the one-way flow of
 // rput/rget (paper footnote 5).
 func RPCFF[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A) {
-	inv := rpcFFInvoker(func(trk *Rank, src Intrank, args []byte) {
-		var a A
-		mustUnmarshal(args, &a)
-		fn(trk, a)
-	})
-	argBytes := mustMarshal(arg)
-	rk.deferOp(func() {
-		rk.ep.AM(gasnetRank(target), rk.w.amFF, argBytes, inv)
-	})
+	RPCFFWith(rk, target, fn, arg)
 }
 
 // RPCFF0 is RPCFF with no argument.
 func RPCFF0(rk *Rank, target Intrank, fn func(*Rank)) {
 	inv := rpcFFInvoker(func(trk *Rank, src Intrank, _ []byte) { fn(trk) })
-	rk.deferOp(func() {
-		rk.ep.AM(gasnetRank(target), rk.w.amFF, nil, inv)
-	})
+	rpcOneWay(rk, target, nil, inv, nil)
 }
 
 // RPCFF2 is RPCFF with two arguments.
@@ -264,7 +482,5 @@ func RPCFF2[A, B any](rk *Rank, target Intrank, fn func(*Rank, A, B), a A, b B) 
 		mustUnmarshal(args[n:], &bv)
 		fn(trk, av, bv)
 	})
-	rk.deferOp(func() {
-		rk.ep.AM(gasnetRank(target), rk.w.amFF, argBytes, inv)
-	})
+	rpcOneWay(rk, target, argBytes, inv, nil)
 }

@@ -89,6 +89,52 @@ func FuzzRemoteCxWire(f *testing.F) {
 	})
 }
 
+// FuzzRPCWire hammers the versioned RPC wire header (kind/seq/src + args
+// + embedded remote-cx payload) with hostile bytes: the decoder must
+// never panic, never accept an unknown kind, an out-of-range sender, a
+// sequence-carrying fire-and-forget message, or a reply with a remote-cx
+// payload, and anything it does accept must re-encode to the identical
+// canonical bytes.
+func FuzzRPCWire(f *testing.F) {
+	f.Add(encodeRPCMsg(rpcMsg{kind: rpcReqKind, seq: 0, src: 0}))
+	f.Add(encodeRPCMsg(rpcMsg{kind: rpcReqKind, seq: 7, src: 3, args: []byte{1, 2, 3}}))
+	f.Add(encodeRPCMsg(rpcMsg{kind: rpcReplyKind, seq: 1 << 40, src: 1<<31 - 1,
+		args: bytes.Repeat([]byte{0xaa}, 64)}))
+	f.Add(encodeRPCMsg(rpcMsg{kind: rpcFFKind, src: 2, args: []byte{5},
+		rem: encodeRemoteCx(2, []byte{9, 9})}))
+	f.Add(encodeRPCMsg(rpcMsg{kind: rpcReqKind, seq: 3, src: 1,
+		rem: encodeRemoteCx(1, nil)}))
+	f.Add([]byte{})
+	f.Add([]byte{rpcMagic})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	// Hostile: huge uvarint argument length on a well-formed prefix.
+	hostile := encodeRPCMsg(rpcMsg{kind: rpcReqKind, seq: 1, src: 0})
+	hostile = append(hostile[:15], 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeRPCMsg(data)
+		if err != nil {
+			return
+		}
+		if m.kind == 0 || m.kind > rpcKindMax {
+			t.Fatalf("decoder accepted unknown kind %d from % x", m.kind, data)
+		}
+		if m.src > 1<<31-1 {
+			t.Fatalf("decoder accepted out-of-range sender %d from % x", m.src, data)
+		}
+		if m.kind == rpcFFKind && m.seq != 0 {
+			t.Fatalf("decoder accepted fire-and-forget with sequence %d from % x", m.seq, data)
+		}
+		if m.kind == rpcReplyKind && len(m.rem) > 0 {
+			t.Fatalf("decoder accepted reply with remote-cx payload from % x", data)
+		}
+		re := encodeRPCMsg(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("wire form not canonical: % x -> %+v -> % x", data, m, re)
+		}
+	})
+}
+
 // FuzzCollWire hammers the collective wire header (team/seq/kind/round/
 // src + payload) with hostile bytes: the decoder must never panic, never
 // accept an unknown kind, round, or out-of-range sender, and anything it

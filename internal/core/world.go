@@ -56,9 +56,7 @@ type World struct {
 	cfg Config
 	net *gasnet.Network
 
-	amRPC    gasnet.HandlerID
-	amReply  gasnet.HandlerID
-	amFF     gasnet.HandlerID
+	amRPC    gasnet.HandlerID // all RPC traffic: requests, replies, fire-and-forget
 	amColl   gasnet.HandlerID
 	amRemote gasnet.HandlerID // remote-completion RPCs (remote_cx::as_rpc)
 
@@ -86,8 +84,6 @@ func NewWorld(cfg Config) *World {
 		DMA:          cfg.DMA,
 	})
 	w.amRPC = w.net.RegisterAM(w.handleRPC)
-	w.amReply = w.net.RegisterAM(w.handleReply)
-	w.amFF = w.net.RegisterAM(w.handleFF)
 	w.amColl = w.net.RegisterAM(w.handleColl)
 	w.amRemote = w.net.RegisterAM(w.handleRemoteCx)
 	w.ranks = make([]*Rank, cfg.Ranks)

@@ -59,6 +59,32 @@ func RunInsertBench(rk *core.Rank, d *DHT, cfg BenchConfig) BenchResult {
 	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
 }
 
+// RunInsertPipelinedBench is the completion-vocabulary variant of the
+// insert loop: one value buffer is reused across every iteration — the
+// loop waits only for *source* completion (the RPC's argument
+// serialization captured by the conduit) before refilling it — while all
+// operation completions accumulate on a single promise whose one future
+// is waited at the end, like the paper's flood-bandwidth idiom. RPCOnly
+// mode only.
+func RunInsertPipelinedBench(rk *core.Rank, d *DHT, cfg BenchConfig) BenchResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rk.Me())*1_000_003))
+	val := make([]byte, cfg.ElemSize)
+	iters := cfg.Iterations()
+	done := core.NewPromise[core.Unit](rk)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		rng.Read(val) // reuse the same buffer every iteration
+		key := rng.Uint64()
+		src := d.InsertAsync(key, val, done)
+		src.Wait() // buffer reusable; the op rides the shared promise
+		if i%16 == 0 {
+			rk.Progress()
+		}
+	}
+	done.Finalize().Wait()
+	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
+}
+
 // RunSerialBench is the paper's one-process baseline: the same loop with
 // all UPC++ calls omitted — a plain map insert, "the best we can achieve
 // with the underlying standard library".

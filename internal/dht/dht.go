@@ -121,12 +121,11 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 	switch d.mode {
 	case RPCOnly:
 		// One RPC carrying the value; the view serializes it into the
-		// message and the body copies it into the local map.
-		return core.RPC(d.rk, target, func(trk *core.Rank, a insertArgs) core.Unit {
-			t := lookup(trk, a.ID)
-			t.localVal[a.Key] = a.Val.CopyOut()
-			return core.Unit{}
-		}, insertArgs{ID: d.id, Key: key, Val: core.MakeView(val)})
+		// message and the body copies it into the local map. The value
+		// future is the reply landing — the insert is globally visible.
+		f, _ := core.RPCWith(d.rk, target, storeRPC,
+			insertArgs{ID: d.id, Key: key, Val: core.MakeView(val)})
+		return f
 	case LandingZone:
 		// RPC of make_lz to obtain the landing zone, then a zero-copy
 		// rput chained with .then — the paper's Fig in §IV-C verbatim.
@@ -155,6 +154,35 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 	default:
 		panic("dht: unknown mode")
 	}
+}
+
+// storeRPC is the RPCOnly insert body: copy the viewed value into the
+// home rank's local map. A named function so every insert variant ships
+// the same code reference.
+func storeRPC(trk *core.Rank, a insertArgs) core.Unit {
+	t := lookup(trk, a.ID)
+	t.localVal[a.Key] = a.Val.CopyOut()
+	return core.Unit{}
+}
+
+// InsertAsync pipelines an RPCOnly insert using the unified completion
+// vocabulary (the DHT hot-loop idiom): the returned future is the
+// *source* completion — it readies as soon as the conduit has captured
+// the argument serialization, at which point val's backing buffer may be
+// reused for the next insert — while the insert's operation completion
+// (the reply landing: value globally visible at the home rank) is
+// registered on done. Issue many inserts against one promise and wait its
+// single future, exactly like the paper's flood-bandwidth puts, with no
+// per-insert round-trip wait in the loop.
+func (d *DHT) InsertAsync(key uint64, val []byte, done *core.Promise[core.Unit]) core.Future[core.Unit] {
+	if d.mode != RPCOnly {
+		panic("dht: InsertAsync requires RPCOnly mode (values travel inside the RPC)")
+	}
+	_, fs := core.RPCWith(d.rk, d.Target(key), storeRPC,
+		insertArgs{ID: d.id, Key: key, Val: core.MakeView(val)},
+		core.SourceCxAsFuture(),
+		core.OpCxAsPromise(done))
+	return fs.Source
 }
 
 type publishArgs struct {

@@ -81,6 +81,42 @@ func TestInsertAsyncPipeline(t *testing.T) {
 	})
 }
 
+func TestInsertAsyncSourceReuse(t *testing.T) {
+	// The completion-vocabulary hot loop: ONE value buffer reused across
+	// every insert — source completion licenses the reuse — with all
+	// operation completions on a single promise. Each stored value must
+	// be the bytes the buffer held at its insert, not a later scribble.
+	core.Run(4, func(rk *core.Rank) {
+		d := New(rk, RPCOnly)
+		rk.Barrier()
+		const n = 64
+		buf := make([]byte, 8)
+		base := uint64(rk.Me()) << 32
+		done := core.NewPromise[core.Unit](rk)
+		for i := uint64(0); i < n; i++ {
+			for j := range buf {
+				buf[j] = byte(i + uint64(j))
+			}
+			d.InsertAsync(base+i, buf, done).Wait() // source-cx: buffer reusable
+		}
+		done.Finalize().Wait() // op-cx of every insert: all globally visible
+		rk.Barrier()
+		for i := uint64(0); i < n; i++ {
+			got := d.Find(base + i).Wait()
+			if len(got) != 8 {
+				t.Fatalf("find(%d): %d bytes", base+i, len(got))
+			}
+			for j, b := range got {
+				if b != byte(i+uint64(j)) {
+					t.Errorf("find(%d)[%d] = %d, want %d (buffer reuse corrupted an in-flight insert)",
+						base+i, j, b, byte(i+uint64(j)))
+				}
+			}
+		}
+		rk.Barrier()
+	})
+}
+
 func TestTargetDistribution(t *testing.T) {
 	core.Run(8, func(rk *core.Rank) {
 		if rk.Me() != 0 {

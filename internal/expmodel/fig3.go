@@ -86,6 +86,27 @@ func (m Machine) PutRPCNotifyLatency(n int) float64 {
 	return m.UPCXXPutLatency(n) + notify
 }
 
+// RPCFFNotifyLatency returns the modeled one-way rpc_ff latency for a
+// size-byte argument payload: serialize and inject, cross the wire once,
+// dispatch the body at the target. The cheapest way to move work plus
+// data when no acknowledgment is needed.
+func (m Machine) RPCFFNotifyLatency(n int) float64 {
+	return m.cpu(rpcInject) + m.overhead(n, false) + m.gap(n, false) + m.lat(n, false) +
+		m.cpu(rpcHandler)
+}
+
+// RPCRoundTripLatency returns the modeled blocking rpc round trip for a
+// size-byte argument payload and a small reply: the rpc_ff path out, the
+// body dispatch, then the reply injection and its wire hop back, and the
+// initiator-side future fulfillment.
+func (m Machine) RPCRoundTripLatency(n int) float64 {
+	const replyBytes = 16
+	return m.RPCFFNotifyLatency(n) +
+		m.cpu(rpcInject) + m.overhead(replyBytes, false) +
+		m.gap(replyBytes, false) + m.lat(replyBytes, false) +
+		m.cpu(futureFulfill)
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

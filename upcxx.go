@@ -217,13 +217,20 @@ func RunKernel[T Scalar](da *DeviceAllocator, p GPtr[T], n int, kernel func([]T)
 }
 
 // Completion descriptors (paper §III; spec §7). Every communication
-// operation exposes operation, source, and remote completion events; the
-// …With entry points below accept any combination of descriptors, and the
-// requested futures come back in CxFutures. RemoteCxAsRPC is the
-// signaling put: the function executes at the destination rank strictly
-// after the transferred data is visible there (for device destinations,
-// after the final DMA hop), piggybacked on the transfer with no extra
-// round trip.
+// operation — RMA, collectives, and RPC — exposes operation, source, and
+// remote completion events; the …With entry points below accept any
+// combination of descriptors, and the requested futures come back in
+// CxFutures. RemoteCxAsRPC is the signaling put: the function executes at
+// the destination rank strictly after the transferred data is visible
+// there (for device destinations, after the final DMA hop), piggybacked
+// on the transfer with no extra round trip.
+//
+// Deliveries are persona-addressed: the Cx.On combinator (and the …On
+// constructors below) redirect any future/promise/LPC to a *named*
+// persona instead of the initiator's, and address a RemoteCxAsRPC body to
+// a named persona of the target rank — so in progress-thread mode a
+// signaling-put notification can land directly on the worker persona it
+// concerns.
 
 // OpCxAsFuture requests operation completion as a future (the default).
 func OpCxAsFuture() Cx { return core.OpCxAsFuture() }
@@ -233,6 +240,18 @@ func OpCxAsPromise(p *Promise[Unit]) Cx { return core.OpCxAsPromise(p) }
 
 // OpCxAsLPC delivers operation completion by running fn on persona pers.
 func OpCxAsLPC(pers *Persona, fn func()) Cx { return core.OpCxAsLPC(pers, fn) }
+
+// OpCxAsFutureOn requests operation completion as a future owned by the
+// named persona p — only the goroutine holding p may consume it.
+func OpCxAsFutureOn(p *Persona) Cx { return core.OpCxAsFutureOn(p) }
+
+// SourceCxAsFutureOn requests source completion as a future owned by the
+// named persona p (puts and RPC argument buffers only).
+func SourceCxAsFutureOn(p *Persona) Cx { return core.SourceCxAsFutureOn(p) }
+
+// RemoteCxAsFutureOn requests remote completion as an initiator-side
+// future owned by the named persona p.
+func RemoteCxAsFutureOn(p *Persona) Cx { return core.RemoteCxAsFutureOn(p) }
 
 // SourceCxAsFuture requests source-buffer completion as a future
 // (puts only — copies read their global-pointer source lazily).
@@ -355,12 +374,34 @@ func RGetStrided2DWith[T Scalar](rk *Rank, src GPtr[T], srcStride int, dst []T, 
 
 // Remote procedure calls (upcxx::rpc / rpc_ff). The function value ships
 // as a code reference (SPMD ranks share one binary); arguments are
-// serialized into the message.
+// serialized into the message. RPCs lower through the same injection
+// path as RMA and collectives, under the same versioned wire header
+// discipline, and the …With variants accept the full completion
+// vocabulary: source-cx when the argument buffer may be reused, op-cx
+// when the reply lands (for rpc_ff, when the conduit accepts the
+// message), and RemoteCxAsRPC as a target-side landing event.
 
 // RPC invokes fn(arg) on the target rank, returning a future for the
 // result.
 func RPC[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A) Future[R] {
 	return core.RPC(rk, target, fn, arg)
+}
+
+// RPCWith is RPC with an explicit completion-descriptor set, returning
+// the result future plus the requested completion futures.
+func RPCWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A, cxs ...Cx) (Future[R], CxFutures) {
+	return core.RPCWith(rk, target, fn, arg, cxs...)
+}
+
+// RPCFutWith is RPCWith for a future-returning body: the reply is
+// deferred until the body's future readies.
+func RPCFutWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R], arg A, cxs ...Cx) (Future[R], CxFutures) {
+	return core.RPCFutWith(rk, target, fn, arg, cxs...)
+}
+
+// RPCFFWith is RPCFF with an explicit completion-descriptor set.
+func RPCFFWith[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A, cxs ...Cx) CxFutures {
+	return core.RPCFFWith(rk, target, fn, arg, cxs...)
 }
 
 // RPC0 invokes a no-argument function remotely.
@@ -420,6 +461,10 @@ func WhenAllSlice[T any](rk *Rank, fs []Future[T]) Future[[]T] { return core.Whe
 
 // NewPromise creates a promise with one unfulfilled dependency.
 func NewPromise[T any](rk *Rank) *Promise[T] { return core.NewPromise[T](rk) }
+
+// NewPromiseOn creates a promise owned by the named persona pers: pass it
+// to a …CxAsPromise descriptor to address that completion to pers.
+func NewPromiseOn[T any](rk *Rank, pers *Persona) *Promise[T] { return core.NewPromiseOn[T](rk, pers) }
 
 // Views.
 
