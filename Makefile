@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check fmt bench bench-smoke fuzz-smoke examples-run ci
+.PHONY: all build test test-short race vet fmt-check fmt bench bench-smoke bench-json fuzz-smoke examples-run obs-smoke ci
 
 all: build
 
@@ -18,13 +18,16 @@ test-short:
 # memory-kinds conformance matrix (every {host,device}×{same,cross} copy
 # pair plus the DMA engine), the completion-object matrix
 # ({op,source,remote} × {future,promise,LPC,RPC} × kinds × locality,
-# including the remote-cx AM path), and the collectives matrix
+# including the remote-cx AM path), the collectives matrix
 # ({barrier,bcast,reduce,allreduce} × {future,promise,LPC,remote-RPC} ×
-# {host,device} × {world,split-team} plus persona handoff) on top of it.
+# {host,device} × {world,split-team} plus persona handoff), and the
+# observability layer (concurrent counter recording, trace rings, the
+# counter-conformance matrix) on top of it.
 race:
-	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll'
+	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll|Obs'
 	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
 	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
+	$(GO) test -race ./internal/obs/
 
 # Short fuzz windows over the wire-format targets (the seed corpora also
 # run as plain tests in every `make test`).
@@ -72,5 +75,24 @@ bench-smoke:
 	$(GO) run ./cmd/eadd-bench
 	$(GO) run ./cmd/sympack-bench
 
+# Machine-readable benchmark tables: every figure tool writes its
+# BENCH_<tool>.json (model-only / tiny sizes here — the schema and the
+# config/model columns, not a perf run; drop the flags for real sweeps).
+bench-json:
+	$(GO) run ./cmd/rma-bench -mode all -model-only -json
+	$(GO) run ./cmd/kinds-bench -model-only -json
+	$(GO) run ./cmd/coll-bench -model-only -json
+	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -json
+	$(GO) run ./cmd/eadd-bench -json
+	$(GO) run ./cmd/sympack-bench -json
+
+# Observability smoke: quickstart with stats and tracing armed must print
+# a non-empty sampled op timeline, and the obs-threaded runtime must stay
+# race-clean under concurrent recording.
+obs-smoke:
+	UPCXX_STATS=1 UPCXX_TRACE=1 $(GO) run ./examples/quickstart | grep "sample op timeline" >/dev/null
+	$(GO) test -race ./internal/core/ -run Obs
+	$(GO) test -race ./internal/obs/
+
 # Tier-1 verification in one command.
-ci: build vet fmt-check test race examples-run
+ci: build vet fmt-check test race examples-run obs-smoke

@@ -38,6 +38,7 @@ import (
 
 	core "upcxx/internal/core"
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/stats"
 )
 
@@ -50,8 +51,25 @@ var (
 	devElems   = flag.Int("device-elems", 128, "float64 elements per rank in the device allreduce")
 	modelOnly  = flag.Bool("model-only", false, "print only the closed-form predictions (fast)")
 	noDevice   = flag.Bool("no-device", false, "skip the device-kind sweep")
+	withStats  = flag.Bool("stats", false, "record runtime stats in every measured world and dump the merged counters (incl. collective tree rounds) of the last one at exit")
+	jsonOut    = flag.Bool("json", false, "also write every table to BENCH_coll-bench.json")
 	collHeader = 40 // approximate collective header AM size in bytes
 )
+
+// lastSnap holds the merged counters of the most recent stats-enabled
+// measured world, printed at exit under -stats.
+var (
+	lastSnap obs.Snapshot
+	haveSnap bool
+)
+
+// captureStats is called by rank 0 at the end of each measured run.
+func captureStats(rk *core.Rank) {
+	if rk.Me() == 0 && rk.StatsEnabled() {
+		lastSnap = rk.World().StatsMerged()
+		haveSnap = true
+	}
+}
 
 func parseInts(s string) []int {
 	var out []int
@@ -120,7 +138,7 @@ func measureRound(p, radix int) float64 {
 	for rep := 0; rep < *reps; rep++ {
 		var per float64
 		core.RunConfig(core.Config{Ranks: p, RanksPerNode: 1, Model: dilatedAries(),
-			CollRadix: radix, SegmentSize: 1 << 20}, func(rk *core.Rank) {
+			CollRadix: radix, SegmentSize: 1 << 20, Stats: *withStats}, func(rk *core.Rank) {
 			world := rk.WorldTeam()
 			sum := func(a, b int64) int64 { return a + b }
 			// Warm-up round.
@@ -135,6 +153,7 @@ func measureRound(p, radix int) float64 {
 			if rk.Me() == 0 {
 				per = time.Since(t0).Seconds() / float64(*iters) / float64(*dilation)
 			}
+			captureStats(rk)
 			rk.Barrier()
 		})
 		if best == 0 || (per > 0 && per < best) {
@@ -152,7 +171,7 @@ func measureDeviceAllReduce(p, radix, elems int) float64 {
 	for rep := 0; rep < *reps; rep++ {
 		var per float64
 		core.RunConfig(core.Config{Ranks: p, RanksPerNode: 1, Model: dilatedAries(),
-			DMA: dilatedPCIe(), CollRadix: radix, SegmentSize: 1 << 20}, func(rk *core.Rank) {
+			DMA: dilatedPCIe(), CollRadix: radix, SegmentSize: 1 << 20, Stats: *withStats}, func(rk *core.Rank) {
 			da := core.NewDeviceAllocator(rk, 1<<22)
 			buf := core.MustNewDeviceArray[float64](da, elems)
 			core.RunKernel(da, buf, elems, func(s []float64) {
@@ -171,6 +190,7 @@ func measureDeviceAllReduce(p, radix, elems int) float64 {
 			if rk.Me() == 0 {
 				per = time.Since(t0).Seconds() / float64(*iters) / float64(*dilation)
 			}
+			captureStats(rk)
 			rk.Barrier()
 		})
 		if best == 0 || (per > 0 && per < best) {
@@ -237,6 +257,7 @@ func main() {
 	}
 	host.Fprint(os.Stdout)
 	fmt.Println()
+	tables := []*stats.Table{host}
 
 	if !*noDevice && !*modelOnly {
 		dev := &stats.Table{
@@ -255,8 +276,25 @@ func main() {
 		}
 		dev.Fprint(os.Stdout)
 		fmt.Println()
+		tables = append(tables, dev)
 	}
 
 	fmt.Println("radix 1 is the flat tree (the root serializes p-1 messages on one NIC);")
 	fmt.Println("k-nomial trees trade per-parent fan-out against tree depth and win from ~16 ranks.")
+
+	if *withStats && haveSnap {
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks, last measured world):")
+		obs.Fprint(os.Stdout, lastSnap)
+	}
+	if *jsonOut {
+		cfg := map[string]any{
+			"ranks": *ranksFlag, "radices": *radixFlag, "iters": *iters, "reps": *reps,
+			"dilation": *dilation, "device-elems": *devElems, "model-only": *modelOnly,
+		}
+		if err := stats.WriteBenchJSON("BENCH_coll-bench.json", "coll-bench", cfg, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"upcxx/internal/dht"
 	"upcxx/internal/expmodel"
+	"upcxx/internal/obs"
 	"upcxx/internal/stats"
 
 	core "upcxx/internal/core"
@@ -37,7 +38,24 @@ var (
 	inserts   = flag.Int("inserts", 64, "blocking inserts per process per data point")
 	real      = flag.Bool("real", false, "also run the real in-process runtime at small P")
 	pipelined = flag.Bool("pipelined", false, "compare blocking vs pipelined (source-cx) insert loops on the real runtime")
+	withStats = flag.Bool("stats", false, "record runtime stats in the real-runtime worlds (via the UPCXX_STATS knob) and dump the merged counters of the last one at exit")
+	jsonOut   = flag.Bool("json", false, "also write every table to BENCH_dht-bench.json")
 )
+
+// lastSnap holds the merged counters of the most recent stats-enabled
+// real-runtime world, printed at exit under -stats.
+var (
+	lastSnap obs.Snapshot
+	haveSnap bool
+)
+
+// captureStats is called by rank 0 at the end of each real-runtime run.
+func captureStats(rk *core.Rank) {
+	if rk.Me() == 0 && rk.StatsEnabled() {
+		lastSnap = rk.World().StatsMerged()
+		haveSnap = true
+	}
+}
 
 // elemSizes are the value sizes swept (same total volume per size, per
 // the paper's setup).
@@ -85,6 +103,7 @@ func realRuns() *stats.Table {
 				rk.Barrier()
 				res := dht.RunInsertBench(rk, d, cfg)
 				rates[rk.Me()] = res.InsertsPerSec()
+				captureStats(rk)
 				rk.Barrier()
 			})
 			agg := 0.0
@@ -125,6 +144,7 @@ func pipelinedRuns() *stats.Table {
 					res = dht.RunInsertBench(rk, d, cfg)
 				}
 				rates[rk.Me()] = res.InsertsPerSec()
+				captureStats(rk)
 				rk.Barrier()
 			})
 			agg := 0.0
@@ -140,18 +160,41 @@ func pipelinedRuns() *stats.Table {
 
 func main() {
 	flag.Parse()
-	if *machine == "haswell" || *machine == "both" {
-		modelTable(expmodel.Haswell(), 16384).Fprint(os.Stdout)
+	if *withStats {
+		// The real-runtime worlds are created inside internal/dht
+		// helpers with plain configs; the env knob reaches all of them.
+		os.Setenv("UPCXX_STATS", "1")
+	}
+	var tables []*stats.Table
+	emit := func(t *stats.Table) {
+		t.Fprint(os.Stdout)
 		fmt.Println()
+		tables = append(tables, t)
+	}
+	if *machine == "haswell" || *machine == "both" {
+		emit(modelTable(expmodel.Haswell(), 16384))
 	}
 	if *machine == "knl" || *machine == "both" {
-		modelTable(expmodel.KNL(), 34816).Fprint(os.Stdout)
-		fmt.Println()
+		emit(modelTable(expmodel.KNL(), 34816))
 	}
 	if *real {
-		realRuns().Fprint(os.Stdout)
+		emit(realRuns())
 	}
 	if *pipelined {
-		pipelinedRuns().Fprint(os.Stdout)
+		emit(pipelinedRuns())
+	}
+	if *withStats && haveSnap {
+		fmt.Println("runtime stats (merged across ranks, last real-runtime world):")
+		obs.Fprint(os.Stdout, lastSnap)
+	}
+	if *jsonOut {
+		cfg := map[string]any{
+			"machine": *machine, "inserts": *inserts,
+			"real": *real, "pipelined": *pipelined,
+		}
+		if err := stats.WriteBenchJSON("BENCH_dht-bench.json", "dht-bench", cfg, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

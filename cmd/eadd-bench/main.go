@@ -24,6 +24,7 @@ import (
 	"upcxx/internal/expmodel"
 	"upcxx/internal/matgen"
 	"upcxx/internal/mpi"
+	"upcxx/internal/obs"
 	"upcxx/internal/sparse"
 	"upcxx/internal/stats"
 
@@ -31,10 +32,19 @@ import (
 )
 
 var (
-	scale   = flag.Int("scale", 1, "problem scale (1: 30^3 proxy grid)")
-	block   = flag.Int("block", 16, "2D block-cyclic block size")
-	machine = flag.String("machine", "both", "haswell, knl, or both")
-	realP   = flag.Int("real", 0, "if > 0, also run the real implementations at this process count")
+	scale     = flag.Int("scale", 1, "problem scale (1: 30^3 proxy grid)")
+	block     = flag.Int("block", 16, "2D block-cyclic block size")
+	machine   = flag.String("machine", "both", "haswell, knl, or both")
+	realP     = flag.Int("real", 0, "if > 0, also run the real implementations at this process count")
+	withStats = flag.Bool("stats", false, "record runtime stats in the real UPC++ world and dump the merged counters at exit (needs -real)")
+	jsonOut   = flag.Bool("json", false, "also write the model tables to BENCH_eadd-bench.json")
+)
+
+// lastSnap holds the merged counters of the real UPC++ world, printed at
+// exit under -stats.
+var (
+	lastSnap obs.Snapshot
+	haveSnap bool
 )
 
 func buildTree() (*matgen.Problem, *sparse.FrontTree) {
@@ -73,11 +83,16 @@ func realRun(tree *sparse.FrontTree, p int) {
 
 	stores := make([]*sparse.AccumStore, p)
 	var upcxxTime float64
-	core.RunConfig(core.Config{Ranks: p, SegmentSize: 64 << 20}, func(rk *core.Rank) {
+	core.RunConfig(core.Config{Ranks: p, SegmentSize: 64 << 20, Stats: *withStats}, func(rk *core.Rank) {
 		st, el := sparse.EAddUPCXX(rk, plan)
 		stores[rk.Me()] = st
 		if el.Seconds() > upcxxTime {
 			upcxxTime = el.Seconds()
+		}
+		rk.Barrier()
+		if rk.Me() == 0 && rk.StatsEnabled() {
+			lastSnap = rk.World().StatsMerged()
+			haveSnap = true
 		}
 	})
 	verify(want, stores, "UPC++")
@@ -127,15 +142,34 @@ func main() {
 	fmt.Printf("problem %s: n=%d nnz=%d, %d fronts, depth %d\n\n",
 		prob.Name, prob.A.N, prob.A.NNZ(), len(tree.Fronts), tree.MaxLevel())
 
+	var tables []*stats.Table
 	if *machine == "haswell" || *machine == "both" {
-		modelTable(expmodel.Haswell(), tree).Fprint(os.Stdout)
+		t := modelTable(expmodel.Haswell(), tree)
+		t.Fprint(os.Stdout)
 		fmt.Println()
+		tables = append(tables, t)
 	}
 	if *machine == "knl" || *machine == "both" {
-		modelTable(expmodel.KNL(), tree).Fprint(os.Stdout)
+		t := modelTable(expmodel.KNL(), tree)
+		t.Fprint(os.Stdout)
 		fmt.Println()
+		tables = append(tables, t)
 	}
 	if *realP > 0 {
 		realRun(tree, *realP)
+	}
+	if *withStats && haveSnap {
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks, UPC++ world):")
+		obs.Fprint(os.Stdout, lastSnap)
+	}
+	if *jsonOut {
+		cfg := map[string]any{
+			"scale": *scale, "block": *block, "machine": *machine, "real": *realP,
+		}
+		if err := stats.WriteBenchJSON("BENCH_eadd-bench.json", "eadd-bench", cfg, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -14,15 +14,18 @@
 // Usage:
 //
 //	go run ./cmd/kinds-bench [-max-size bytes] [-reps n] [-dilation k]
-//	                         [-model-only]
+//	                         [-model-only] [-stats] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
+	"upcxx/internal/stats"
 
 	core "upcxx/internal/core"
 )
@@ -32,6 +35,8 @@ var (
 	reps      = flag.Int("reps", 3, "repetitions per point (best kept)")
 	dilation  = flag.Int("dilation", 100, "time-dilation factor for measured runs")
 	modelOnly = flag.Bool("model-only", false, "print only the closed-form predictions (fast)")
+	withStats = flag.Bool("stats", false, "record runtime stats in the measured world and dump the merged counters (incl. per-kind DMA descriptors) at exit")
+	jsonOut   = flag.Bool("json", false, "also write the bandwidth table to BENCH_kinds-bench.json")
 )
 
 func dilatedAries(k time.Duration) *gasnet.LogGP {
@@ -138,22 +143,57 @@ func main() {
 	if !*modelOnly {
 		w = core.NewWorld(core.Config{
 			Ranks: 2, RanksPerNode: 1, SegmentSize: 2 * *maxSize,
-			Model: dilatedAries(k), DMA: dilatedPCIe3(k),
+			Model: dilatedAries(k), DMA: dilatedPCIe3(k), Stats: *withStats,
 		})
 		defer w.Close()
+	}
+
+	t := &stats.Table{
+		Title:  "CopyGG bandwidth by memory-kind pair, GB/s",
+		XLabel: "size",
+		XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+	}
+	series := map[string]*stats.Series{}
+	addPoint := func(name string, n int, v float64) {
+		s := series[name]
+		if s == nil {
+			s = &stats.Series{Name: name}
+			series[name] = s
+			t.Series = append(t.Series, s)
+		}
+		s.Add(float64(n), v)
 	}
 
 	for _, n := range sizes() {
 		fmt.Printf("%10d", n)
 		for _, p := range pairs {
+			model := gbps(n, predict(p, n))
+			addPoint(p.name+" (model)", n, model)
 			if *modelOnly {
-				fmt.Printf("  %12.2f", gbps(n, predict(p, n)))
+				fmt.Printf("  %12.2f", model)
 				continue
 			}
-			meas := measure(w, p, n, k)
-			fmt.Printf("  %12.2f %12.2f", gbps(n, meas), gbps(n, predict(p, n)))
+			meas := gbps(n, measure(w, p, n, k))
+			addPoint(p.name, n, meas)
+			fmt.Printf("  %12.2f %12.2f", meas, model)
 		}
 		fmt.Println()
+	}
+
+	if *withStats && !*modelOnly {
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks):")
+		obs.Fprint(os.Stdout, w.StatsMerged())
+	}
+	if *jsonOut {
+		cfg := map[string]any{
+			"max-size": *maxSize, "reps": *reps,
+			"dilation": *dilation, "model-only": *modelOnly,
+		}
+		if err := stats.WriteBenchJSON("BENCH_kinds-bench.json", "kinds-bench", cfg, []*stats.Table{t}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"upcxx/internal/expmodel"
 	"upcxx/internal/gasnet"
 	"upcxx/internal/mpi"
+	"upcxx/internal/obs"
 	"upcxx/internal/serial"
 	"upcxx/internal/stats"
 
@@ -54,7 +55,40 @@ var (
 	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
 	reps      = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
 	dilation  = flag.Int("dilation", 100, "time-dilation factor for measured runs: the simulated network runs k times slower than Aries and results are divided by k, so Go harness jitter (a few us) becomes negligible relative to the modeled microsecond latencies")
+	withStats = flag.Bool("stats", false, "record runtime stats in every measured world; in rpc mode, print the per-layer small-RPC cost breakdown from the latency histograms and a final merged counter dump")
+	jsonOut   = flag.Bool("json", false, "also write every table to BENCH_rma-bench.json")
 )
+
+// statsCfg reports whether measured worlds should record runtime stats.
+// The histogram hooks cost one atomic add per edge — negligible against
+// the dilated network, so enabling them does not skew the measurement.
+func statsCfg() bool { return *withStats }
+
+// lastSnap holds the merged job-wide counters of the most recent
+// stats-enabled measured world, printed at exit under -stats.
+var (
+	lastSnap obs.Snapshot
+	haveSnap bool
+)
+
+// captureStats is called by rank 0 at the end of each measured run.
+func captureStats(rk *core.Rank) {
+	if rk.Me() == 0 && rk.StatsEnabled() {
+		lastSnap = rk.World().StatsMerged()
+		haveSnap = true
+	}
+}
+
+// runMeasured runs one two-node measured UPC++ world on the dilated
+// Aries model, capturing its merged runtime counters for the -stats
+// dump after the body's final barrier.
+func runMeasured(seg int, fn func(rk *core.Rank)) {
+	core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+		SegmentSize: seg, Stats: statsCfg()}, func(rk *core.Rank) {
+		fn(rk)
+		captureStats(rk)
+	})
+}
 
 // dilatedAries returns the Aries model slowed by the dilation factor.
 func dilatedAries() *gasnet.LogGP {
@@ -124,8 +158,7 @@ func measureUPCXXLatency(size int) float64 {
 	best := 0.0
 	for rep := 0; rep < *reps; rep++ {
 		var perOp float64
-		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
-			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+		runMeasured(16<<20, func(rk *core.Rank) {
 			var dst core.GPtr[uint8]
 			if rk.Me() == 1 {
 				dst = core.MustNewArray[uint8](rk, size)
@@ -158,8 +191,7 @@ func measureUPCXXFlood(size int) float64 {
 	best := 0.0
 	for rep := 0; rep < *reps; rep++ {
 		var bw float64
-		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
-			SegmentSize: 32 << 20}, func(rk *core.Rank) {
+		runMeasured(32<<20, func(rk *core.Rank) {
 			var dst core.GPtr[uint8]
 			if rk.Me() == 1 {
 				dst = core.MustNewArray[uint8](rk, size)
@@ -199,8 +231,7 @@ func measureNotify(size int, signaling bool) float64 {
 	iters := latencyIters(size)
 	for rep := 0; rep < *reps; rep++ {
 		var perHop float64
-		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
-			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+		runMeasured(16<<20, func(rk *core.Rank) {
 			type slots struct {
 				Buf core.GPtr[uint8]
 				Ctr core.GPtr[uint64]
@@ -288,8 +319,7 @@ func measureRPCFF(size int) float64 {
 	iters := latencyIters(size)
 	for rep := 0; rep < *reps; rep++ {
 		var perHop float64
-		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
-			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+		runMeasured(16<<20, func(rk *core.Rank) {
 			mine := core.MustNewArray[uint64](rk, 1)
 			obj := core.NewDistObject(rk, mine)
 			rk.Barrier()
@@ -348,8 +378,7 @@ func measureRPCRoundTrip(size int) float64 {
 	iters := latencyIters(size)
 	for rep := 0; rep < *reps; rep++ {
 		var perOp float64
-		core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
-			SegmentSize: 16 << 20}, func(rk *core.Rank) {
+		runMeasured(16<<20, func(rk *core.Rank) {
 			mine := core.MustNewArray[uint64](rk, 1)
 			obj := core.NewDistObject(rk, mine)
 			rk.Barrier()
@@ -377,6 +406,60 @@ func measureRPCRoundTrip(size int) float64 {
 		}
 	}
 	return best
+}
+
+// rpcBreakdown is the per-layer cost split of one blocking RPC: the
+// runtime's latency histograms split the round trip at the
+// remote-landing edge of the request message.
+type rpcBreakdown struct {
+	reqUS   float64 // inject → request landing at the target
+	replyUS float64 // remote execution + reply crossing + completion delivery
+	e2eUS   float64 // wall-clock per-op end-to-end of the same loop
+}
+
+// measureRPCBreakdown reruns the blocking-RPC loop with runtime stats
+// forced on and reads rank 0's — the initiator's — latency histograms:
+// the mean inject→landing of KindRPC is the request leg, and mean
+// inject→complete minus that is everything after the request lands
+// (remote body, reply crossing, completion delivery). Values are
+// microseconds, undilated; their sum should track the wall-clock
+// end-to-end mean of the identical loop.
+func measureRPCBreakdown(size int) rpcBreakdown {
+	iters := latencyIters(size)
+	var out rpcBreakdown
+	core.RunConfig(core.Config{Ranks: 2, RanksPerNode: 1, Model: dilatedAries(),
+		SegmentSize: 16 << 20, Stats: true}, func(rk *core.Rank) {
+		mine := core.MustNewArray[uint64](rk, 1)
+		obj := core.NewDistObject(rk, mine)
+		rk.Barrier()
+		if rk.Me() == 0 {
+			theirs := core.FetchDist[core.GPtr[uint64]](rk, obj.ID(), 1).Wait()
+			val := make([]uint8, size)
+			call := func() {
+				core.RPC(rk, 1, func(trk *core.Rank, a rpcHopArgs) uint64 {
+					c := core.Local(trk, a.Ctr, 1)
+					c[0]++
+					return c[0]
+				}, rpcHopArgs{Ctr: theirs, Val: core.MakeView(val)}).Wait()
+			}
+			call() // warm up
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				call()
+			}
+			wall := time.Since(t0).Seconds() / float64(iters)
+			s := rk.Stats()
+			land := s.HistMean(obs.HistLand, obs.KindRPC)
+			done := s.HistMean(obs.HistDone, obs.KindRPC)
+			k := float64(*dilation)
+			out.reqUS = land / 1e3 / k
+			out.replyUS = (done - land) / 1e3 / k
+			out.e2eUS = wall * 1e6 / k
+			captureStats(rk)
+		}
+		rk.Barrier()
+	})
+	return out
 }
 
 // measureMPILatency times MPI_Put + MPI_Win_flush per operation.
@@ -446,6 +529,7 @@ func main() {
 	flag.Parse()
 	_ = serial.SizeOf[byte] // keep import graph honest under pruning
 	m := expmodel.Haswell()
+	var tables []*stats.Table
 
 	if *mode == "latency" || *mode == "both" || *mode == "all" {
 		t := &stats.Table{
@@ -474,6 +558,7 @@ func main() {
 			t.Series = append(t.Series, upM, mpM)
 		}
 		t.Fprint(os.Stdout)
+		tables = append(tables, t)
 		fmt.Println()
 	}
 
@@ -504,6 +589,7 @@ func main() {
 			t.Series = append(t.Series, sgM, prM)
 		}
 		t.Fprint(os.Stdout)
+		tables = append(tables, t)
 		fmt.Println()
 		rtt := m.UPCXXPutLatency(8) * 1e6
 		fmt.Printf("saved per notification vs put+RPC: the put's full round trip (~%.2f us at 8 B) —\n", rtt)
@@ -542,11 +628,39 @@ func main() {
 			t.Series = append(t.Series, ffM, rtM, spM)
 		}
 		t.Fprint(os.Stdout)
+		tables = append(tables, t)
 		fmt.Println()
 		fmt.Println("rpc_ff and the signaling put are both one one-way message; the signaling put wins at")
 		fmt.Println("size because the payload moves as RMA (no serialization on the handler path), while")
 		fmt.Println("the round-trip rpc pays one extra wire crossing for its reply.")
 		fmt.Println()
+
+		if *withStats && !*modelOnly {
+			bt := &stats.Table{
+				Title:  "RPC per-layer breakdown — runtime latency histograms vs wall clock, us",
+				XLabel: "size",
+				XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+				YFmt:   func(v float64) string { return fmt.Sprintf("%.2f", v) },
+			}
+			req := &stats.Series{Name: "inject→landing (request)"}
+			rep := &stats.Series{Name: "landing→complete (exec+reply)"}
+			sum := &stats.Series{Name: "hist sum"}
+			e2e := &stats.Series{Name: "wall end-to-end"}
+			for _, n := range []int{8, 64, 512, 4 << 10} {
+				b := measureRPCBreakdown(n)
+				req.Add(float64(n), b.reqUS)
+				rep.Add(float64(n), b.replyUS)
+				sum.Add(float64(n), b.reqUS+b.replyUS)
+				e2e.Add(float64(n), b.e2eUS)
+			}
+			bt.Series = []*stats.Series{req, rep, sum, e2e}
+			bt.Fprint(os.Stdout)
+			tables = append(tables, bt)
+			fmt.Println()
+			fmt.Println("hist sum is the initiator histograms' inject→complete mean; it should agree with the")
+			fmt.Println("wall-clock end-to-end mean of the same loop to within harness jitter (<15%).")
+			fmt.Println()
+		}
 	}
 
 	if *mode == "flood" || *mode == "both" || *mode == "all" {
@@ -576,5 +690,22 @@ func main() {
 			t.Series = append(t.Series, upM, mpM)
 		}
 		t.Fprint(os.Stdout)
+		tables = append(tables, t)
+	}
+
+	if *withStats && haveSnap {
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks, last measured world):")
+		obs.Fprint(os.Stdout, lastSnap)
+	}
+	if *jsonOut {
+		cfg := map[string]any{
+			"mode": *mode, "reps": *reps, "max-size": *maxSize,
+			"dilation": *dilation, "model-only": *modelOnly,
+		}
+		if err := stats.WriteBenchJSON("BENCH_rma-bench.json", "rma-bench", cfg, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

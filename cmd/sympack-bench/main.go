@@ -22,6 +22,7 @@ import (
 
 	"upcxx/internal/expmodel"
 	"upcxx/internal/matgen"
+	"upcxx/internal/obs"
 	"upcxx/internal/sparse"
 	"upcxx/internal/stats"
 
@@ -29,8 +30,17 @@ import (
 )
 
 var (
-	scale = flag.Int("scale", 1, "problem scale (1: 24x24x48 proxy grid)")
-	realP = flag.Int("real", 0, "if > 0, run the real implementations at this process count")
+	scale     = flag.Int("scale", 1, "problem scale (1: 24x24x48 proxy grid)")
+	realP     = flag.Int("real", 0, "if > 0, run the real implementations at this process count")
+	withStats = flag.Bool("stats", false, "record runtime stats in the real factorization worlds and dump the merged counters of the last one at exit (needs -real)")
+	jsonOut   = flag.Bool("json", false, "also write the scaling table to BENCH_sympack-bench.json")
+)
+
+// lastSnap holds the merged counters of the most recent stats-enabled
+// factorization world, printed at exit under -stats.
+var (
+	lastSnap obs.Snapshot
+	haveSnap bool
 )
 
 func main() {
@@ -73,6 +83,18 @@ func main() {
 	if *realP > 0 {
 		runReal(prob, tree, *realP)
 	}
+	if *withStats && haveSnap {
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks, last factorization world):")
+		obs.Fprint(os.Stdout, lastSnap)
+	}
+	if *jsonOut {
+		cfg := map[string]any{"scale": *scale, "real": *realP}
+		if err := stats.WriteBenchJSON("BENCH_sympack-bench.json", "sympack-bench", cfg, []*stats.Table{t}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 func runReal(prob *matgen.Problem, tree *sparse.FrontTree, p int) {
@@ -86,8 +108,13 @@ func runReal(prob *matgen.Problem, tree *sparse.FrontTree, p int) {
 		{"UPC++ v0.1", func(rk *core.Rank) sparse.CholResult { return sparse.CholV01(rk, plan) }},
 	} {
 		results := make([]sparse.CholResult, p)
-		core.RunConfig(core.Config{Ranks: p, SegmentSize: 256 << 20}, func(rk *core.Rank) {
+		core.RunConfig(core.Config{Ranks: p, SegmentSize: 256 << 20, Stats: *withStats}, func(rk *core.Rank) {
 			results[rk.Me()] = variant.run(rk)
+			rk.Barrier()
+			if rk.Me() == 0 && rk.StatsEnabled() {
+				lastSnap = rk.World().StatsMerged()
+				haveSnap = true
+			}
 		})
 		worst := 0.0
 		var nnzL int

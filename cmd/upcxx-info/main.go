@@ -5,18 +5,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/upcxx-info
+//	go run ./cmd/upcxx-info [-stats]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	"upcxx"
 	"upcxx/internal/expmodel"
 	"upcxx/internal/gasnet"
 	"upcxx/internal/mpi"
+	"upcxx/internal/obs"
+
+	core "upcxx/internal/core"
 )
+
+var withStats = flag.Bool("stats", false, "run the self-test with runtime stats and op tracing armed and dump the merged counters plus a sample op timeline")
 
 func describeLogGP(name string, m *gasnet.LogGP) {
 	fmt.Printf("%s conduit model:\n", name)
@@ -27,6 +34,7 @@ func describeLogGP(name string, m *gasnet.LogGP) {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Printf("upcxx-go — reproduction of UPC++ (IPDPS 2019) — Go %s, GOMAXPROCS=%d\n\n",
 		runtime.Version(), runtime.GOMAXPROCS(0))
 
@@ -49,13 +57,37 @@ func main() {
 
 	fmt.Printf("\nruntime self-test: ")
 	sum := int64(0)
-	upcxx.Run(4, func(rk *upcxx.Rank) {
-		got := upcxx.AllReduce(rk.WorldTeam(), int64(rk.Me())+1,
-			func(a, b int64) int64 { return a + b }).Wait()
-		if rk.Me() == 0 {
-			sum = got
-		}
-		rk.Barrier()
-	})
+	var snap obs.Snapshot
+	haveSnap := false
+	core.RunConfig(core.Config{Ranks: 4, Stats: *withStats, TraceDepth: boolToDepth(*withStats)},
+		func(rk *upcxx.Rank) {
+			got := upcxx.AllReduce(rk.WorldTeam(), int64(rk.Me())+1,
+				func(a, b int64) int64 { return a + b }).Wait()
+			if rk.Me() == 0 {
+				sum = got
+			}
+			rk.Barrier()
+			if rk.Me() == 0 && rk.StatsEnabled() {
+				snap = rk.World().StatsMerged()
+				haveSnap = true
+			}
+		})
 	fmt.Printf("allreduce over 4 ranks = %d (want 10)\n", sum)
+	if *withStats {
+		if !haveSnap {
+			fmt.Fprintln(os.Stderr, "upcxx-info: -stats requested but the runtime recorded nothing")
+			os.Exit(1)
+		}
+		fmt.Println()
+		obs.Fprint(os.Stdout, snap)
+	}
+}
+
+// boolToDepth maps -stats to a trace ring depth: armed with the default
+// capacity when on, stats-only when off.
+func boolToDepth(on bool) int {
+	if on {
+		return obs.DefaultTraceDepth
+	}
+	return 0
 }

@@ -110,6 +110,17 @@ func main() {
 				ranks, total, ad.Load(counter).Wait())
 		}
 		rk.Barrier()
+
+		// --- Runtime introspection --------------------------------------
+		// With UPCXX_STATS=1 (or Config.Stats) the runtime keeps per-rank
+		// op/byte/completion counters and latency histograms; UPCXX_TRACE=1
+		// additionally arms sampled op-lifecycle timelines. The snapshot is
+		// a plain value — printable, JSON-encodable, mergeable across ranks.
+		if rk.Me() == 0 && rk.StatsEnabled() {
+			fmt.Println("\n-- final runtime stats, rank 0 --")
+			fmt.Print(rk.Stats().String())
+		}
+		rk.Barrier()
 	})
 
 	// --- Personas and the dedicated progress thread -------------------

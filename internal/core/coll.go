@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/serial"
 )
 
@@ -412,6 +413,9 @@ func (w *World) handleColl(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte,
 // sendMsg lowers one collective header hop to an AM operation and hands
 // it to the single injection path. dest is a team rank.
 func (e *collEngine) sendMsg(t *Team, dest Intrank, m collMsg) {
+	if e.rk.ro != nil {
+		e.rk.ro.CountOp(obs.KindCollRound)
+	}
 	op := rmaOp{
 		kind:    opAM,
 		dstPeer: t.ranks[dest],
@@ -430,6 +434,9 @@ func (e *collEngine) sendMsg(t *Team, dest Intrank, m collMsg) {
 // bytes are stable until then).
 func (e *collEngine) copyTo(t *Team, dest Intrank, src, dst collBufAddr, nbytes int, land collMsg, onOpDone func()) {
 	rk := e.rk
+	if rk.ro != nil {
+		rk.ro.CountOp(obs.KindCollRound)
+	}
 	world := t.ranks[dest]
 	plan := &cxPlan{rk: rk, remotePeer: world}
 	plan.remoteAM = &gasnet.RemoteAM{Handler: rk.w.amColl, Payload: encodeCollMsg(land)}

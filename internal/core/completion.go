@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/serial"
 )
 
@@ -215,6 +216,9 @@ type remoteCxAux struct {
 // addressed with On, to the rank's execution persona otherwise. Callers
 // invoke it only after the owning transfer's data is visible locally.
 func (rk *Rank) runRemoteBody(aux remoteCxAux, initiator Intrank, args []byte) {
+	if rk.ro != nil {
+		rk.ro.Completion(obs.EvRemote, obs.ViaRPC)
+	}
 	if aux.pers != nil {
 		if aux.pers.rk != rk {
 			panic(fmt.Sprintf("upcxx: rank %d: remote-cx persona %v belongs to rank %d",
@@ -238,10 +242,13 @@ type CxFutures struct {
 // cxDelivery is one initiator-side completion delivery: fn runs as an LPC
 // on pers, which is resolved once at descriptor registration (futures and
 // promises deliver to their owning persona, explicit LPCs to the persona
-// they name).
+// they name). ev and via identify the delivery in the completion matrix
+// for the introspection counters.
 type cxDelivery struct {
 	pers *Persona
 	fn   func()
+	ev   CxEvent
+	via  cxKind
 }
 
 // cxPlan is the resolved completion set of one logical operation — the
@@ -267,6 +274,30 @@ type cxPlan struct {
 	remotePeer Intrank
 
 	nops atomic.Int64 // outstanding conduit operations
+
+	// Observability identity of the logical operation: obsTag carries the
+	// inject timestamp, kind, and (when traced) the op's trace ID; set by
+	// inject (or the collectives engine) only when stats are enabled.
+	// The inject→op-complete histogram records on the plan's final edge —
+	// here rather than in the conduit so the edge covers multi-fragment
+	// batches and the RPC round trip, whose completion fires from the
+	// reply continuation, not a conduit ack.
+	obsTag   obs.OpTag
+	obsBytes int
+}
+
+// obsArm stamps the plan with its operation's observability identity.
+func (c *cxPlan) obsArm(tag obs.OpTag, bytes int) {
+	c.obsTag = tag
+	c.obsBytes = bytes
+}
+
+// obsDone records the operation-complete edge (histogram + trace event)
+// if the plan was armed.
+func (c *cxPlan) obsDone() {
+	if c.obsTag.Rec != nil {
+		c.obsTag.Rec.OpDone(c.obsTag, c.obsBytes)
+	}
 }
 
 // newCxPlan resolves descriptors against one operation. kind names the
@@ -280,6 +311,14 @@ func newCxPlan(rk *Rank, kind opKind, remotePeer Intrank, cxs []Cx) *cxPlan {
 	}
 	for _, cx := range cxs {
 		c.add(kind, cx)
+	}
+	// A collective plan is born here rather than through inject, so the
+	// whole-operation observability edge (one Ops[KindColl] count and the
+	// inject→complete latency sample recorded by collOpDone) is armed at
+	// plan construction. The lowered tree hops are counted separately as
+	// KindCollRound by the collectives engine.
+	if kind == opColl && rk.ro != nil {
+		c.obsArm(rk.ro.OpStart(obs.KindColl, 0), 0)
 	}
 	return c
 }
@@ -386,6 +425,7 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 	default:
 		panic(fmt.Sprintf("upcxx: unknown completion delivery %d", cx.kind))
 	}
+	d.ev, d.via = cx.ev, cx.kind
 	switch cx.ev {
 	case OpDone:
 		c.op = append(c.op, d)
@@ -438,6 +478,9 @@ func (c *cxPlan) collRemoteLocal() {
 		panic(fmt.Sprintf("upcxx: rank %d corrupt collective remote-cx payload: %v", c.rk.me, err))
 	}
 	aux := am.Aux.(remoteCxAux)
+	if c.rk.ro != nil {
+		c.rk.ro.Completion(obs.EvRemote, obs.ViaRPC)
+	}
 	if aux.pers != nil {
 		aux.pers.LPC(func() { aux.inv(c.rk, initiator, args) })
 		return
@@ -447,15 +490,23 @@ func (c *cxPlan) collRemoteLocal() {
 
 // collOpDone delivers a collective's operation completions to their
 // initiating personas (the collective analogue of the last opDone).
-func (c *cxPlan) collOpDone() { deliver(c.op) }
+func (c *cxPlan) collOpDone() {
+	c.obsDone()
+	c.deliver(c.op)
+}
 
 // deliver routes one bucket of completions, each to its persona's LPC
-// queue. Delivery is always by LPC: the firing goroutine is whichever one
-// harvested the conduit completion, and futures/promises must only be
-// touched from their owning persona (the fulfillOwned fast path in
-// future.go relies on exactly this routing).
-func deliver(ds []cxDelivery) {
+// queue, counting each delivery in the completion matrix. Delivery is
+// always by LPC: the firing goroutine is whichever one harvested the
+// conduit completion, and futures/promises must only be touched from
+// their owning persona (the fulfillOwned fast path in future.go relies
+// on exactly this routing).
+func (c *cxPlan) deliver(ds []cxDelivery) {
+	ro := c.rk.ro
 	for _, d := range ds {
+		if ro != nil {
+			ro.Completion(obs.CxEvent(d.ev), obs.CxVia(d.via))
+		}
 		d.pers.LPC(d.fn)
 	}
 }
@@ -463,7 +514,7 @@ func deliver(ds []cxDelivery) {
 // sourceDone fires source completions; called once per plan, after every
 // fragment has been handed to the conduit (which captures source buffers
 // eagerly).
-func (c *cxPlan) sourceDone() { deliver(c.src) }
+func (c *cxPlan) sourceDone() { c.deliver(c.src) }
 
 // opDone notes one fragment's completion; the last one fires operation
 // and remote completions. Conduit acks imply remote visibility in this
@@ -477,10 +528,11 @@ func (c *cxPlan) opDone() {
 	if c.remoteAM != nil {
 		am := c.remoteAM
 		c.remoteAM = nil
-		c.rk.ep.AM(gasnetRank(c.remotePeer), am.Handler, am.Payload, am.Aux)
+		c.rk.ep.AMTag(gasnetRank(c.remotePeer), am.Handler, am.Payload, am.Aux, c.obsTag)
 	}
-	deliver(c.rem)
-	deliver(c.op)
+	c.obsDone()
+	c.deliver(c.rem)
+	c.deliver(c.op)
 }
 
 // --- remote-cx wire form -------------------------------------------------

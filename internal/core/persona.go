@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"upcxx/internal/obs"
 )
 
 // Personas (upcxx::persona, paper §II and the UPC++ v1.0 spec §10): a
@@ -50,12 +52,18 @@ type Persona struct {
 	holder atomic.Uint64 // goroutine id holding the persona; 0 when unheld
 	head   atomic.Pointer[lpcNode]
 	npend  atomic.Int64
+
+	oc *obs.PersonaCount // per-persona LPC counters; nil = stats disabled
 }
 
 // NewPersona creates an unheld persona on rk. Activate it on a goroutine
 // with AcquirePersona before initiating communication through it.
 func NewPersona(rk *Rank, name string) *Persona {
-	return &Persona{rk: rk, name: name}
+	p := &Persona{rk: rk, name: name}
+	if rk.ro != nil {
+		p.oc = rk.ro.Persona(name)
+	}
+	return p
 }
 
 // Rank returns the rank this persona belongs to.
@@ -75,6 +83,9 @@ func (p *Persona) String() string {
 // of the goroutine holding this persona. Safe to call from any
 // goroutine; delivery is FIFO in enqueue order.
 func (p *Persona) LPC(fn func()) {
+	if p.oc != nil {
+		p.oc.Enq.Add(1)
+	}
 	// Count before publishing: PendingLPCs may transiently over-report,
 	// never under-report, so quiescence checks stay conservative.
 	p.npend.Add(1)
@@ -118,6 +129,9 @@ func (p *Persona) drain() int {
 		fifo.fn()
 		p.npend.Add(-1) // after execution: PendingLPCs never under-reports
 		fifo = fifo.next
+	}
+	if p.oc != nil {
+		p.oc.Exec.Add(uint64(n))
 	}
 	return n
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/serial"
 )
 
@@ -92,6 +93,19 @@ type rmaOp struct {
 	amAux any              // opAM: opaque code-reference token
 }
 
+// obsBytes returns the payload bytes the op moves, for the introspection
+// counters and size-class histograms.
+func (op *rmaOp) obsBytes() int {
+	switch op.kind {
+	case opCopy:
+		return op.nbytes
+	case opAMO:
+		return 8
+	default:
+		return len(op.buf)
+	}
+}
+
 // inject hands a batch of lowered operations to the conduit with the
 // completion plan attached — the inject(op, cxSet) path every RMA, copy,
 // and atomic entry point routes through. The batch is injected as one
@@ -122,29 +136,44 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 			cx.opDone()
 			rk.actCount.Add(-1)
 		}
+		ro := rk.ro
+		var planBytes int
 		for i := range ops {
 			op := &ops[i]
 			rk.actCount.Add(1)
+			// Observability: count the op at the injection point and build
+			// the tag its hop chain carries. The first fragment's tag also
+			// becomes the plan's identity, so the inject→complete histogram
+			// and the Delivered trace event fire on the plan's final edge.
+			var tag obs.OpTag
+			if ro != nil {
+				b := op.obsBytes()
+				tag = ro.OpStart(obs.OpKind(op.kind), b)
+				planBytes += b
+				if i == 0 {
+					cx.obsArm(tag, 0)
+				}
+			}
 			switch op.kind {
 			case opPut:
-				rk.ep.PutSeg(gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.buf, onDone, rem)
+				rk.ep.PutSegTag(gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.buf, onDone, rem, tag)
 			case opGet:
-				rk.ep.GetSeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff, op.buf, onDone)
+				rk.ep.GetSegTag(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff, op.buf, onDone, tag)
 			case opCopy:
-				rk.ep.CopySeg(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff,
-					gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.nbytes, onDone, rem)
+				rk.ep.CopySegTag(gasnetRank(op.srcPeer), op.srcSeg, op.srcOff,
+					gasnetRank(op.dstPeer), op.dstSeg, op.dstOff, op.nbytes, onDone, rem, tag)
 			case opAMO:
 				onOld := op.onOld
-				rk.ep.AMO(gasnetRank(op.dstPeer), op.dstOff, op.amo, op.amoA, op.amoB, func(old uint64) {
+				rk.ep.AMOTag(gasnetRank(op.dstPeer), op.dstOff, op.amo, op.amoA, op.amoB, func(old uint64) {
 					if onOld != nil {
 						onOld(old)
 					}
 					onDone()
-				})
+				}, tag)
 			case opAM:
 				// One-way message: the conduit captures the payload before
 				// AM returns, so the operation edge fires at injection.
-				rk.ep.AM(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux)
+				rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
 				onDone()
 			case opRPC:
 				// Round-trip request: the conduit captures the payload (so
@@ -152,10 +181,13 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 				// edge waits for the reply — the pending-table continuation
 				// registered by rpcRoundTrip fires the plan and releases
 				// actCount when the reply lands.
-				rk.ep.AM(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux)
+				rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
 			default:
 				panic(fmt.Sprintf("upcxx: inject of unknown op kind %d", op.kind))
 			}
+		}
+		if ro != nil && len(ops) > 0 {
+			cx.obsBytes = planBytes
 		}
 		// Source completion: only puts carry source descriptors
 		// (cxPlan.add), and PutSeg captures its source bytes before

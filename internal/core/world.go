@@ -2,12 +2,16 @@ package upcxx
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // Intrank identifies a process within a job or team, mirroring
@@ -48,6 +52,51 @@ type Config struct {
 	// directly). Teams of at most 4 ranks always use the flat tree. All
 	// ranks share one Config, so the shapes agree job-wide.
 	CollRadix int
+	// Stats enables the runtime introspection layer (internal/obs):
+	// per-rank counters, latency histograms, and the op-lifecycle trace
+	// ring. Disabled (the default), every instrumentation point is a nil
+	// pointer check. Env fallback: UPCXX_STATS=1.
+	Stats bool
+	// TraceDepth, when > 0, arms op-lifecycle tracing at startup with a
+	// per-rank ring of this many events (implies Stats). Tracing can
+	// also be armed later via World.ArmTrace. Env fallback:
+	// UPCXX_TRACE=<depth> (UPCXX_TRACE=1 uses the default depth).
+	TraceDepth int
+	// TraceSample records every Nth operation while tracing is armed
+	// (1-in-N sampling bounds the armed hot-path cost); 0 or 1 traces
+	// every operation. Env fallback: UPCXX_TRACE_SAMPLE=<n>.
+	TraceSample int
+}
+
+// envObsConfig fills unset observability knobs from the environment, the
+// way UPCXX_* variables configure the C++ runtime.
+func (cfg *Config) envObsConfig() {
+	if !cfg.Stats {
+		switch strings.ToLower(os.Getenv("UPCXX_STATS")) {
+		case "1", "true", "yes", "on":
+			cfg.Stats = true
+		}
+	}
+	if cfg.TraceDepth == 0 {
+		if v := os.Getenv("UPCXX_TRACE"); v != "" {
+			if d, err := strconv.Atoi(v); err == nil && d > 0 {
+				cfg.TraceDepth = d
+			} else if strings.EqualFold(v, "on") || strings.EqualFold(v, "true") {
+				cfg.TraceDepth = 1
+			}
+		}
+	}
+	if cfg.TraceDepth == 1 {
+		cfg.TraceDepth = obs.DefaultTraceDepth
+	}
+	if cfg.TraceSample == 0 {
+		if n, err := strconv.Atoi(os.Getenv("UPCXX_TRACE_SAMPLE")); err == nil && n > 0 {
+			cfg.TraceSample = n
+		}
+	}
+	if cfg.TraceDepth > 0 {
+		cfg.Stats = true
+	}
 }
 
 // World is one UPC++ job: a fixed set of ranks over one conduit instance.
@@ -55,6 +104,7 @@ type Config struct {
 type World struct {
 	cfg Config
 	net *gasnet.Network
+	obs *obs.Obs // nil unless Config.Stats
 
 	amRPC    gasnet.HandlerID // all RPC traffic: requests, replies, fire-and-forget
 	amColl   gasnet.HandlerID
@@ -75,13 +125,21 @@ func NewWorld(cfg Config) *World {
 	if cfg.WaitTimeout == 0 {
 		cfg.WaitTimeout = 60 * time.Second
 	}
+	cfg.envObsConfig()
 	w := &World{cfg: cfg}
+	if cfg.Stats {
+		w.obs = obs.New(cfg.Ranks, obs.Options{
+			TraceDepth:  cfg.TraceDepth,
+			TraceSample: cfg.TraceSample,
+		})
+	}
 	w.net = gasnet.NewNetwork(gasnet.Config{
 		Ranks:        cfg.Ranks,
 		RanksPerNode: cfg.RanksPerNode,
 		SegmentSize:  cfg.SegmentSize,
 		Model:        cfg.Model,
 		DMA:          cfg.DMA,
+		Obs:          w.obs,
 	})
 	w.amRPC = w.net.RegisterAM(w.handleRPC)
 	w.amColl = w.net.RegisterAM(w.handleColl)
@@ -97,6 +155,9 @@ func NewWorld(cfg Config) *World {
 			splitSeqs:  make(map[uint64]uint64),
 			distObjs:   make(map[uint64]any),
 			distWaits:  make(map[uint64][]distWaiter),
+		}
+		if w.obs != nil {
+			rk.ro = w.obs.Rank(r)
 		}
 		rk.coll = newCollEngine(rk, cfg.CollRadix)
 		rk.master = NewPersona(rk, "master")
@@ -123,6 +184,58 @@ func (w *World) Rank(r Intrank) *Rank { return w.ranks[r] }
 
 // Network exposes the underlying conduit (for stats and tooling).
 func (w *World) Network() *gasnet.Network { return w.net }
+
+// StatsEnabled reports whether the introspection layer is recording.
+func (w *World) StatsEnabled() bool { return w.obs != nil }
+
+// StatsAll snapshots every rank's observability state. It returns nil
+// when the job was created without Config.Stats.
+func (w *World) StatsAll() []obs.Snapshot {
+	if w.obs == nil {
+		return nil
+	}
+	return w.obs.SnapshotAll()
+}
+
+// StatsMerged snapshots every rank and merges them into one job-wide
+// view (counters and histogram cells sum; traces concatenate). It
+// returns the zero Snapshot when stats are disabled.
+func (w *World) StatsMerged() obs.Snapshot {
+	if w.obs == nil {
+		return obs.Snapshot{Rank: -1}
+	}
+	return w.obs.Merged()
+}
+
+// ArmTrace arms (or disarms) op-lifecycle tracing on every rank,
+// clearing prior events when arming. A no-op when stats are disabled.
+func (w *World) ArmTrace(on bool) {
+	if w.obs != nil {
+		w.obs.ArmAll(on)
+	}
+}
+
+// Stats snapshots this rank's observability state: counters, latency
+// histograms, and (when tracing was armed) the buffered op-lifecycle
+// events. It returns the zero Snapshot when the world was created
+// without Config.Stats.
+func (rk *Rank) Stats() obs.Snapshot {
+	if rk.ro == nil {
+		return obs.Snapshot{Rank: rk.me}
+	}
+	return rk.ro.Snapshot()
+}
+
+// StatsEnabled reports whether the introspection layer is recording.
+func (rk *Rank) StatsEnabled() bool { return rk.ro != nil }
+
+// ArmTrace arms (or disarms) op-lifecycle tracing for operations this
+// rank initiates. A no-op when stats are disabled.
+func (rk *Rank) ArmTrace(on bool) {
+	if rk.ro != nil {
+		rk.ro.Arm(on)
+	}
+}
 
 // ProgressThreaded reports whether the job runs dedicated progress
 // goroutines.
@@ -192,6 +305,7 @@ type Rank struct {
 	ep *gasnet.Endpoint
 	me Intrank
 	n  Intrank
+	ro *obs.RankObs // this rank's observability recorder; nil = disabled
 
 	defMu       sync.Mutex
 	defQ        []func()     // deferred injections
@@ -283,6 +397,9 @@ func (rk *Rank) progressWith(gs *goroutineState) int {
 	// AM handlers deliver through persona LPCs (RPC replies, collective
 	// advances); drain again so completions land in the same call.
 	done += rk.drainPersonas(gs)
+	if rk.ro != nil {
+		rk.ro.Pass(done == 0)
+	}
 	return done
 }
 

@@ -1,6 +1,10 @@
 package gasnet
 
-import "time"
+import (
+	"time"
+
+	"upcxx/internal/obs"
+)
 
 // Kind-aware transfer paths. Transfers whose source or destination is a
 // device segment route through the owning rank's simulated DMA engine
@@ -20,6 +24,12 @@ import "time"
 // for device destinations — which is what makes remote completion honest
 // about device memory: the notification never races ahead of the copy
 // engine.
+//
+// Every chain threads the initiator's obs.OpTag: each DMA hop records a
+// StageDMA event at the executing rank, each wire leg a per-peer message,
+// and the final copy the landing edge — so an armed trace shows the full
+// hop structure above, and the DMA-kind counters (h2d/d2h/d2d) subsume
+// what TraceDMA's test hook records.
 
 // PutSeg is Put targeting an arbitrary segment of the destination rank:
 // seg 0 is the host segment (identical to Put), higher ids are device
@@ -28,20 +38,31 @@ import "time"
 // endpoint once the data is visible in the target segment. rem, if
 // non-nil, is enqueued on the destination at that same instant.
 func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck func(), rem *RemoteAM) {
+	ep.PutSegTag(dst, seg, dstOff, src, onAck, rem, obs.OpTag{})
+}
+
+// PutSegTag is PutSeg carrying the initiator's observability tag.
+func (ep *Endpoint) PutSegTag(dst Rank, seg SegID, dstOff uint64, src []byte, onAck func(), rem *RemoteAM, tag obs.OpTag) {
 	if seg == HostSeg {
-		ep.put(dst, dstOff, src, onAck, rem)
+		ep.put(dst, dstOff, src, onAck, rem, tag)
 		return
 	}
 	n := len(src)
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
 	tgt := ep.net.eps[dst]
-	tgt.countDMA(n)
+	tgt.countDMA(obs.DMAH2D, n)
 	// Resolve eagerly: a wild device pointer or out-of-bounds range must
 	// fault on the initiating goroutine, not inside the delivery engine.
 	tb := tgt.SegByID(seg).Bytes(dstOff, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, n)
+		if dst != ep.rank {
+			tag.WireMsg(ep.rank, dst, n)
+		}
+		tag.Hop(obs.StageDMA, dst, n)
 		copy(tb, src)
+		tag.Landing(dst, n)
 		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			ep.enqueueComp(onAck)
@@ -54,8 +75,11 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 	if dst == ep.rank {
 		// Same-rank h2d: a pure copy-engine hop, no NIC involvement.
 		spinFor(dm.Overhead(n))
+		tag.Hop(obs.StageCapture, ep.rank, n)
 		eng.injectDMAAt(int(dst), time.Now(), dgap, dlat, func(at time.Time) {
+			tag.Hop(obs.StageDMA, dst, n)
 			copy(tb, staged)
+			tag.Landing(dst, n)
 			ep.deliverRemote(dst, rem)
 			if onAck != nil {
 				eng.schedule(at, func(time.Time) { ep.enqueueComp(onAck) })
@@ -66,14 +90,19 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 	m := ep.net.model
 	intra := ep.net.Intra(ep.rank, dst)
 	spinFor(m.Overhead(n, intra))
+	tag.Hop(obs.StageCapture, ep.rank, n)
+	tag.WireMsg(ep.rank, dst, n)
 	ackLat := m.Latency(0, intra)
 	eng.injectFrom(int(ep.rank), m.Gap(n, intra), m.Latency(n, intra), func(at time.Time) {
 		// Landed in the target's host staging area; the target's copy
 		// engine now moves it into device memory, then the ack returns.
 		// The remote AM waits for the DMA hop too: remote completion
 		// means visible *in device memory*, not merely at the NIC.
+		tag.Hop(obs.StageWire, dst, n)
 		eng.injectDMAAt(int(dst), at, dgap, dlat, func(at2 time.Time) {
+			tag.Hop(obs.StageDMA, dst, n)
 			copy(tb, staged)
+			tag.Landing(dst, n)
 			ep.deliverRemote(dst, rem)
 			if onAck != nil {
 				eng.schedule(at2.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
@@ -86,18 +115,30 @@ func (ep *Endpoint) PutSeg(dst Rank, seg SegID, dstOff uint64, src []byte, onAck
 // Device sources drain through the source rank's DMA engine before the
 // payload crosses the wire.
 func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDone func()) {
+	ep.GetSegTag(src, seg, srcOff, dst, onDone, obs.OpTag{})
+}
+
+// GetSegTag is GetSeg carrying the initiator's observability tag.
+func (ep *Endpoint) GetSegTag(src Rank, seg SegID, srcOff uint64, dst []byte, onDone func(), tag obs.OpTag) {
 	if seg == HostSeg {
-		ep.Get(src, srcOff, dst, onDone)
+		ep.get(src, srcOff, dst, onDone, tag)
 		return
 	}
 	n := len(dst)
 	ep.gets.Add(1)
 	ep.getBytes.Add(uint64(n))
 	rem := ep.net.eps[src]
-	rem.countDMA(n)
+	rem.countDMA(obs.DMAD2H, n)
 	sb := rem.SegByID(seg).Bytes(srcOff, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, 0)
+		if src != ep.rank {
+			tag.WireMsg(ep.rank, src, 0)
+			tag.WireMsg(src, ep.rank, n)
+		}
+		tag.Hop(obs.StageDMA, src, n)
 		copy(dst, sb)
+		tag.Landing(ep.rank, n)
 		if onDone != nil {
 			ep.enqueueComp(onDone)
 		}
@@ -108,8 +149,11 @@ func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDon
 	if src == ep.rank {
 		// Same-rank d2h: one copy-engine hop.
 		spinFor(dm.Overhead(n))
+		tag.Hop(obs.StageCapture, ep.rank, 0)
 		eng.injectDMAAt(int(src), time.Now(), dgap, dlat, func(at time.Time) {
+			tag.Hop(obs.StageDMA, src, n)
 			copy(dst, sb)
+			tag.Landing(ep.rank, n)
 			if onDone != nil {
 				eng.schedule(at, func(time.Time) { ep.enqueueComp(onDone) })
 			}
@@ -119,13 +163,19 @@ func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDon
 	m := ep.net.model
 	intra := ep.net.Intra(ep.rank, src)
 	spinFor(m.Overhead(0, intra))
+	tag.Hop(obs.StageCapture, ep.rank, 0)
+	tag.WireMsg(ep.rank, src, 0)
+	tag.WireMsg(src, ep.rank, n)
 	// Request hop to the source, d2h DMA into the host bounce buffer,
 	// then the reply carries the payload back over the wire.
 	eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), func(at time.Time) {
+		tag.Hop(obs.StageWire, src, 0)
 		eng.injectDMAAt(int(src), at, dgap, dlat, func(at2 time.Time) {
+			tag.Hop(obs.StageDMA, src, n)
 			staged := append([]byte(nil), sb...)
 			eng.injectFromAt(int(src), at2, m.Gap(n, intra), m.Latency(n, intra), func(time.Time) {
 				copy(dst, staged)
+				tag.Landing(ep.rank, n)
 				if onDone != nil {
 					ep.enqueueComp(onDone)
 				}
@@ -145,25 +195,41 @@ func (ep *Endpoint) GetSeg(src Rank, seg SegID, srcOff uint64, dst []byte, onDon
 // completion queue; rem, if non-nil, is enqueued on dstRank the instant
 // the final hop's bytes are in place.
 func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func(), rem *RemoteAM) {
+	ep.CopySegTag(srcRank, srcSeg, srcOff, dstRank, dstSeg, dstOff, n, onDone, rem, obs.OpTag{})
+}
+
+// CopySegTag is CopySeg carrying the initiator's observability tag.
+func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func(), rem *RemoteAM, tag obs.OpTag) {
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
 	srcEP, dstEP := ep.net.eps[srcRank], ep.net.eps[dstRank]
 	srcDev, dstDev := srcSeg != HostSeg, dstSeg != HostSeg
 	if srcDev && dstDev && srcRank == dstRank {
 		// Collapses to a single on-node d2d descriptor below.
-		srcEP.countDMA(n)
+		srcEP.countDMA(obs.DMAD2D, n)
 	} else {
 		if srcDev {
-			srcEP.countDMA(n)
+			srcEP.countDMA(obs.DMAD2H, n)
 		}
 		if dstDev {
-			dstEP.countDMA(n)
+			dstEP.countDMA(obs.DMAH2D, n)
 		}
+	}
+	if srcRank != ep.rank {
+		tag.WireMsg(ep.rank, srcRank, 0)
+	}
+	if srcRank != dstRank {
+		tag.WireMsg(srcRank, dstRank, n)
 	}
 	sb := srcEP.SegByID(srcSeg).Bytes(srcOff, n)
 	db := dstEP.SegByID(dstSeg).Bytes(dstOff, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, 0)
+		if srcDev || dstDev {
+			tag.Hop(obs.StageDMA, srcRank, n)
+		}
 		copy(db, sb)
+		tag.Landing(dstRank, n)
 		ep.deliverRemote(dstRank, rem)
 		if onDone != nil {
 			ep.enqueueComp(onDone)
@@ -175,7 +241,10 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 
 	// landed: the destination bytes are in place — hand the remote
 	// notification to dstRank before anything else is scheduled.
-	landed := func() { ep.deliverRemote(dstRank, rem) }
+	landed := func() {
+		tag.Landing(dstRank, n)
+		ep.deliverRemote(dstRank, rem)
+	}
 
 	// finish: data visible at the destination at time at; return the
 	// completion to the initiator.
@@ -194,8 +263,10 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 
 	// dstSide: payload arrived at dstRank's host side at time at.
 	dstSide := func(at time.Time) {
+		tag.Hop(obs.StageWire, dstRank, n)
 		if dstDev {
 			eng.injectDMAAt(int(dstRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+				tag.Hop(obs.StageDMA, dstRank, n)
 				copy(db, staged)
 				landed()
 				finish(at2)
@@ -220,6 +291,7 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 			case srcDev && dstDev:
 				// On-node d2d: one copy-engine descriptor at device speed.
 				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, true), dm.Latency(n, true), func(at2 time.Time) {
+					tag.Hop(obs.StageDMA, srcRank, n)
 					copy(db, sb)
 					landed()
 					finish(at2)
@@ -227,6 +299,7 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 			case srcDev || dstDev:
 				// One h2d or d2h hop.
 				eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+					tag.Hop(obs.StageDMA, srcRank, n)
 					copy(db, sb)
 					landed()
 					finish(at2)
@@ -243,6 +316,7 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 		}
 		if srcDev {
 			eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
+				tag.Hop(obs.StageDMA, srcRank, n)
 				staged = append([]byte(nil), sb...)
 				wire(at2)
 			})
@@ -258,6 +332,7 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 		} else {
 			spinFor(m.Overhead(n, ep.net.Intra(ep.rank, dstRank)))
 		}
+		tag.Hop(obs.StageCapture, ep.rank, 0)
 		srcSide(time.Now())
 		return
 	}
@@ -265,5 +340,6 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 	// descriptor to the source rank, which executes the chain.
 	intra := ep.net.Intra(ep.rank, srcRank)
 	spinFor(m.Overhead(0, intra))
+	tag.Hop(obs.StageCapture, ep.rank, 0)
 	eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), srcSide)
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"upcxx/internal/obs"
 )
 
 // Rank identifies a process in a job, 0..Ranks-1.
@@ -38,6 +40,11 @@ type Config struct {
 	// real-time model, NoDelayDMA otherwise; with a zero-delay network
 	// model device hops are always instantaneous.
 	DMA DMAModel
+	// Obs, when non-nil, is the job's observability recorder (sized to
+	// Ranks): the conduit records wire messages per peer, DMA
+	// descriptors by hop kind, doorbell wakeups, and op-lifecycle hops
+	// into it. nil disables all conduit-side recording.
+	Obs *obs.Obs
 }
 
 // DefaultSegmentSize is the per-rank segment size when Config leaves it 0.
@@ -68,10 +75,14 @@ type Network struct {
 }
 
 // DMAHop records one device copy-engine descriptor: the rank whose
-// engine executed it and the bytes it moved.
+// engine executed it, the bytes it moved, and the memory kinds it
+// bridged. The trace predates the obs subsystem and is kept for tests
+// that assert on transfer paths; the per-kind descriptor *counters* now
+// live in obs (see countDMA, which feeds both).
 type DMAHop struct {
 	Rank  Rank
 	Bytes int
+	Kind  obs.DMAKind
 }
 
 // TraceDMA arms (or disarms) the DMA hop trace, clearing any prior
@@ -117,6 +128,9 @@ func NewNetwork(cfg Config) *Network {
 			dma = NoDelayDMA{}
 		}
 	}
+	if cfg.Obs != nil && cfg.Obs.Ranks() != cfg.Ranks {
+		panic("gasnet: Config.Obs sized for a different job")
+	}
 	n := &Network{cfg: cfg, model: model, dma: dma, realtime: realtime}
 	n.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -125,6 +139,9 @@ func NewNetwork(cfg Config) *Network {
 			net:    n,
 			seg:    NewSegment(cfg.SegmentSize),
 			notify: make(chan struct{}, 1),
+		}
+		if cfg.Obs != nil {
+			n.eps[r].ro = cfg.Obs.Rank(r)
 		}
 	}
 	if realtime {
@@ -204,6 +221,7 @@ type Endpoint struct {
 	rank Rank
 	net  *Network
 	seg  *Segment
+	ro   *obs.RankObs // this rank's observability recorder; nil = disabled
 
 	devMu sync.Mutex
 	devs  []*Segment // device segments; SegID i+1 is devs[i]
@@ -318,13 +336,18 @@ func (ep *Endpoint) Stats() Stats {
 	}
 }
 
-// countDMA records one descriptor on this rank's device copy engine.
-func (ep *Endpoint) countDMA(n int) {
+// countDMA records one descriptor of hop kind k on this rank's device
+// copy engine: the endpoint totals, the obs per-kind counters, and (when
+// armed) the legacy DMA hop trace.
+func (ep *Endpoint) countDMA(k obs.DMAKind, n int) {
 	ep.dmas.Add(1)
 	ep.dmaBytes.Add(uint64(n))
+	if ep.ro != nil {
+		ep.ro.DMA(k, n)
+	}
 	if ep.net.dmaTraceOn.Load() {
 		ep.net.dmaMu.Lock()
-		ep.net.dmaTrace = append(ep.net.dmaTrace, DMAHop{Rank: ep.rank, Bytes: n})
+		ep.net.dmaTrace = append(ep.net.dmaTrace, DMAHop{Rank: ep.rank, Bytes: n, Kind: k})
 		ep.net.dmaMu.Unlock()
 	}
 }
@@ -365,6 +388,9 @@ func (ep *Endpoint) WaitPending(d time.Duration) bool {
 	defer t.Stop()
 	select {
 	case <-ep.notify:
+		if ep.ro != nil {
+			ep.ro.Wakeup()
+		}
 		return true
 	case <-t.C:
 		return ep.Pending()
@@ -508,19 +534,23 @@ func (ep *Endpoint) deliverRemote(dst Rank, rem *RemoteAM) {
 // (operation completion; requires initiator attentiveness to observe, but
 // the transfer itself completes without it).
 func (ep *Endpoint) Put(dst Rank, dstOff uint64, src []byte, onAck func()) {
-	ep.put(dst, dstOff, src, onAck, nil)
+	ep.put(dst, dstOff, src, onAck, nil, obs.OpTag{})
 }
 
 // put is Put with an optional remote-completion AM, fired at the target
-// when the data lands (before the ack starts its trip back).
-func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *RemoteAM) {
+// when the data lands (before the ack starts its trip back), and the
+// initiator's observability tag.
+func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *RemoteAM, tag obs.OpTag) {
 	n := len(src)
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
+	tag.WireMsg(ep.rank, dst, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, n)
 		copy(tgt.seg.Bytes(dstOff, n), src)
+		tag.Landing(dst, n)
 		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			ep.enqueueComp(onAck)
@@ -530,12 +560,14 @@ func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *
 	m := ep.net.model
 	spinFor(m.Overhead(n, intra))
 	staged := append([]byte(nil), src...)
+	tag.Hop(obs.StageCapture, ep.rank, n)
 	eng := ep.net.eng
 	gap := m.Gap(n, intra)
 	lat := m.Latency(n, intra)
 	ackLat := m.Latency(0, intra)
 	eng.injectFrom(int(ep.rank), gap, lat, func(at time.Time) {
 		copy(tgt.seg.Bytes(dstOff, n), staged)
+		tag.Landing(dst, n)
 		ep.deliverRemote(dst, rem)
 		if onAck != nil {
 			eng.schedule(at.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
@@ -546,13 +578,24 @@ func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *
 // Get starts a one-sided get of len(dst) bytes from (src, srcOff) into dst.
 // dst must not be read (or reused) until onDone is delivered via Poll.
 func (ep *Endpoint) Get(src Rank, srcOff uint64, dst []byte, onDone func()) {
+	ep.get(src, srcOff, dst, onDone, obs.OpTag{})
+}
+
+// get is Get carrying the initiator's observability tag. The payload
+// lands at the *initiator* (that is where a get's data becomes visible),
+// so the landing edge is recorded against ep.rank.
+func (ep *Endpoint) get(src Rank, srcOff uint64, dst []byte, onDone func(), tag obs.OpTag) {
 	n := len(dst)
 	ep.gets.Add(1)
 	ep.getBytes.Add(uint64(n))
 	rem := ep.net.eps[src]
 	intra := ep.net.Intra(ep.rank, src)
+	tag.WireMsg(ep.rank, src, 0)
+	tag.WireMsg(src, ep.rank, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, 0)
 		copy(dst, rem.seg.Bytes(srcOff, n))
+		tag.Landing(ep.rank, n)
 		if onDone != nil {
 			ep.enqueueComp(onDone)
 		}
@@ -560,16 +603,19 @@ func (ep *Endpoint) Get(src Rank, srcOff uint64, dst []byte, onDone func()) {
 	}
 	m := ep.net.model
 	spinFor(m.Overhead(0, intra))
+	tag.Hop(obs.StageCapture, ep.rank, 0)
 	eng := ep.net.eng
 	reqGap := m.Gap(0, intra)
 	reqLat := m.Latency(0, intra)
 	// Request travels to the source NIC; the reply carries the payload.
 	eng.injectFrom(int(ep.rank), reqGap, reqLat, func(at time.Time) {
+		tag.Hop(obs.StageWire, src, 0)
 		staged := append([]byte(nil), rem.seg.Bytes(srcOff, n)...)
 		replyGap := m.Gap(n, intra)
 		replyLat := m.Latency(n, intra)
 		eng.injectFromAt(int(src), at, replyGap, replyLat, func(time.Time) {
 			copy(dst, staged)
+			tag.Landing(ep.rank, n)
 			if onDone != nil {
 				ep.enqueueComp(onDone)
 			}
@@ -585,23 +631,35 @@ func (ep *Endpoint) Get(src Rank, srcOff uint64, dst []byte, onDone func()) {
 // aux travels with the message as an opaque token (see AMHandler); pass nil
 // when unused.
 func (ep *Endpoint) AM(dst Rank, h HandlerID, payload []byte, aux any) {
+	ep.AMTag(dst, h, payload, aux, obs.OpTag{})
+}
+
+// AMTag is AM carrying the initiator's observability tag; the landing
+// edge fires when the message is enqueued at the target (handler
+// execution still requires target attentiveness).
+func (ep *Endpoint) AMTag(dst Rank, h HandlerID, payload []byte, aux any, tag obs.OpTag) {
 	n := len(payload)
 	ep.ams.Add(1)
 	ep.amBytes.Add(uint64(n))
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
 	staged := append([]byte(nil), payload...)
+	tag.WireMsg(ep.rank, dst, n)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, n)
 		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+		tag.Landing(dst, n)
 		return
 	}
 	m := ep.net.model
 	spinFor(m.Overhead(n, intra))
+	tag.Hop(obs.StageCapture, ep.rank, n)
 	eng := ep.net.eng
 	gap := m.Gap(n, intra)
 	lat := m.Latency(n, intra)
 	eng.injectFrom(int(ep.rank), gap, lat, func(time.Time) {
 		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+		tag.Landing(dst, n)
 	})
 }
 
@@ -610,11 +668,19 @@ func (ep *Endpoint) AM(dst Rank, h HandlerID, payload []byte, aux any) {
 // involvement; onResult (if non-nil) is delivered to this endpoint with the
 // word's previous value.
 func (ep *Endpoint) AMO(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResult func(old uint64)) {
+	ep.AMOTag(dst, off, op, op1, op2, onResult, obs.OpTag{})
+}
+
+// AMOTag is AMO carrying the initiator's observability tag.
+func (ep *Endpoint) AMOTag(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResult func(old uint64), tag obs.OpTag) {
 	ep.amos.Add(1)
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
+	tag.WireMsg(ep.rank, dst, 8)
 	if !ep.net.realtime {
+		tag.Hop(obs.StageCapture, ep.rank, 8)
 		old := tgt.seg.applyAMO(off, op, op1, op2)
+		tag.Landing(dst, 8)
 		if onResult != nil {
 			ep.enqueueComp(func() { onResult(old) })
 		}
@@ -622,11 +688,13 @@ func (ep *Endpoint) AMO(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResul
 	}
 	m := ep.net.model
 	spinFor(m.Overhead(8, intra))
+	tag.Hop(obs.StageCapture, ep.rank, 8)
 	eng := ep.net.eng
 	gap := m.Gap(8, intra)
 	lat := m.Latency(8, intra)
 	eng.injectFrom(int(ep.rank), gap, lat, func(at time.Time) {
 		old := tgt.seg.applyAMO(off, op, op1, op2)
+		tag.Landing(dst, 8)
 		if onResult != nil {
 			eng.schedule(at.Add(lat), func(time.Time) {
 				ep.enqueueComp(func() { onResult(old) })

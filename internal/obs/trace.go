@@ -1,0 +1,111 @@
+package obs
+
+import "sync"
+
+// Stage names one hop in an operation's lifecycle. Events are recorded
+// into the initiator's ring (so a timeline needs no cross-rank
+// reassembly) with At naming the rank where the hop physically happened.
+type Stage uint8
+
+const (
+	// StageInject: the op entered the single injection path at the
+	// initiator.
+	StageInject Stage = iota
+	// StageCapture: the conduit accepted the op (source buffer staged /
+	// descriptor built); source-completion becomes deliverable.
+	StageCapture
+	// StageWire: a wire message carrying (part of) the op arrived at a
+	// peer NIC.
+	StageWire
+	// StageDMA: a device copy-engine descriptor for the op executed.
+	StageDMA
+	// StageLanding: the payload became visible at its destination
+	// segment (post-DMA for device memory) or the AM was enqueued at the
+	// target.
+	StageLanding
+	// StageDelivered: the operation-complete edge fired back at the
+	// initiator and completions were delivered.
+	StageDelivered
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"inject", "capture", "wire", "dma", "landing", "delivered",
+}
+
+// String returns the stage mnemonic.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Event is one timestamped lifecycle hop of a traced operation.
+type Event struct {
+	ID    uint64 `json:"id"`    // per-initiator op sequence number
+	T     int64  `json:"t"`     // ns since the job epoch
+	Stage Stage  `json:"stage"` //
+	Kind  OpKind `json:"kind"`  //
+	At    int32  `json:"at"`    // rank where the hop happened
+	Bytes int64  `json:"bytes"` //
+}
+
+// ring is a fixed-size mutex-guarded event buffer. A mutex (rather than
+// an atomic cursor with racy slot writes) keeps the ring race-clean
+// under the race detector; the lock is only ever taken for sampled ops
+// while tracing is armed, so the hot path stays bounded by the 1-in-N
+// sampling rate.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever recorded; next%len(buf) is the write slot
+	wraps bool
+}
+
+func newRing(depth int) *ring {
+	return &ring{buf: make([]Event, depth)}
+}
+
+func (r *ring) record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	if r.next >= uint64(len(r.buf)) {
+		r.wraps = r.next > uint64(len(r.buf))
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.wraps = false
+	r.mu.Unlock()
+}
+
+// events returns the buffered events oldest-first.
+func (r *ring) events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	if n <= cap64 {
+		return append([]Event(nil), r.buf[:n]...)
+	}
+	out := make([]Event, 0, cap64)
+	start := n % cap64
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// dropped returns how many events were overwritten by wraparound.
+func (r *ring) dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// TableRow is one x position of a TableData with the y value of every
+// series at that x; a series with no point there carries nil.
+type TableRow struct {
+	X float64    `json:"x"`
+	Y []*float64 `json:"y"`
+}
+
+// TableData is the machine-readable form of a Table: the same union of
+// x values and series columns Fprint renders, as JSON-friendly rows.
+type TableData struct {
+	Title  string     `json:"title"`
+	XLabel string     `json:"xlabel"`
+	Series []string   `json:"series"`
+	Rows   []TableRow `json:"rows"`
+}
+
+// Data converts the table to its machine-readable form. NaN y values
+// (series without a point at some x) become nulls, since JSON has no
+// NaN literal.
+func (t *Table) Data() TableData {
+	d := TableData{Title: t.Title, XLabel: t.XLabel}
+	for _, s := range t.Series {
+		d.Series = append(d.Series, s.Name)
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := TableRow{X: x}
+		for _, s := range t.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row.Y = append(row.Y, nil)
+			} else {
+				v := y
+				row.Y = append(row.Y, &v)
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}
+
+// BenchReport is the top-level schema of a BENCH_<tool>.json file: the
+// tool name, the configuration it ran under, and every table it
+// printed, so CI can archive figures without scraping stdout.
+type BenchReport struct {
+	Tool   string         `json:"tool"`
+	Config map[string]any `json:"config,omitempty"`
+	Tables []TableData    `json:"tables"`
+}
+
+// WriteBenchJSON writes a BenchReport for the given tables to path
+// (conventionally BENCH_<tool>.json), creating or truncating it.
+func WriteBenchJSON(path, tool string, config map[string]any, tables []*Table) error {
+	rep := BenchReport{Tool: tool, Config: config}
+	for _, t := range tables {
+		rep.Tables = append(rep.Tables, t.Data())
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stats: encoding %s report: %w", tool, err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("stats: writing %s: %w", path, err)
+	}
+	return nil
+}

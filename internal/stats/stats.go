@@ -15,6 +15,11 @@ import (
 // Sample is a set of repeated measurements of one configuration.
 type Sample struct {
 	Values []float64
+
+	// sorted caches an ascending copy of Values for quantile queries;
+	// it is valid only while len(sorted) == len(Values), since Add is
+	// the only mutator and it always grows Values.
+	sorted []float64
 }
 
 // Add appends a measurement.
@@ -82,13 +87,18 @@ func (s *Sample) Stddev() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation, or NaN if empty.
+// interpolation, or NaN if empty. The sorted order is cached, so a
+// sweep of quantile queries over a settled sample sorts once instead of
+// once per call.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.Values) == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), s.Values...)
-	sort.Float64s(sorted)
+	if len(s.sorted) != len(s.Values) {
+		s.sorted = append(s.sorted[:0], s.Values...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -220,9 +230,11 @@ func lineWidth(widths []int) int {
 	return total + 2*(len(widths)-1)
 }
 
-// BytesHuman formats a byte count with binary units (8B, 4KB, 2MB).
+// BytesHuman formats a byte count with binary units (8B, 4KB, 2MB, 1GB).
 func BytesHuman(n int) string {
 	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
 	case n >= 1<<20 && n%(1<<20) == 0:
 		return fmt.Sprintf("%dMB", n>>20)
 	case n >= 1<<10 && n%(1<<10) == 0:
