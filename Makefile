@@ -22,10 +22,12 @@ test-short:
 # ({barrier,bcast,reduce,allreduce} × {future,promise,LPC,remote-RPC} ×
 # {host,device} × {world,split-team} plus persona handoff), and the
 # observability layer (concurrent counter recording, trace rings, the
-# counter-conformance matrix) on top of it.
+# counter-conformance matrix) on top of it, and the batched-RPC datapath
+# (the {batched-rpc} × {future,promise,LPC} × {self,cross} completion
+# matrix, zero-copy capture, doorbell coalescing).
 race:
-	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll|Obs'
-	$(GO) test -race ./internal/dht/ -run ConcurrentUsers
+	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll|Obs|Batch'
+	$(GO) test -race ./internal/dht/ -run 'ConcurrentUsers|BatchInserter'
 	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
 	$(GO) test -race ./internal/obs/
 
@@ -37,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRemoteCxWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzCollWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRPCWire -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRPCBatchWire -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
@@ -71,7 +74,7 @@ bench-smoke:
 	$(GO) run ./cmd/rma-bench -mode all -model-only
 	$(GO) run ./cmd/kinds-bench -model-only
 	$(GO) run ./cmd/coll-bench -model-only
-	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined
+	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch
 	$(GO) run ./cmd/eadd-bench
 	$(GO) run ./cmd/sympack-bench
 
@@ -82,7 +85,7 @@ bench-json:
 	$(GO) run ./cmd/rma-bench -mode all -model-only -json
 	$(GO) run ./cmd/kinds-bench -model-only -json
 	$(GO) run ./cmd/coll-bench -model-only -json
-	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -json
+	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch -json
 	$(GO) run ./cmd/eadd-bench -json
 	$(GO) run ./cmd/sympack-bench -json
 

@@ -38,6 +38,7 @@ var (
 	inserts   = flag.Int("inserts", 64, "blocking inserts per process per data point")
 	real      = flag.Bool("real", false, "also run the real in-process runtime at small P")
 	pipelined = flag.Bool("pipelined", false, "compare blocking vs pipelined (source-cx) insert loops on the real runtime")
+	batch     = flag.Bool("batch", false, "sweep the batched-insert loop (per-home-rank message coalescing) over batch sizes on the real runtime")
 	withStats = flag.Bool("stats", false, "record runtime stats in the real-runtime worlds (via the UPCXX_STATS knob) and dump the merged counters of the last one at exit")
 	jsonOut   = flag.Bool("json", false, "also write every table to BENCH_dht-bench.json")
 )
@@ -158,6 +159,54 @@ func pipelinedRuns() *stats.Table {
 	return t
 }
 
+// batchRuns sweeps dht.RunInsertBatchBench over batch sizes: the same
+// pipelined flood of RPCOnly inserts, with every batchSize inserts
+// coalesced per home rank into single wire messages. Each message the
+// conduit moves costs a fixed software path (injection, queueing,
+// doorbell, handler dispatch, reply) regardless of payload, so the
+// aggregate rate should rise monotonically with batch size — size 1 is
+// the per-AM floor. Best of three runs per point to damp harness jitter.
+func batchRuns() *stats.Table {
+	t := &stats.Table{
+		Title:  "Batched inserts — real runtime, RPCOnly mode\n(zero-delay conduit; software-path amortization): aggregate inserts/s",
+		XLabel: "batch",
+		XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.3g", v) },
+	}
+	elem := elemSizes[0]
+	const p = 4
+	iters := *inserts
+	if iters < 512 {
+		iters = 512 // enough work per point for a stable wall-clock read
+	}
+	s := &stats.Series{Name: fmt.Sprintf("%d ranks, %s values", p, stats.BytesHuman(elem))}
+	for _, bsz := range []int{1, 8, 64} {
+		cfg := dht.BenchConfig{ElemSize: elem, VolumePerRank: elem * iters, Seed: 7}
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			rates := make([]float64, p)
+			core.RunConfig(core.Config{Ranks: p, SegmentSize: 64 << 20}, func(rk *core.Rank) {
+				d := dht.New(rk, dht.RPCOnly)
+				rk.Barrier()
+				res := dht.RunInsertBatchBench(rk, d, cfg, bsz)
+				rates[rk.Me()] = res.InsertsPerSec()
+				captureStats(rk)
+				rk.Barrier()
+			})
+			agg := 0.0
+			for _, r := range rates {
+				agg += r
+			}
+			if agg > best {
+				best = agg
+			}
+		}
+		s.Add(float64(bsz), best)
+	}
+	t.Series = append(t.Series, s)
+	return t
+}
+
 func main() {
 	flag.Parse()
 	if *withStats {
@@ -183,6 +232,9 @@ func main() {
 	if *pipelined {
 		emit(pipelinedRuns())
 	}
+	if *batch {
+		emit(batchRuns())
+	}
 	if *withStats && haveSnap {
 		fmt.Println("runtime stats (merged across ranks, last real-runtime world):")
 		obs.Fprint(os.Stdout, lastSnap)
@@ -190,7 +242,7 @@ func main() {
 	if *jsonOut {
 		cfg := map[string]any{
 			"machine": *machine, "inserts": *inserts,
-			"real": *real, "pipelined": *pipelined,
+			"real": *real, "pipelined": *pipelined, "batch": *batch,
 		}
 		if err := stats.WriteBenchJSON("BENCH_dht-bench.json", "dht-bench", cfg, tables); err != nil {
 			fmt.Fprintln(os.Stderr, err)

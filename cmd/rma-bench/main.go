@@ -50,7 +50,7 @@ import (
 )
 
 var (
-	mode      = flag.String("mode", "both", "latency, flood, signal, rpc, both (latency+flood), or all")
+	mode      = flag.String("mode", "both", "latency, flood, signal, rpc, batch, both (latency+flood), or all")
 	modelOnly = flag.Bool("model-only", false, "skip the real-time measurement (fast)")
 	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
 	reps      = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
@@ -462,6 +462,89 @@ func measureRPCBreakdown(size int) rpcBreakdown {
 	return out
 }
 
+// bumpCounter is the small-RPC body of the batch throughput sweep.
+func bumpCounter(trk *core.Rank, c core.GPtr[uint64]) uint64 {
+	cc := core.Local(trk, c, 1)
+	cc[0]++
+	return cc[0]
+}
+
+// measureBatchRPCRate times pipelined small-message RPC throughput with
+// requests coalesced into batchSize-entry wire messages: total round-trip
+// RPCs flushed every batchSize, every flush's operation completion on one
+// promise, finalized at the end — the flood idiom over the batched
+// datapath. Returns undilated ops/sec.
+func measureBatchRPCRate(batchSize, total int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var rate float64
+		runMeasured(16<<20, func(rk *core.Rank) {
+			mine := core.MustNewArray[uint64](rk, 1)
+			obj := core.NewDistObject(rk, mine)
+			rk.Barrier()
+			if rk.Me() == 0 {
+				theirs := core.FetchDist[core.GPtr[uint64]](rk, obj.ID(), 1).Wait()
+				b := core.NewBatch(rk, 1)
+				// Warm-up batch.
+				core.BatchRPC(b, bumpCounter, theirs)
+				b.Flush(core.OpCxAsFuture()).Op.Wait()
+				done := core.NewPromise[core.Unit](rk)
+				t0 := time.Now()
+				for i := 0; i < total; i++ {
+					core.BatchRPC(b, bumpCounter, theirs)
+					if b.Len() >= batchSize {
+						b.Flush(core.OpCxAsPromise(done))
+						rk.Progress()
+					}
+				}
+				if b.Len() > 0 {
+					b.Flush(core.OpCxAsPromise(done))
+				}
+				done.Finalize().Wait()
+				rate = float64(total) / time.Since(t0).Seconds() * float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// measurePerAMRate is the un-batched floor of the same loop: one wire
+// message per RPC (plus one per reply), pipelined on a single promise.
+func measurePerAMRate(total int) float64 {
+	best := 0.0
+	for rep := 0; rep < *reps; rep++ {
+		var rate float64
+		runMeasured(16<<20, func(rk *core.Rank) {
+			mine := core.MustNewArray[uint64](rk, 1)
+			obj := core.NewDistObject(rk, mine)
+			rk.Barrier()
+			if rk.Me() == 0 {
+				theirs := core.FetchDist[core.GPtr[uint64]](rk, obj.ID(), 1).Wait()
+				core.RPC(rk, 1, bumpCounter, theirs).Wait() // warm up
+				done := core.NewPromise[core.Unit](rk)
+				t0 := time.Now()
+				for i := 0; i < total; i++ {
+					core.RPCWith(rk, 1, bumpCounter, theirs, core.OpCxAsPromise(done))
+					if i%10 == 0 {
+						rk.Progress()
+					}
+				}
+				done.Finalize().Wait()
+				rate = float64(total) / time.Since(t0).Seconds() * float64(*dilation)
+			}
+			rk.Barrier()
+		})
+		if rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
 // measureMPILatency times MPI_Put + MPI_Win_flush per operation.
 func measureMPILatency(size int) float64 {
 	best := 0.0
@@ -661,6 +744,45 @@ func main() {
 			fmt.Println("wall-clock end-to-end mean of the same loop to within harness jitter (<15%).")
 			fmt.Println()
 		}
+	}
+
+	if *mode == "batch" || *mode == "all" {
+		t := &stats.Table{
+			Title:  "Batched RPC — small-message throughput vs per-AM floor, Mops/s (dilated Aries; higher is better)",
+			XLabel: "batch",
+			XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+			YFmt:   func(v float64) string { return fmt.Sprintf("%.3f", v) },
+		}
+		aries := gasnet.Aries()
+		perMsg := (aries.O + aries.Gp).Seconds()
+		bm := &stats.Series{Name: "batched rpc (model, 2 msgs / B ops)"}
+		fm := &stats.Series{Name: "per-AM floor (model, 1/(o+g))"}
+		// The measured sweep is a few thousand 8-byte operations — cheap
+		// enough to run even under -model-only, which elsewhere gates
+		// minute-scale size sweeps.
+		bM := &stats.Series{Name: "batched rpc (measured)"}
+		fM := &stats.Series{Name: "per-AM floor (measured)"}
+		const total = 512
+		floor := measurePerAMRate(total)
+		for _, bsz := range []int{1, 8, 32, 128} {
+			// Closed form: a batch of B round trips costs two injections
+			// (request + reply message), amortized over B operations; the
+			// un-batched floor pays one injection occupancy per operation.
+			// Per-entry costs (framing, marshal, body) are omitted, so the
+			// model is an upper bound the measured curve approaches.
+			bm.Add(float64(bsz), float64(bsz)/(2*perMsg)/1e6)
+			fm.Add(float64(bsz), 1/perMsg/1e6)
+			bM.Add(float64(bsz), measureBatchRPCRate(bsz, total)/1e6)
+			fM.Add(float64(bsz), floor/1e6)
+		}
+		t.Series = []*stats.Series{bm, fm, bM, fM}
+		t.Fprint(os.Stdout)
+		tables = append(tables, t)
+		fmt.Println()
+		fmt.Println("every wire message pays injection occupancy (o+g) no matter how small; a batch ships")
+		fmt.Println("B requests in one message and receives B replies in one, so the per-op share of the")
+		fmt.Println("fixed costs falls as 1/B until per-entry work (framing, serialization, body) dominates.")
+		fmt.Println()
 	}
 
 	if *mode == "flood" || *mode == "both" || *mode == "all" {

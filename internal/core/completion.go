@@ -503,11 +503,32 @@ func (c *cxPlan) collOpDone() {
 // on exactly this routing).
 func (c *cxPlan) deliver(ds []cxDelivery) {
 	ro := c.rk.ro
-	for _, d := range ds {
+	if len(ds) == 1 {
+		d := ds[0]
 		if ro != nil {
 			ro.Completion(obs.CxEvent(d.ev), obs.CxVia(d.via))
 		}
 		d.pers.LPC(d.fn)
+		return
+	}
+	// Group runs of same-persona deliveries into LPCBatch pushes: one CAS
+	// and one doorbell ring per run instead of per completion. Batched
+	// operations fan many completions into one plan, so the common case
+	// is one run covering the whole bucket.
+	for i := 0; i < len(ds); {
+		j := i + 1
+		for j < len(ds) && ds[j].pers == ds[i].pers {
+			j++
+		}
+		fns := make([]func(), 0, j-i)
+		for k := i; k < j; k++ {
+			if ro != nil {
+				ro.Completion(obs.CxEvent(ds[k].ev), obs.CxVia(ds[k].via))
+			}
+			fns = append(fns, ds[k].fn)
+		}
+		ds[i].pers.LPCBatch(fns)
+		i = j
 	}
 }
 

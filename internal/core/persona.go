@@ -106,6 +106,42 @@ func (p *Persona) LPC(fn func()) {
 // of upcxx::persona::lpc (fire-and-forget form).
 func LPCTo(p *Persona, fn func()) { p.LPC(fn) }
 
+// LPCBatch enqueues fns as one pre-linked chain: a single CAS publishes
+// the whole batch and the conduit doorbell rings once for all of it, so
+// a batch of completions costs one progress-thread wakeup instead of one
+// per delivery. Delivery order within the batch (and against concurrent
+// pushes) is FIFO, exactly as if LPC had been called once per fn.
+func (p *Persona) LPCBatch(fns []func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		p.LPC(fns[0])
+		return
+	}
+	if p.oc != nil {
+		p.oc.Enq.Add(uint64(len(fns)))
+	}
+	p.npend.Add(int64(len(fns)))
+	// Pre-link the chain newest-first (drain's reversal restores FIFO):
+	// fns[len-1] becomes the chain head, fns[0] the tail that splices
+	// onto the old stack top.
+	var chain *lpcNode
+	tail := &lpcNode{fn: fns[0]}
+	chain = tail
+	for _, fn := range fns[1:] {
+		chain = &lpcNode{fn: fn, next: chain}
+	}
+	for {
+		old := p.head.Load()
+		tail.next = old
+		if p.head.CompareAndSwap(old, chain) {
+			break
+		}
+	}
+	p.rk.ep.Ring()
+}
+
 // drain executes every LPC enqueued before the call, in FIFO order, and
 // returns the count. Must only be called by the goroutine holding p.
 // LPCs enqueued by the drained functions themselves run at the next

@@ -91,6 +91,13 @@ type rmaOp struct {
 
 	amID  gasnet.HandlerID // opAM: handler; buf carries the payload
 	amAux any              // opAM: opaque code-reference token
+
+	// bufs is the scatter-gather alternative to buf for opAM/opRPC: the
+	// payload travels as an iovec of fragments that the conduit flattens
+	// at its capture stage. Until capture, fragment bytes alias caller
+	// memory — the zero-copy window that makes source-cx meaningful for
+	// serialized argument views.
+	bufs [][]byte
 }
 
 // obsBytes returns the payload bytes the op moves, for the introspection
@@ -102,6 +109,13 @@ func (op *rmaOp) obsBytes() int {
 	case opAMO:
 		return 8
 	default:
+		if op.bufs != nil {
+			n := 0
+			for _, b := range op.bufs {
+				n += len(b)
+			}
+			return n
+		}
 		return len(op.buf)
 	}
 }
@@ -173,7 +187,11 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 			case opAM:
 				// One-way message: the conduit captures the payload before
 				// AM returns, so the operation edge fires at injection.
-				rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
+				if op.bufs != nil {
+					rk.ep.AMTagV(gasnetRank(op.dstPeer), op.amID, op.bufs, op.amAux, tag)
+				} else {
+					rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
+				}
 				onDone()
 			case opRPC:
 				// Round-trip request: the conduit captures the payload (so
@@ -181,7 +199,11 @@ func (rk *Rank) inject(ops []rmaOp, cx *cxPlan) {
 				// edge waits for the reply — the pending-table continuation
 				// registered by rpcRoundTrip fires the plan and releases
 				// actCount when the reply lands.
-				rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
+				if op.bufs != nil {
+					rk.ep.AMTagV(gasnetRank(op.dstPeer), op.amID, op.bufs, op.amAux, tag)
+				} else {
+					rk.ep.AMTag(gasnetRank(op.dstPeer), op.amID, op.buf, op.amAux, tag)
+				}
 			default:
 				panic(fmt.Sprintf("upcxx: inject of unknown op kind %d", op.kind))
 			}

@@ -27,10 +27,13 @@ func (v View[T]) Len() int { return len(v.elems) }
 // after the RPC body returns.
 func (v View[T]) CopyOut() []T { return serial.CopyScalars(v.elems) }
 
-// MarshalSerial streams the element count and raw element bytes.
+// MarshalSerial streams the element count and raw element bytes. On a
+// gather-mode encoder (the batched-RPC injection path) large element
+// payloads travel as borrowed iovec fragments — no copy until the conduit
+// capture stage — so the viewed slice must stay unchanged until capture.
 func (v View[T]) MarshalSerial(e *serial.Encoder) {
 	e.PutUvarint(uint64(len(v.elems)))
-	e.PutRaw(serial.AsBytes(v.elems))
+	e.PutBorrowed(serial.AsBytes(v.elems))
 }
 
 // UnmarshalSerial reconstitutes the view as a window over the decoder's

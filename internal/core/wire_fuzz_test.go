@@ -199,3 +199,68 @@ func FuzzGPtrDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRPCBatchWire hammers the batched-RPC wire frame (count-prefixed
+// entry list plus one embedded remote-cx payload) with hostile bytes: the
+// decoder must never panic, never accept an empty batch, an unknown entry
+// kind, a sequence-carrying fire-and-forget entry, a batch mixing replies
+// with requests, or a reply batch carrying a remote-cx payload — and
+// anything it does accept must re-encode to the identical canonical
+// bytes, the same stream Flush assembles fragment-wise.
+func FuzzRPCBatchWire(f *testing.F) {
+	f.Add(encodeRPCBatchMsg(rpcBatchMsg{src: 0, entries: []rpcBatchEntry{
+		{kind: rpcReqKind, seq: 0}}}))
+	f.Add(encodeRPCBatchMsg(rpcBatchMsg{src: 3, entries: []rpcBatchEntry{
+		{kind: rpcReqKind, seq: 7, args: []byte{1, 2, 3}},
+		{kind: rpcFFKind, args: []byte{9}},
+		{kind: rpcReqKind, seq: 8}}}))
+	f.Add(encodeRPCBatchMsg(rpcBatchMsg{src: 1<<31 - 1, entries: []rpcBatchEntry{
+		{kind: rpcReplyKind, seq: 1 << 40, args: bytes.Repeat([]byte{0xaa}, 64)},
+		{kind: rpcReplyKind, seq: 2}}}))
+	f.Add(encodeRPCBatchMsg(rpcBatchMsg{src: 2, entries: []rpcBatchEntry{
+		{kind: rpcReqKind, seq: 1}},
+		rem: encodeRemoteCx(2, []byte{5, 5})}))
+	f.Add([]byte{})
+	f.Add([]byte{rpcBatchMagic})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	// Hostile: huge uvarint entry count on a well-formed prefix.
+	hostile := []byte{rpcBatchMagic, rpcBatchVersion, 0, 0, 0, 0,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeRPCBatchMsg(data)
+		if err != nil {
+			return
+		}
+		if len(m.entries) == 0 {
+			t.Fatalf("decoder accepted empty batch from % x", data)
+		}
+		if m.src > 1<<31-1 {
+			t.Fatalf("decoder accepted out-of-range sender %d from % x", m.src, data)
+		}
+		replies, requests := 0, 0
+		for _, en := range m.entries {
+			if en.kind == 0 || en.kind > rpcKindMax {
+				t.Fatalf("decoder accepted unknown entry kind %d from % x", en.kind, data)
+			}
+			if en.kind == rpcFFKind && en.seq != 0 {
+				t.Fatalf("decoder accepted fire-and-forget entry with sequence %d from % x", en.seq, data)
+			}
+			if en.kind == rpcReplyKind {
+				replies++
+			} else {
+				requests++
+			}
+		}
+		if replies > 0 && requests > 0 {
+			t.Fatalf("decoder accepted mixed-direction batch from % x", data)
+		}
+		if replies > 0 && len(m.rem) > 0 {
+			t.Fatalf("decoder accepted reply batch with remote-cx payload from % x", data)
+		}
+		re := encodeRPCBatchMsg(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("wire form not canonical: % x -> %+v -> % x", data, m, re)
+		}
+	})
+}

@@ -106,9 +106,10 @@ type World struct {
 	net *gasnet.Network
 	obs *obs.Obs // nil unless Config.Stats
 
-	amRPC    gasnet.HandlerID // all RPC traffic: requests, replies, fire-and-forget
-	amColl   gasnet.HandlerID
-	amRemote gasnet.HandlerID // remote-completion RPCs (remote_cx::as_rpc)
+	amRPC      gasnet.HandlerID // all RPC traffic: requests, replies, fire-and-forget
+	amRPCBatch gasnet.HandlerID // batched RPC traffic: coalesced requests and replies
+	amColl     gasnet.HandlerID
+	amRemote   gasnet.HandlerID // remote-completion RPCs (remote_cx::as_rpc)
 
 	ranks []*Rank
 
@@ -142,6 +143,7 @@ func NewWorld(cfg Config) *World {
 		Obs:          w.obs,
 	})
 	w.amRPC = w.net.RegisterAM(w.handleRPC)
+	w.amRPCBatch = w.net.RegisterAM(w.handleRPCBatch)
 	w.amColl = w.net.RegisterAM(w.handleColl)
 	w.amRemote = w.net.RegisterAM(w.handleRemoteCx)
 	w.ranks = make([]*Rank, cfg.Ranks)

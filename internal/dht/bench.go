@@ -85,6 +85,41 @@ func RunInsertPipelinedBench(rk *core.Rank, d *DHT, cfg BenchConfig) BenchResult
 	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
 }
 
+// RunInsertBatchBench is the batched-message variant of the pipelined
+// loop: inserts accumulate into per-home-rank batches and every
+// batchSize inserts ship as (at most N) coalesced wire messages, with
+// all operation completions on one promise waited at the end. batchSize
+// value buffers rotate so each stays unchanged from its insert until the
+// FlushAll that captures it. batchSize 1 degenerates to one message per
+// insert — the per-AM floor the EXPERIMENTS sweep compares against.
+// RPCOnly mode only.
+func RunInsertBatchBench(rk *core.Rank, d *DHT, cfg BenchConfig, batchSize int) BenchResult {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rk.Me())*1_000_003))
+	bufs := make([][]byte, batchSize)
+	for i := range bufs {
+		bufs[i] = make([]byte, cfg.ElemSize)
+	}
+	iters := cfg.Iterations()
+	bi := d.NewBatchInserter()
+	done := core.NewPromise[core.Unit](rk)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		val := bufs[i%batchSize]
+		rng.Read(val)
+		bi.Insert(rng.Uint64(), val)
+		if bi.Pending() >= batchSize {
+			bi.FlushAll(done)
+			rk.Progress()
+		}
+	}
+	bi.FlushAll(done)
+	done.Finalize().Wait()
+	return BenchResult{Inserts: iters, Elapsed: time.Since(start)}
+}
+
 // RunSerialBench is the paper's one-process baseline: the same loop with
 // all UPC++ calls omitted — a plain map insert, "the best we can achieve
 // with the underlying standard library".

@@ -185,6 +185,60 @@ func (d *DHT) InsertAsync(key uint64, val []byte, done *core.Promise[core.Unit])
 	return fs.Source
 }
 
+// BatchInserter coalesces RPCOnly inserts per home rank: each insert
+// accumulates into the target rank's batch with zero conduit
+// interaction, and FlushAll ships every non-empty batch as one wire
+// message (core.Batch). The per-insert argument views borrow the caller's
+// value buffers — a buffer may be reused only after the FlushAll that
+// ships its insert — and every flushed insert's operation completion
+// (value globally visible at its home rank) accumulates on the promise
+// handed to FlushAll, the flood idiom of InsertAsync amortized over
+// batch-sized messages.
+type BatchInserter struct {
+	d       *DHT
+	batches []*core.Batch // indexed by home rank; nil until first use
+	pending int
+}
+
+// NewBatchInserter returns an empty inserter for the table. RPCOnly mode
+// only (values travel inside the batched RPCs).
+func (d *DHT) NewBatchInserter() *BatchInserter {
+	if d.mode != RPCOnly {
+		panic("dht: BatchInserter requires RPCOnly mode (values travel inside the RPC)")
+	}
+	return &BatchInserter{d: d, batches: make([]*core.Batch, d.rk.N())}
+}
+
+// Insert appends (key, val) to the home rank's batch. val is borrowed,
+// not copied: it must stay unchanged until the next FlushAll.
+func (bi *BatchInserter) Insert(key uint64, val []byte) {
+	t := bi.d.Target(key)
+	b := bi.batches[t]
+	if b == nil {
+		b = core.NewBatch(bi.d.rk, t)
+		bi.batches[t] = b
+	}
+	core.BatchRPC(b, storeRPC,
+		insertArgs{ID: bi.d.id, Key: key, Val: core.MakeView(val)})
+	bi.pending++
+}
+
+// Pending returns the number of accumulated, un-flushed inserts.
+func (bi *BatchInserter) Pending() int { return bi.pending }
+
+// FlushAll ships every non-empty batch, registering each batch's
+// operation completion (all of its replies landed) on done. After it
+// returns, every borrowed value buffer has been captured by the conduit
+// and may be reused.
+func (bi *BatchInserter) FlushAll(done *core.Promise[core.Unit]) {
+	for _, b := range bi.batches {
+		if b != nil && b.Len() > 0 {
+			b.Flush(core.OpCxAsPromise(done))
+		}
+	}
+	bi.pending = 0
+}
+
 type publishArgs struct {
 	ID   core.DistID
 	Key  uint64

@@ -275,3 +275,48 @@ func TestEraseReclaimsSegmentMemory(t *testing.T) {
 		rk.Barrier()
 	})
 }
+
+func TestBatchInserter(t *testing.T) {
+	// Coalesced inserts: every rank floods batched inserts through the
+	// per-home-rank batches, rotating buffers batch by batch; the shared
+	// promise's future is all operation completions. Every stored value
+	// must be the bytes its buffer held at insert time.
+	core.Run(4, func(rk *core.Rank) {
+		d := New(rk, RPCOnly)
+		rk.Barrier()
+		const n, batch = 96, 16
+		bufs := make([][]byte, batch)
+		for i := range bufs {
+			bufs[i] = make([]byte, 128)
+		}
+		base := uint64(rk.Me()) << 32
+		done := core.NewPromise[core.Unit](rk)
+		bi := d.NewBatchInserter()
+		for i := uint64(0); i < n; i++ {
+			buf := bufs[i%batch]
+			for j := range buf {
+				buf[j] = byte(i + uint64(j))
+			}
+			bi.Insert(base+i, buf)
+			if bi.Pending() >= batch {
+				bi.FlushAll(done) // captures every borrowed buffer
+			}
+		}
+		bi.FlushAll(done)
+		done.Finalize().Wait() // op-cx of every insert: all globally visible
+		rk.Barrier()
+		for i := uint64(0); i < n; i++ {
+			got := d.Find(base + i).Wait()
+			if len(got) != 128 {
+				t.Fatalf("find(%d): %d bytes", base+i, len(got))
+			}
+			for j, b := range got {
+				if b != byte(i+uint64(j)) {
+					t.Errorf("find(%d)[%d] = %d, want %d (batched insert shipped stale or scribbled bytes)",
+						base+i, j, b, byte(i+uint64(j)))
+				}
+			}
+		}
+		rk.Barrier()
+	})
+}

@@ -27,6 +27,10 @@ type engine struct {
 	dmaFree []time.Time // per-rank device DMA engine next-available time
 	done    bool
 	version atomic.Uint64 // bumped on insert so the spin loop re-plans
+	// wake is a 1-slot doorbell rung on every insert. The delivery loop's
+	// long sleep selects on it so an event injected mid-wait with a sooner
+	// due time interrupts the sleep instead of being delivered late.
+	wake chan struct{}
 }
 
 type event struct {
@@ -52,6 +56,7 @@ func newEngine(ranks int) *engine {
 	e := &engine{
 		nicFree: make([]time.Time, ranks),
 		dmaFree: make([]time.Time, ranks),
+		wake:    make(chan struct{}, 1),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	go e.loop()
@@ -66,6 +71,7 @@ func (e *engine) schedule(due time.Time, run func(at time.Time)) {
 	e.version.Add(1)
 	e.cond.Signal()
 	e.mu.Unlock()
+	e.ring()
 }
 
 // injectFrom models rank src injecting a message now: the message occupies
@@ -108,6 +114,15 @@ func (e *engine) injectOn(free []time.Time, idx int, earliest time.Time, gap, la
 	e.version.Add(1)
 	e.cond.Signal()
 	e.mu.Unlock()
+	e.ring()
+}
+
+// ring deposits a wakeup token; a no-op if one is already pending.
+func (e *engine) ring() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
 }
 
 func (e *engine) stop() {
@@ -156,8 +171,10 @@ func (e *engine) loop() {
 }
 
 // waitUntil blocks until t or until a new event is inserted (version bump),
-// whichever comes first. For waits beyond ~100µs it sleeps, then spins for
-// the final stretch to hit sub-microsecond accuracy.
+// whichever comes first. For waits beyond ~100µs it parks on a timer that
+// the wake doorbell can interrupt — a plain time.Sleep here would delay a
+// sooner-due event injected mid-sleep until the full sleep elapsed — then
+// spins for the final stretch to hit sub-microsecond accuracy.
 func (e *engine) waitUntil(t time.Time, version uint64) {
 	const spinWindow = 100 * time.Microsecond
 	for {
@@ -169,7 +186,16 @@ func (e *engine) waitUntil(t time.Time, version uint64) {
 			return
 		}
 		if remain > spinWindow {
-			time.Sleep(remain - spinWindow)
+			// A stale doorbell token (from an insert we already observed)
+			// at worst costs one extra loop iteration; a token deposited
+			// after the version check above ends the select immediately,
+			// so a concurrent insert is never slept through.
+			tm := time.NewTimer(remain - spinWindow)
+			select {
+			case <-e.wake:
+				tm.Stop()
+			case <-tm.C:
+			}
 			continue
 		}
 		// Spin for the final stretch, yielding so a single-core host can

@@ -1,0 +1,47 @@
+package gasnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineSoonerEventInterruptsSleep pins the delivery loop's wait
+// behaviour: an event injected while the loop is asleep waiting for a
+// far-future event, but due much sooner, must be delivered near its own
+// due time. Before the interruptible wait, waitUntil did one
+// uninterruptible time.Sleep to just short of the far deadline and only
+// observed the version bump after the sleep returned, so the sooner event
+// was delivered ~far-deadline late (here: at ~250ms instead of ~40ms).
+func TestEngineSoonerEventInterruptsSleep(t *testing.T) {
+	e := newEngine(1)
+	defer e.stop()
+
+	start := time.Now()
+	far := start.Add(250 * time.Millisecond)
+	farDone := make(chan struct{})
+	e.schedule(far, func(time.Time) { close(farDone) })
+
+	// Let the loop burn through its 200µs spin window and park in the
+	// long sleep toward the far deadline.
+	time.Sleep(20 * time.Millisecond)
+
+	soon := start.Add(40 * time.Millisecond)
+	soonDelivered := make(chan time.Time, 1)
+	e.schedule(soon, func(time.Time) { soonDelivered <- time.Now() })
+
+	select {
+	case at := <-soonDelivered:
+		if late := at.Sub(soon); late > 100*time.Millisecond {
+			t.Fatalf("sooner event delivered %v late (due +40ms, delivered +%v after start)",
+				late, at.Sub(start))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sooner event never delivered")
+	}
+
+	select {
+	case <-farDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("far event never delivered")
+	}
+}

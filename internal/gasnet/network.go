@@ -369,9 +369,15 @@ func (ep *Endpoint) enqueueAM(am inboundAM) {
 // Ring signals a blocked WaitPending without ever blocking the caller.
 // The runtime rings it for deliveries that bypass the endpoint queues
 // (persona LPCs), so a sleeping progress thread wakes for them too.
+// Rings coalesce in the 1-slot doorbell: only a deposit that found the
+// slot empty is counted (obs "rings"), so a batch of deliveries rung
+// back-to-back causes — and counts as — one wakeup, not one per op.
 func (ep *Endpoint) Ring() {
 	select {
 	case ep.notify <- struct{}{}:
+		if ep.ro != nil {
+			ep.ro.Ring()
+		}
 	default:
 	}
 }
@@ -653,6 +659,52 @@ func (ep *Endpoint) AMTag(dst Rank, h HandlerID, payload []byte, aux any, tag ob
 	}
 	m := ep.net.model
 	spinFor(m.Overhead(n, intra))
+	tag.Hop(obs.StageCapture, ep.rank, n)
+	eng := ep.net.eng
+	gap := m.Gap(n, intra)
+	lat := m.Latency(n, intra)
+	eng.injectFrom(int(ep.rank), gap, lat, func(time.Time) {
+		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+		tag.Landing(dst, n)
+	})
+}
+
+// AMTagV is AMTag taking the payload as an iovec: the message is the
+// concatenation of frags, which is gathered into one staged buffer at
+// the conduit capture stage — the single copy on this path. Fragments
+// may alias caller memory (borrowed view payloads from a gather-mode
+// encoder); the caller must keep them unchanged until AMTagV returns,
+// after which every fragment is reusable (source completion). In the
+// real-time model the gather happens after the initiator overhead spin,
+// and mutations made after return but before wire delivery are not
+// observed by the target — the capture is exactly once, exactly here.
+func (ep *Endpoint) AMTagV(dst Rank, h HandlerID, frags [][]byte, aux any, tag obs.OpTag) {
+	n := 0
+	for _, f := range frags {
+		n += len(f)
+	}
+	ep.ams.Add(1)
+	ep.amBytes.Add(uint64(n))
+	tgt := ep.net.eps[dst]
+	intra := ep.net.Intra(ep.rank, dst)
+	tag.WireMsg(ep.rank, dst, n)
+	gather := func() []byte {
+		staged := make([]byte, 0, n)
+		for _, f := range frags {
+			staged = append(staged, f...)
+		}
+		return staged
+	}
+	if !ep.net.realtime {
+		staged := gather()
+		tag.Hop(obs.StageCapture, ep.rank, n)
+		tgt.enqueueAM(inboundAM{src: ep.rank, handler: h, payload: staged, aux: aux})
+		tag.Landing(dst, n)
+		return
+	}
+	m := ep.net.model
+	spinFor(m.Overhead(n, intra))
+	staged := gather()
 	tag.Hop(obs.StageCapture, ep.rank, n)
 	eng := ep.net.eng
 	gap := m.Gap(n, intra)

@@ -234,10 +234,13 @@ type RankObs struct {
 	cx [NumCxEvents][NumCxVias]Count
 
 	// Progress accounting: user-level progress passes, the subset that
-	// processed nothing (empty spins), and conduit doorbell wakeups.
+	// processed nothing (empty spins), conduit doorbell wakeups, and
+	// doorbell deposits (rings that found the slot empty — coalesced, so
+	// a batch of completions rings once, not once per op).
 	passes  Count
 	empties Count
 	wakeups Count
+	rings   Count
 
 	// Device copy-engine descriptors executed by this rank's engine, by
 	// hop kind.
@@ -304,6 +307,12 @@ func (ro *RankObs) Pass(empty bool) {
 // Wakeup counts one doorbell wakeup (a WaitPending unblocked by Ring
 // rather than its timeout).
 func (ro *RankObs) Wakeup() { ro.wakeups.Add(1) }
+
+// Ring counts one doorbell deposit: a Ring call that found the 1-slot
+// doorbell empty. Rings while a token is already pending coalesce into
+// the deposited one and are not counted, so the counter reads as
+// progress-thread wakeups *caused*, per batch rather than per op.
+func (ro *RankObs) Ring() { ro.rings.Add(1) }
 
 // DMA counts one device copy-engine descriptor executed by this rank's
 // engine.

@@ -150,6 +150,61 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestMergeQualifiesTraceIDs pins the cross-rank merge rule: per-rank
+// trace sequence numbers collide across ranks (both ranks' first traced
+// op is ID 1), so Merge must qualify every event ID by its originating
+// rank. A merged timeline looked up by a qualified ID must contain only
+// that one rank's events, and the source snapshots must keep their raw
+// IDs.
+func TestMergeQualifiesTraceIDs(t *testing.T) {
+	ob := New(2, Options{TraceDepth: 64})
+	r0, r1 := ob.Rank(0), ob.Rank(1)
+	// One traced op per rank: identical per-rank IDs, distinct payloads.
+	t0 := r0.OpStart(KindRPC, 100)
+	r0.OpDone(t0, 100)
+	t1 := r1.OpStart(KindPut, 200)
+	r1.OpDone(t1, 200)
+	if t0.ID != 1 || t1.ID != 1 {
+		t.Fatalf("per-rank trace IDs = %d/%d, want the colliding 1/1", t0.ID, t1.ID)
+	}
+
+	s0, s1 := r0.Snapshot(), r1.Snapshot()
+	m := ob.Merged()
+	ids := m.TracedOps()
+	if len(ids) != 2 {
+		t.Fatalf("merged TracedOps = %v, want 2 distinct ids", ids)
+	}
+	for rank, tag := range []OpTag{t0, t1} {
+		qid := QualifyTraceID(int32(rank), tag.ID)
+		tl := m.Timeline(qid)
+		if len(tl) == 0 {
+			t.Fatalf("merged Timeline(QualifyTraceID(%d, %d)) is empty", rank, tag.ID)
+		}
+		for _, ev := range tl {
+			if ev.Kind != tag.Kind {
+				t.Errorf("rank %d timeline interleaved foreign events: got kind %v, want %v",
+					rank, ev.Kind, tag.Kind)
+			}
+		}
+	}
+	// Merge must not rewrite the per-rank snapshots it read from.
+	for i, s := range []Snapshot{s0, s1} {
+		if tl := s.Timeline(1); len(tl) == 0 {
+			t.Errorf("rank %d snapshot lost its raw trace ID 1", i)
+		}
+	}
+	// Merging an already-merged snapshot must not re-qualify.
+	before := append([]Event(nil), m.Trace...)
+	var extra Snapshot
+	extra.Rank = 2
+	m.Merge(&extra)
+	for i, ev := range m.Trace {
+		if ev.ID != before[i].ID {
+			t.Errorf("re-merge changed event %d ID %d -> %d", i, before[i].ID, ev.ID)
+		}
+	}
+}
+
 // TestSnapshotDeltaAndJSON checks counter deltas and the JSON round
 // trip of a snapshot.
 func TestSnapshotDeltaAndJSON(t *testing.T) {

@@ -47,6 +47,7 @@ type Snapshot struct {
 	ProgressPasses uint64 `json:"progress_passes"`
 	EmptyPasses    uint64 `json:"empty_passes"`
 	Wakeups        uint64 `json:"wakeups"`
+	DoorbellRings  uint64 `json:"doorbell_rings"`
 
 	DMA      [NumDMAKinds]uint64 `json:"dma"`
 	DMABytes [NumDMAKinds]uint64 `json:"dma_bytes"`
@@ -81,6 +82,7 @@ func (ro *RankObs) Snapshot() Snapshot {
 	s.ProgressPasses = ro.passes.Load()
 	s.EmptyPasses = ro.empties.Load()
 	s.Wakeups = ro.wakeups.Load()
+	s.DoorbellRings = ro.rings.Load()
 	for k := range s.DMA {
 		s.DMA[k] = ro.dma[k].Load()
 		s.DMABytes[k] = ro.dmaBytes[k].Load()
@@ -148,10 +150,37 @@ func (ob *Obs) Merged() Snapshot {
 	return m
 }
 
+// QualifyTraceID maps a per-rank trace ID to a job-wide one. Trace IDs
+// are per-rank sequence numbers, so two ranks' op #1 collide when their
+// traces are concatenated; Merge rewrites every event ID through this
+// mapping so merged timelines stay per-op. Callers that recorded an ID
+// on a single rank (OpTag.ID) use this to look the op up in a merged
+// snapshot's Timeline.
+func QualifyTraceID(rank int32, id uint64) uint64 {
+	return (uint64(rank)+1)<<40 | (id & (1<<40 - 1))
+}
+
+// qualifyTrace rewrites s's event IDs with QualifyTraceID when s still
+// holds a single rank's unqualified trace (Rank >= 0). Merged snapshots
+// (Rank == -1) are already qualified and pass through unchanged.
+func (s *Snapshot) qualifyTrace() {
+	if s.Rank < 0 {
+		return
+	}
+	for i := range s.Trace {
+		if s.Trace[i].ID != 0 {
+			s.Trace[i].ID = QualifyTraceID(s.Rank, s.Trace[i].ID)
+		}
+	}
+}
+
 // Merge folds o into s: counters and histogram cells sum, per-peer wire
-// and persona lines aggregate, traces concatenate in time order. Both
-// snapshots are left usable; s becomes the merge.
+// and persona lines aggregate, traces concatenate in time order with
+// every trace ID qualified by its originating rank (so per-rank sequence
+// numbers from different ranks never collide in the merged timeline).
+// Both snapshots are left usable; s becomes the merge.
 func (s *Snapshot) Merge(o *Snapshot) {
+	s.qualifyTrace()
 	s.Rank = -1
 	s.Ranks += o.Ranks
 	for k := range s.Ops {
@@ -167,6 +196,7 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.ProgressPasses += o.ProgressPasses
 	s.EmptyPasses += o.EmptyPasses
 	s.Wakeups += o.Wakeups
+	s.DoorbellRings += o.DoorbellRings
 	for k := range s.DMA {
 		s.DMA[k] += o.DMA[k]
 		s.DMABytes[k] += o.DMABytes[k]
@@ -233,7 +263,19 @@ func (s *Snapshot) Merge(o *Snapshot) {
 			s.LatN[w][k] += o.LatN[w][k]
 		}
 	}
-	s.Trace = append(s.Trace, o.Trace...)
+	ot := o.Trace
+	if o.Rank >= 0 && len(ot) > 0 {
+		// Qualify a copy: o must stay usable with its own raw IDs.
+		q := make([]Event, len(ot))
+		copy(q, ot)
+		for i := range q {
+			if q[i].ID != 0 {
+				q[i].ID = QualifyTraceID(o.Rank, q[i].ID)
+			}
+		}
+		ot = q
+	}
+	s.Trace = append(s.Trace, ot...)
 	sort.SliceStable(s.Trace, func(i, j int) bool { return s.Trace[i].T < s.Trace[j].T })
 	s.TraceDropped += o.TraceDropped
 }
@@ -257,6 +299,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.ProgressPasses -= prev.ProgressPasses
 	d.EmptyPasses -= prev.EmptyPasses
 	d.Wakeups -= prev.Wakeups
+	d.DoorbellRings -= prev.DoorbellRings
 	for k := range d.DMA {
 		d.DMA[k] -= prev.DMA[k]
 		d.DMABytes[k] -= prev.DMABytes[k]
@@ -421,8 +464,8 @@ func Fprint(w io.Writer, s Snapshot) {
 		}
 	}
 	if s.ProgressPasses != 0 {
-		fmt.Fprintf(w, "progress: passes=%d empty=%d wakeups=%d\n",
-			s.ProgressPasses, s.EmptyPasses, s.Wakeups)
+		fmt.Fprintf(w, "progress: passes=%d empty=%d wakeups=%d rings=%d\n",
+			s.ProgressPasses, s.EmptyPasses, s.Wakeups, s.DoorbellRings)
 	}
 	for k := DMAKind(0); k < NumDMAKinds; k++ {
 		if s.DMA[k] != 0 {

@@ -46,6 +46,27 @@ func Marshal(v any) ([]byte, error) {
 	return AppendMarshal(nil, v)
 }
 
+// MarshalInto encodes v into an existing encoder. When the encoder is in
+// gather mode, Marshaler implementations (views) may contribute borrowed
+// fragments instead of copies — the zero-copy injection path.
+func MarshalInto(e *Encoder, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serial: marshal %T: %v", v, r)
+		}
+	}()
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return fmt.Errorf("serial: cannot marshal untyped nil")
+	}
+	c, err := codecFor(rv.Type())
+	if err != nil {
+		return err
+	}
+	c.enc(e, rv)
+	return nil
+}
+
 // AppendMarshal encodes v, appending to buf.
 func AppendMarshal(buf []byte, v any) (out []byte, err error) {
 	defer func() {

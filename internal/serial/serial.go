@@ -25,21 +25,85 @@ var ErrShortBuffer = errors.New("serial: short buffer")
 
 // Encoder appends primitive values to a byte buffer. The zero value is
 // ready to use.
+//
+// An encoder may optionally run in gather mode (EnableGather), where large
+// PutBorrowed payloads are recorded as borrowed fragments instead of being
+// copied into the contiguous buffer. Fragments() then yields an iovec-style
+// [][]byte whose concatenation is the encoded message; the borrowed pieces
+// alias the caller's memory until whoever consumes the fragments copies
+// them (for the runtime, the conduit capture stage).
 type Encoder struct {
-	buf []byte
+	buf    []byte
+	gather bool
+	frags  [][]byte // closed fragments, in order; borrowed or owned
+	flen   int      // total bytes across closed fragments
 }
+
+// GatherMinBorrow is the smallest PutBorrowed payload worth recording as a
+// borrowed fragment in gather mode; anything shorter is copied inline,
+// since fragment bookkeeping costs more than a tiny memcpy.
+const GatherMinBorrow = 64
 
 // NewEncoder returns an encoder that appends to buf (which may be nil).
 func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
 
-// Bytes returns the encoded buffer.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes returns the encoded buffer. If gather mode closed any fragments it
+// returns a flattened copy of the full message.
+func (e *Encoder) Bytes() []byte {
+	if len(e.frags) == 0 {
+		return e.buf
+	}
+	out := make([]byte, 0, e.Len())
+	for _, f := range e.frags {
+		out = append(out, f...)
+	}
+	return append(out, e.buf...)
+}
 
 // Len returns the number of bytes encoded so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+func (e *Encoder) Len() int { return e.flen + len(e.buf) }
 
 // Reset discards the buffer contents but keeps the capacity.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.frags = e.frags[:0]
+	e.flen = 0
+}
+
+// EnableGather switches the encoder into gather mode; see the type comment.
+func (e *Encoder) EnableGather() { e.gather = true }
+
+// closeFrag moves the open contiguous buffer onto the fragment list.
+func (e *Encoder) closeFrag() {
+	if len(e.buf) > 0 {
+		e.frags = append(e.frags, e.buf)
+		e.flen += len(e.buf)
+		e.buf = nil
+	}
+}
+
+// PutBorrowed appends b with no length prefix. In gather mode, payloads of
+// at least GatherMinBorrow bytes are recorded as borrowed fragments that
+// alias b — the caller must keep b unchanged until the fragments are
+// consumed. Outside gather mode (or for short payloads) it copies like
+// PutRaw.
+func (e *Encoder) PutBorrowed(b []byte) {
+	if !e.gather || len(b) < GatherMinBorrow {
+		e.PutRaw(b)
+		return
+	}
+	e.closeFrag()
+	e.frags = append(e.frags, b)
+	e.flen += len(b)
+}
+
+// Fragments closes the open buffer and returns the fragment list; the
+// concatenation of the fragments is the encoded message. Borrowed
+// fragments alias caller memory (see PutBorrowed).
+func (e *Encoder) Fragments() [][]byte {
+	e.closeFrag()
+	return e.frags
+}
 
 func (e *Encoder) PutU8(v uint8)   { e.buf = append(e.buf, v) }
 func (e *Encoder) PutBool(v bool)  { e.PutU8(map[bool]uint8{false: 0, true: 1}[v]) }

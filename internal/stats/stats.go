@@ -16,14 +16,26 @@ import (
 type Sample struct {
 	Values []float64
 
-	// sorted caches an ascending copy of Values for quantile queries;
-	// it is valid only while len(sorted) == len(Values), since Add is
-	// the only mutator and it always grows Values.
-	sorted []float64
+	// sorted caches an ascending copy of Values for quantile queries. It
+	// is valid only while sortedGen matches gen: every mutator bumps gen,
+	// so a reset-and-refill to the same length (which a pure length check
+	// would mistake for a settled sample) still invalidates the cache.
+	sorted    []float64
+	gen       uint64
+	sortedGen uint64
 }
 
 // Add appends a measurement.
-func (s *Sample) Add(v float64) { s.Values = append(s.Values, v) }
+func (s *Sample) Add(v float64) {
+	s.Values = append(s.Values, v)
+	s.gen++
+}
+
+// Reset discards all measurements, keeping capacity for reuse.
+func (s *Sample) Reset() {
+	s.Values = s.Values[:0]
+	s.gen++
+}
 
 // N returns the number of measurements.
 func (s *Sample) N() int { return len(s.Values) }
@@ -94,9 +106,12 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.Values) == 0 {
 		return math.NaN()
 	}
-	if len(s.sorted) != len(s.Values) {
+	// The length check covers samples whose Values were populated
+	// directly (struct literals) without going through a mutator.
+	if s.sortedGen != s.gen || len(s.sorted) != len(s.Values) {
 		s.sorted = append(s.sorted[:0], s.Values...)
 		sort.Float64s(s.sorted)
+		s.sortedGen = s.gen
 	}
 	sorted := s.sorted
 	if p <= 0 {

@@ -40,6 +40,39 @@ func TestSampleBasics(t *testing.T) {
 	}
 }
 
+// TestPercentileFreshAfterSameLengthRefill pins the quantile cache's
+// generation keying: a reset-and-refill back to the same length must not
+// serve quantiles of the old values (a cache validated only by
+// len(sorted) == len(Values) did exactly that).
+func TestPercentileFreshAfterSameLengthRefill(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 9; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("initial median = %v, want 5", got)
+	}
+	s.Reset()
+	for i := 101; i <= 109; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 9 {
+		t.Fatalf("refilled N = %d, want 9", s.N())
+	}
+	if got := s.Percentile(50); got != 105 {
+		t.Errorf("post-refill median = %v, want 105 (stale cache?)", got)
+	}
+	if got := s.Percentile(0); got != 101 {
+		t.Errorf("post-refill p0 = %v, want 101", got)
+	}
+	// Mid-refill partial state must also be fresh.
+	s.Reset()
+	s.Add(7)
+	if got := s.Percentile(100); got != 7 {
+		t.Errorf("post-reset single-value p100 = %v, want 7", got)
+	}
+}
+
 func TestQuickPercentileBounds(t *testing.T) {
 	f := func(vs []float64, p float64) bool {
 		if len(vs) == 0 {

@@ -431,6 +431,27 @@ func RPCFF2[A, B any](rk *Rank, target Intrank, fn func(*Rank, A, B), a A, b B) 
 	core.RPCFF2(rk, target, fn, a, b)
 }
 
+// Batch accumulates RPCs bound for one target rank; Flush ships them
+// as a single coalesced wire message under one completion plan
+// (DESIGN §12).
+type Batch = core.Batch
+
+// NewBatch starts an empty RPC batch for target.
+func NewBatch(rk *Rank, target Intrank) *Batch { return core.NewBatch(rk, target) }
+
+// BatchRPC appends a round-trip RPC to the batch and returns the
+// value future its reply will fulfill after Flush. View-typed fields
+// of arg ≥64 bytes are captured zero-copy: the caller must not mutate
+// them between this call and the flushed op's source-cx event.
+func BatchRPC[A, R any](b *Batch, fn func(*Rank, A) R, arg A) Future[R] {
+	return core.BatchRPC(b, fn, arg)
+}
+
+// BatchRPCFF appends a fire-and-forget RPC to the batch.
+func BatchRPCFF[A any](b *Batch, fn func(*Rank, A), arg A) {
+	core.BatchRPCFF(b, fn, arg)
+}
+
 // Futures and promises.
 
 // ReadyFuture returns an already-fulfilled future carrying v.
