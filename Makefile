@@ -73,7 +73,9 @@ bench-smoke:
 	$(GO) run ./cmd/upcxx-info
 	$(GO) run ./cmd/rma-bench -mode all -model-only
 	$(GO) run ./cmd/kinds-bench -model-only
+	$(GO) run ./cmd/kinds-bench -max-size 65536 -reps 1 -dilation 20 -stats
 	$(GO) run ./cmd/coll-bench -model-only
+	$(GO) run ./cmd/coll-bench -ranks 4 -radices 2 -iters 2 -reps 1 -dilation 20
 	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch
 	$(GO) run ./cmd/eadd-bench
 	$(GO) run ./cmd/sympack-bench

@@ -163,15 +163,57 @@ func measureRound(p, radix int) float64 {
 	return best
 }
 
+// pinViolation records the first datapath-pin failure seen by a measured
+// device world (empty: all pins held). Reported and fatal at exit.
+var pinViolation string
+
+// checkDevicePins verifies, from one measured device world's merged
+// counters, that the run took the datapath its configuration promises:
+// exactly one fused fold launch per parent round (each internal tree node
+// folds all its arrived children with a single kernel), and — under a
+// GPUDirect DMA model — zero bounced d2d descriptors (all direct), vs
+// all-bounced without it.
+func checkDevicePins(rk *core.Rank, p, radix int, gdr bool) {
+	if rk.Me() != 0 || !rk.StatsEnabled() {
+		return
+	}
+	s := rk.World().StatsMerged()
+	nops := uint64(*iters + 1) // warm-up + timed rounds
+	internal := 0
+	for rr := 0; rr < p; rr++ {
+		if len(core.CollTopoChildren(radix, rr, p)) > 0 {
+			internal++
+		}
+	}
+	if s.FusedFolds != uint64(internal)*nops || s.FusedChildren != uint64(p-1)*nops {
+		pinViolation = fmt.Sprintf("p=%d radix=%d: fused folds launches=%d children=%d, want %d launches (1 per parent round) folding %d children",
+			p, radix, s.FusedFolds, s.FusedChildren, uint64(internal)*nops, uint64(p-1)*nops)
+		return
+	}
+	if p > 1 && gdr && (s.DMA[obs.DMAD2DBounced] != 0 || s.DMA[obs.DMAD2DDirect] == 0) {
+		pinViolation = fmt.Sprintf("p=%d radix=%d gdr: d2d-direct=%d d2d-bounced=%d, want all direct",
+			p, radix, s.DMA[obs.DMAD2DDirect], s.DMA[obs.DMAD2DBounced])
+		return
+	}
+	if p > 1 && !gdr && s.DMA[obs.DMAD2DBounced] == 0 {
+		pinViolation = fmt.Sprintf("p=%d radix=%d bounced: no d2d-bounced descriptors recorded", p, radix)
+	}
+}
+
 // measureDeviceAllReduce times AllReduceBufWith over device-resident
 // float64 operands (the kind-aware reduction path: DMA-costed exchange
-// copies, RunKernel folds, no host staging).
-func measureDeviceAllReduce(p, radix, elems int) float64 {
+// copies, fused RunKernel folds, no host staging). With gdr the DMA model
+// is GPUDirect-capable and the exchange copies skip the host bounce.
+// Stats stay on: the descriptor-kind and fused-fold counters are the pin
+// that the sweep took the configured datapath.
+func measureDeviceAllReduce(p, radix, elems int, gdr bool) float64 {
+	dma := dilatedPCIe()
+	dma.GDR = gdr
 	best := 0.0
 	for rep := 0; rep < *reps; rep++ {
 		var per float64
 		core.RunConfig(core.Config{Ranks: p, RanksPerNode: 1, Model: dilatedAries(),
-			DMA: dilatedPCIe(), CollRadix: radix, SegmentSize: 1 << 20, Stats: *withStats}, func(rk *core.Rank) {
+			DMA: dma, CollRadix: radix, SegmentSize: 1 << 20, Stats: true}, func(rk *core.Rank) {
 			da := core.NewDeviceAllocator(rk, 1<<22)
 			buf := core.MustNewDeviceArray[float64](da, elems)
 			core.RunKernel(da, buf, elems, func(s []float64) {
@@ -190,6 +232,7 @@ func measureDeviceAllReduce(p, radix, elems int) float64 {
 			if rk.Me() == 0 {
 				per = time.Since(t0).Seconds() / float64(*iters) / float64(*dilation)
 			}
+			checkDevicePins(rk, p, radix, gdr)
 			captureStats(rk)
 			rk.Barrier()
 		})
@@ -269,14 +312,22 @@ func main() {
 		}
 		for _, r := range radices {
 			meas := &stats.Series{Name: radixName(r) + " (measured)"}
+			gdr := &stats.Series{Name: radixName(r) + " (gdr)"}
 			for _, p := range ranks {
-				meas.Add(float64(p), measureDeviceAllReduce(p, r, *devElems)*1e6)
+				meas.Add(float64(p), measureDeviceAllReduce(p, r, *devElems, false)*1e6)
+				gdr.Add(float64(p), measureDeviceAllReduce(p, r, *devElems, true)*1e6)
 			}
-			dev.Series = append(dev.Series, meas)
+			dev.Series = append(dev.Series, meas, gdr)
 		}
 		dev.Fprint(os.Stdout)
 		fmt.Println()
 		tables = append(tables, dev)
+		if pinViolation != "" {
+			fmt.Fprintf(os.Stderr, "coll-bench: datapath pin violated: %s\n", pinViolation)
+			os.Exit(1)
+		}
+		fmt.Println("# device pins ok: 1 fused fold launch per parent round; gdr worlds all d2d-direct, plain all d2d-bounced")
+		fmt.Println()
 	}
 
 	fmt.Println("radix 1 is the flat tree (the root serializes p-1 messages on one NIC);")

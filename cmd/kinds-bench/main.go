@@ -62,24 +62,39 @@ func dilatedPCIe3(k time.Duration) *gasnet.PCIeDMA {
 	return d
 }
 
+func dilatedPCIe3GDR(k time.Duration) *gasnet.PCIeDMA {
+	d := dilatedPCIe3(k)
+	d.GDR = true
+	return d
+}
+
 type pair struct {
 	name           string
 	srcDev, dstDev bool
 	cross          bool
+	gdr            bool // measured on the GPUDirect-capable world
 }
 
 var pairs = []pair{
-	{"h2h-same", false, false, false},
-	{"h2d-same", false, true, false},
-	{"d2d-same", true, true, false},
-	{"h2h-cross", false, false, true},
-	{"h2d-cross", false, true, true},
-	{"d2d-cross", true, true, true},
+	{name: "h2h-same"},
+	{name: "h2d-same", dstDev: true},
+	{name: "d2d-same", srcDev: true, dstDev: true},
+	{name: "h2h-cross", cross: true},
+	{name: "h2d-cross", dstDev: true, cross: true},
+	{name: "d2d-cross", srcDev: true, dstDev: true, cross: true},
+	// GPU-direct sweep: same cross-rank device pairs on a GDR-capable
+	// PCIe3 model — the NIC reads/writes device memory, so the staging
+	// DMA hops (and the host bounce) drop out of both the measurement
+	// and the closed form.
+	{name: "h2d-cross-gdr", dstDev: true, cross: true, gdr: true},
+	{name: "d2d-cross-gdr", srcDev: true, dstDev: true, cross: true, gdr: true},
 }
 
 // predict returns the modeled blocking latency of one CopyGG of n bytes:
 // the serial sum of the hop costs internal/gasnet charges (source DMA,
-// wire, destination DMA, ack), with undilated models.
+// wire, destination DMA, ack), with undilated models. On a GDR pair the
+// DMA terms vanish: the NIC addresses device memory directly, so the
+// cross-rank chain is the same wire+ack as a host-to-host copy.
 func predict(p pair, n int) time.Duration {
 	m := gasnet.Aries()
 	d := gasnet.PCIe3()
@@ -94,12 +109,12 @@ func predict(p pair, n int) time.Duration {
 	}
 	t := m.Gap(n, false) + m.Latency(n, false) // wire hop
 	t += m.Gap(0, false) + m.Latency(0, false) // completion ack
-	if p.srcDev {
+	if p.srcDev && !p.gdr {
 		t += d.O + d.Gap(n, false) + d.Latency(n, false)
 	} else {
 		t += m.Overhead(n, false)
 	}
-	if p.dstDev {
+	if p.dstDev && !p.gdr {
 		t += d.Gap(n, false) + d.Latency(n, false)
 	}
 	return t
@@ -139,13 +154,22 @@ func main() {
 	}
 	fmt.Println()
 
-	var w *core.World
+	// Two measured worlds, identical except for the DMA model's GPUDirect
+	// capability: GDR-suffixed pairs run on wg, the rest on w. Stats stay
+	// on in both — the descriptor-kind counters are the pin that the two
+	// sweeps actually took different datapaths.
+	var w, wg *core.World
 	if !*modelOnly {
 		w = core.NewWorld(core.Config{
 			Ranks: 2, RanksPerNode: 1, SegmentSize: 2 * *maxSize,
-			Model: dilatedAries(k), DMA: dilatedPCIe3(k), Stats: *withStats,
+			Model: dilatedAries(k), DMA: dilatedPCIe3(k), Stats: true,
 		})
 		defer w.Close()
+		wg = core.NewWorld(core.Config{
+			Ranks: 2, RanksPerNode: 1, SegmentSize: 2 * *maxSize,
+			Model: dilatedAries(k), DMA: dilatedPCIe3GDR(k), Stats: true,
+		})
+		defer wg.Close()
 	}
 
 	t := &stats.Table{
@@ -164,6 +188,7 @@ func main() {
 		s.Add(float64(n), v)
 	}
 
+	lastMeas := map[string]time.Duration{}
 	for _, n := range sizes() {
 		fmt.Printf("%10d", n)
 		for _, p := range pairs {
@@ -173,17 +198,43 @@ func main() {
 				fmt.Printf("  %12.2f", model)
 				continue
 			}
-			meas := gbps(n, measure(w, p, n, k))
+			world := w
+			if p.gdr {
+				world = wg
+			}
+			el := measure(world, p, n, k)
+			lastMeas[p.name] = el
+			meas := gbps(n, el)
 			addPoint(p.name, n, meas)
 			fmt.Printf("  %12.2f %12.2f", meas, model)
 		}
 		fmt.Println()
 	}
 
+	if !*modelOnly {
+		// Datapath pin: the sweeps must differ by descriptor kind, not just
+		// by timing — GDR cross-rank d2d traffic is all direct, the plain
+		// world's is all bounced. A violated pin is a conduit bug.
+		sb, sg := w.StatsMerged(), wg.StatsMerged()
+		fmt.Printf("# dma pin: plain world d2d-bounced=%d | gdr world d2d-direct=%d d2d-bounced=%d\n",
+			sb.DMA[obs.DMAD2DBounced], sg.DMA[obs.DMAD2DDirect], sg.DMA[obs.DMAD2DBounced])
+		if sb.DMA[obs.DMAD2DBounced] == 0 || sg.DMA[obs.DMAD2DDirect] == 0 || sg.DMA[obs.DMAD2DBounced] != 0 {
+			fmt.Fprintln(os.Stderr, "kinds-bench: DMA descriptor-kind pin violated (see # dma pin line)")
+			os.Exit(1)
+		}
+		if b, g := lastMeas["d2d-cross"], lastMeas["d2d-cross-gdr"]; b > 0 && g > 0 {
+			fmt.Printf("# gdr speedup at %s (d2d-cross vs d2d-cross-gdr): %.2fx\n",
+				stats.BytesHuman(sizes()[len(sizes())-1]), float64(b)/float64(g))
+		}
+	}
+
 	if *withStats && !*modelOnly {
 		fmt.Println()
-		fmt.Println("runtime stats (merged across ranks):")
+		fmt.Println("runtime stats (merged across ranks, plain world):")
 		obs.Fprint(os.Stdout, w.StatsMerged())
+		fmt.Println()
+		fmt.Println("runtime stats (merged across ranks, gdr world):")
+		obs.Fprint(os.Stdout, wg.StatsMerged())
 	}
 	if *jsonOut {
 		cfg := map[string]any{

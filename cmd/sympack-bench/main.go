@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"upcxx/internal/expmodel"
+	"upcxx/internal/gasnet"
 	"upcxx/internal/matgen"
 	"upcxx/internal/obs"
 	"upcxx/internal/sparse"
@@ -102,13 +103,23 @@ func runReal(prob *matgen.Problem, tree *sparse.FrontTree, p int) {
 	plan := sparse.NewCholPlan(prob.A, tree, p)
 	for _, variant := range []struct {
 		name string
+		dev  bool // device-resident fronts on a GPUDirect world
 		run  func(rk *core.Rank) sparse.CholResult
 	}{
-		{"UPC++ v1.0", func(rk *core.Rank) sparse.CholResult { return sparse.CholV1(rk, plan) }},
-		{"UPC++ v0.1", func(rk *core.Rank) sparse.CholResult { return sparse.CholV01(rk, plan) }},
+		{name: "UPC++ v1.0", run: func(rk *core.Rank) sparse.CholResult { return sparse.CholV1(rk, plan) }},
+		{name: "UPC++ v0.1", run: func(rk *core.Rank) sparse.CholResult { return sparse.CholV01(rk, plan) }},
+		{name: "v1.0 gdr-device", dev: true,
+			run: func(rk *core.Rank) sparse.CholResult { return sparse.CholV1Device(rk, plan) }},
 	} {
 		results := make([]sparse.CholResult, p)
-		core.RunConfig(core.Config{Ranks: p, SegmentSize: 256 << 20, Stats: *withStats}, func(rk *core.Rank) {
+		cfg := core.Config{Ranks: p, SegmentSize: 256 << 20, Stats: *withStats}
+		if variant.dev {
+			// Stats stay on regardless of -stats: the merged counters are
+			// the pin that the CB pushes took the direct datapath.
+			cfg.Stats = true
+			cfg.DMA = gasnet.NoDelayDMA{GDR: true}
+		}
+		core.RunConfig(cfg, func(rk *core.Rank) {
 			results[rk.Me()] = variant.run(rk)
 			rk.Barrier()
 			if rk.Me() == 0 && rk.StatsEnabled() {
@@ -125,6 +136,14 @@ func runReal(prob *matgen.Problem, tree *sparse.FrontTree, p int) {
 			nnzL += len(res.L)
 		}
 		fmt.Printf("  %-10s %.4gs  (|L| = %d entries)\n", variant.name, worst, nnzL)
+		if variant.dev {
+			fmt.Printf("             gdr pin: d2d-direct=%d d2d-bounced=%d\n",
+				lastSnap.DMA[obs.DMAD2DDirect], lastSnap.DMA[obs.DMAD2DBounced])
+			if lastSnap.DMA[obs.DMAD2DBounced] != 0 || (p > 1 && lastSnap.DMA[obs.DMAD2DDirect] == 0) {
+				fmt.Fprintln(os.Stderr, "sympack-bench: device factorization left the GPUDirect datapath")
+				os.Exit(1)
+			}
+		}
 		// Verify on small problems only (dense reference is O(n^3)).
 		if prob.A.N <= 4096 {
 			dense := prob.A.Dense()

@@ -9,6 +9,14 @@
 // landed. No per-iteration barriers and no follow-up notification round
 // trips: the paper's halo-exchange idiom, one message per halo.
 //
+// The job runs on a GPUDirect-capable DMA model, so every cross-rank
+// device-to-device halo push takes the *direct* datapath — the NIC
+// reads and writes device segments itself, with no staging DMA and no
+// host bounce buffer — and the device-resident convergence reduction
+// folds its children as fused kernels. The merged runtime counters
+// printed at exit pin both: all d2d descriptors are d2d-direct, none
+// bounced.
+//
 // (The previous revision of this example pulled halos with CopyGG and
 // synchronized with two barriers per iteration; the signaling-put push
 // deletes both.)
@@ -38,7 +46,10 @@ func arrive(trk *upcxx.Rank, counter upcxx.GPtr[uint64]) {
 }
 
 func main() {
-	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+	// A GDR-capable DMA engine on the zero-delay conduit: capability
+	// decides the datapath (direct vs bounced), timing stays instant.
+	cfg := upcxx.Config{Ranks: ranks, Stats: true, DMA: upcxx.NoDelayDMA{GDR: true}}
+	upcxx.RunConfig(cfg, func(rk *upcxx.Rank) {
 		me, n := rk.Me(), rk.N()
 		da := upcxx.NewDeviceAllocator(rk, 4*(local+2)*8)
 
@@ -145,6 +156,20 @@ func main() {
 		rk.Barrier()
 		fmt.Printf("rank %d: %d DMA descriptors moved %d device bytes; %d AMs (signals ride the puts)\n",
 			me, stats.DMAs, stats.DMABytes, stats.AMs)
+		rk.Barrier()
+		if me == 0 {
+			// The GPUDirect pin, from the merged runtime counters: every
+			// cross-rank d2d transfer (halo pushes and reduction hops)
+			// went NIC↔device, and the device reduction folded its
+			// children as fused kernels.
+			s := rk.World().StatsMerged()
+			fmt.Printf("gdr datapath: d2d-direct=%d d2d-bounced=%d; fused folds=%d (%d children)\n",
+				s.DMA[upcxx.DMAD2DDirect], s.DMA[upcxx.DMAD2DBounced],
+				s.FusedFolds, s.FusedChildren)
+			if s.DMA[upcxx.DMAD2DBounced] != 0 {
+				panic("device-halo: bounced d2d descriptors on a GPUDirect world")
+			}
+		}
 
 		// Tear the device segment down now that the epoch is over —
 		// outstanding device pointers are poisoned from here on.

@@ -840,12 +840,15 @@ func (e *collEngine) broadcastBuf(t *Team, key collKey, st *collState, root Intr
 
 // collFoldHooks carries the element-typed pieces of a buffer reduction
 // into the byte-addressed engine: staging allocation in the operand's
-// own memory kind, the elementwise fold of one staging slot into the
-// operand (RunKernel for device kinds), and teardown.
+// own memory kind, the elementwise fold of a round's landed staging
+// slots into the operand, and teardown. foldAll receives every landed
+// slot of the round at once: device kinds fold them in one fused
+// kernel launch riding the last child's landing (counted and costed
+// via ChargeFusedFold), not one launch per child.
 type collFoldHooks struct {
 	allocStage func(slots int) collBufAddr
 	freeStage  func()
-	fold       func(slot int)
+	foldAll    func(slots []int)
 }
 
 // ReduceOneBufWith combines every member's n-element buffer elementwise
@@ -901,22 +904,33 @@ func reduceBufWith[T serial.Scalar](t *Team, da *DeviceAllocator, buf GPtr[T], n
 				stage = NilGPtr[T]()
 			}
 		},
-		fold: func(slot int) {
-			s := stage.Add(slot * n)
+		foldAll: func(slots []int) {
+			if len(slots) == 0 {
+				return
+			}
 			if buf.Kind == KindDevice {
+				// One fused kernel for the whole round: the launch reads
+				// every landed slot against the accumulator in a single
+				// pass, charged to the device as one FoldGap occupancy.
+				rk.ep.ChargeFusedFold(nb, len(slots))
 				RunKernel(da, buf, n, func(dst []T) {
-					RunKernel(da, s, n, func(src []T) {
-						for i := range dst {
-							dst[i] = op(dst[i], src[i])
+					RunKernel(da, stage, n*len(slots), func(src []T) {
+						for _, slot := range slots {
+							base := slot * n
+							for i := range dst {
+								dst[i] = op(dst[i], src[base+i])
+							}
 						}
 					})
 				})
 				return
 			}
 			dst := Local(rk, buf, n)
-			src := Local(rk, s, n)
-			for i := range dst {
-				dst[i] = op(dst[i], src[i])
+			for _, slot := range slots {
+				src := Local(rk, stage.Add(slot*n), n)
+				for i := range dst {
+					dst[i] = op(dst[i], src[i])
+				}
 			}
 		},
 	}
@@ -950,7 +964,8 @@ func (e *collEngine) reduceBuf(t *Team, key collKey, st *collState, buf collBufA
 				kind: collAddr, round: collRoundDown, src: uint32(t.me), data: encodeCollAddr(slot)})
 		}
 	}
-	folded, downInflight := 0, 0
+	downInflight := 0
+	landedSlots := make([]int, 0, len(children))
 	var parentSlot *collBufAddr
 	pushed, pushDone, resultSeen, subtreeHandled := false, false, false, false
 	finishLocal := func() {
@@ -983,7 +998,7 @@ func (e *collEngine) reduceBuf(t *Team, key collKey, st *collState, buf collBufA
 		tryFinish()
 	}
 	maybeAdvance := func() {
-		if subtreeHandled || folded != len(children) {
+		if subtreeHandled || len(landedSlots) != len(children) {
 			return
 		}
 		if rr != 0 && parentSlot == nil {
@@ -1019,14 +1034,19 @@ func (e *collEngine) reduceBuf(t *Team, key collKey, st *collState, buf collBufA
 		case collLand:
 			if m.round == collRoundUp {
 				// A child's subtree partial landed in its staging slot.
+				// Folds are deferred to the round's last landing and run
+				// fused: one launch over every landed slot, not one per
+				// child.
 				c := Intrank(m.src)
 				i, ok := slotOf[c]
 				if !ok {
 					panic(fmt.Sprintf("upcxx: rank %d: reduction partial from unexpected team rank %d", rk.me, c))
 				}
 				childBuf[c] = decodeCollAddr(rk, m.data)
-				hooks.fold(i)
-				folded++
+				landedSlots = append(landedSlots, i)
+				if len(landedSlots) == len(children) {
+					hooks.foldAll(landedSlots)
+				}
 				maybeAdvance()
 				return
 			}

@@ -82,6 +82,12 @@ const (
 	cxRPC
 )
 
+// cxBody marks the RPCBodyOn pseudo-descriptor: not a completion event at
+// all, but the execution-persona address of an RPC *body*. The RPC entry
+// points peel it off (splitBodyPersona) before completion-plan resolution;
+// cxPlan.add rejects it on every other operation.
+const cxBody cxKind = 0xFF
+
 func (k cxKind) String() string {
 	switch k {
 	case cxFuture:
@@ -92,6 +98,8 @@ func (k cxKind) String() string {
 		return "as_lpc"
 	case cxRPC:
 		return "as_rpc"
+	case cxBody:
+		return "rpc_body_on"
 	default:
 		return fmt.Sprintf("cx_kind(%d)", uint8(k))
 	}
@@ -130,6 +138,23 @@ func (cx Cx) On(p *Persona) Cx {
 	}
 	cx.pers = p
 	return cx
+}
+
+// RPCBodyOn names the target-rank persona an RPC *body* executes on,
+// overriding the default routing to the target's execution persona (the
+// progress persona in progress-thread mode, the master persona otherwise).
+// Valid only on RPCWith, RPCFutWith, and RPCFFWith; any other operation
+// rejects it. Unlike the completion descriptors it rides alongside, it
+// names no event — it addresses the request's execution itself, letting an
+// initiator deliver work straight into a worker persona's LPC queue with
+// no target-side re-dispatch. The persona pointer travels as a code
+// reference, like RPC function values; no wire field is added. p must
+// belong to the target rank, validated at injection.
+func RPCBodyOn(p *Persona) Cx {
+	if p == nil {
+		panic("upcxx: RPCBodyOn(nil persona)")
+	}
+	return Cx{kind: cxBody, pers: p}
 }
 
 // OpCxAsFuture requests operation completion as a future, returned in
@@ -326,6 +351,12 @@ func newCxPlan(rk *Rank, kind opKind, remotePeer Intrank, cxs []Cx) *cxPlan {
 // add validates one descriptor against the operation kind and registers
 // its delivery.
 func (c *cxPlan) add(kind opKind, cx Cx) {
+	if cx.kind == cxBody {
+		// RPCBodyOn is peeled off by the RPC entry points before plan
+		// resolution; seeing one here means it was passed to an operation
+		// that has no body to address.
+		panic(fmt.Sprintf("upcxx: RPCBodyOn is valid only on RPC entry points, not a %s", kind))
+	}
 	switch cx.ev {
 	case SourceDone:
 		// Only puts and RPCs have an initiator-local source buffer (a

@@ -45,6 +45,20 @@ func (da *DeviceAllocator) FreeBytes() int64 {
 	return da.rk.ep.SegByID(gasnet.SegID(da.id)).FreeBytes()
 }
 
+// Grow extends the device segment by extra bytes in place — the
+// analogue of registering additional device memory with the NIC under
+// an already-open allocator. Offsets are stable across growth, so every
+// outstanding GPtr into the segment (local or fetched by peers) remains
+// valid and keeps addressing the same allocation. The caller must have
+// quiesced transfers touching the segment first, exactly as Close
+// requires: in-flight hop chains hold views of the old backing store.
+// Growing a closed allocator faults like any other use-after-close.
+func (da *DeviceAllocator) Grow(extra int) {
+	da.requireOpen("Grow")
+	da.rk.ep.GrowDeviceSegment(gasnet.SegID(da.id), extra)
+	da.size += extra
+}
+
 // requireOpen faults allocator operations after Close with an
 // allocator-level message (pointer-level use-after-close faults come from
 // the conduit's segment resolution).

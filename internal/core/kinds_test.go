@@ -195,6 +195,60 @@ func TestKindsRPutRGetDevice(t *testing.T) {
 	}
 }
 
+// TestKindsDeviceAllocatorGrow: DeviceAllocator.Grow extends the device
+// segment without invalidating outstanding GPtrs — local ones and ones a
+// peer fetched before the growth keep addressing the same allocation —
+// and an allocation that exhausted the segment succeeds after growth.
+// Growth on a closed allocator (and non-positive growth) faults.
+func TestKindsDeviceAllocatorGrow(t *testing.T) {
+	const n = 1024
+	Run(2, func(rk *Rank) {
+		da := NewDeviceAllocator(rk, n*4) // exactly one n-element int32 array
+		a := MustNewDeviceArray[int32](da, n)
+		fillKind(rk, da, a, n, 100)
+		obj := NewDistObject(rk, a)
+		rk.Barrier()
+		peer := (rk.Me() + 1) % 2
+		remote := FetchDist[GPtr[int32]](rk, obj.ID(), peer).Wait()
+		rk.Barrier()
+
+		if _, err := NewDeviceArray[int32](da, 16); err == nil {
+			t.Error("allocation from the exhausted segment should fail")
+		}
+		da.Grow(n * 8)
+		if da.Size() != n*12 {
+			t.Errorf("grown allocator size = %d, want %d", da.Size(), n*12)
+		}
+		b := MustNewDeviceArray[int32](da, n) // fails before Grow, fits after
+		fillKind(rk, da, b, n, 5000)
+		rk.Barrier()
+
+		// The pre-growth pointer still reads its values locally...
+		for i, v := range readKind(rk, da, a, n) {
+			if v != 100+int32(i) {
+				t.Errorf("local pre-growth read [%d] = %d, want %d", i, v, 100+int32(i))
+				break
+			}
+		}
+		// ...and through the peer's pre-growth fetched GPtr.
+		buf := make([]int32, n)
+		RGet(rk, remote, buf).Wait()
+		for i, v := range buf {
+			if v != 100+int32(i) {
+				t.Errorf("remote pre-growth read [%d] = %d, want %d", i, v, 100+int32(i))
+				break
+			}
+		}
+		rk.Barrier()
+
+		mustPanicWith(t, "must be positive", func() { da.Grow(0) })
+		da2 := NewDeviceAllocator(rk, 256)
+		da2.Close()
+		mustPanicWith(t, "allocator is closed", func() { da2.Grow(64) })
+		rk.Barrier()
+	})
+}
+
 func mustPanicWith(t *testing.T, substr string, f func()) {
 	t.Helper()
 	defer func() {

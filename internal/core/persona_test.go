@@ -349,6 +349,90 @@ func TestPersonaProgressThreadWithRealtimeModel(t *testing.T) {
 	})
 }
 
+func TestPersonaAddressedRPCBodyProgressThread(t *testing.T) {
+	// RPCBodyOn conformance in progress-thread mode: the progress thread
+	// harvests the request AM but must NOT execute the body itself — it
+	// lands in the named worker persona's LPC queue and runs when the
+	// worker goroutine makes progress, with the worker persona current.
+	var workerP atomic.Pointer[Persona]
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	var ffOnWorker atomic.Int32 // 0 pending, 1 worker persona, -1 other
+	RunConfig(Config{Ranks: 2, ProgressThread: true}, func(rk *Rank) {
+		if rk.Me() == 1 {
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer DetachDefaultPersonas()
+				worker := NewPersona(rk, "worker")
+				sc := AcquirePersona(worker)
+				defer sc.Release()
+				workerP.Store(worker)
+				close(ready)
+				for !done.Load() {
+					if rk.Progress() == 0 {
+						runtime.Gosched()
+					}
+				}
+			}()
+			<-release
+			done.Store(true)
+			wg.Wait()
+		} else {
+			<-ready
+			worker := workerP.Load()
+			// Round-trip body executes on the named worker persona, not
+			// the target's progress persona.
+			f, _ := RPCWith(rk, 1, func(trk *Rank, _ int) bool {
+				return trk.CurrentPersona() == workerP.Load() &&
+					trk.CurrentPersona() != trk.ProgressPersona()
+			}, 0, RPCBodyOn(worker))
+			if !f.Wait() {
+				t.Error("RPCWith body did not run on the named worker persona")
+			}
+			// Fire-and-forget body routes the same way.
+			RPCFFWith(rk, 1, func(trk *Rank, _ int) {
+				if trk.CurrentPersona() == workerP.Load() {
+					ffOnWorker.Store(1)
+				} else {
+					ffOnWorker.Store(-1)
+				}
+			}, 0, RPCBodyOn(worker))
+			for ffOnWorker.Load() == 0 {
+				rk.Progress()
+				runtime.Gosched()
+			}
+			if ffOnWorker.Load() != 1 {
+				t.Error("RPCFFWith body did not run on the named worker persona")
+			}
+			close(release)
+		}
+		rk.Barrier()
+	})
+}
+
+func TestPersonaAddressedRPCBodyValidation(t *testing.T) {
+	Run(2, func(rk *Rank) {
+		if rk.Me() == 0 {
+			mine := NewPersona(rk, "local")
+			// The body executes at the target, so the named persona must
+			// belong to the target rank.
+			expectPanic(t, "RPCBodyOn persona of the wrong rank", func() {
+				RPCWith(rk, 1, func(*Rank, int) int { return 0 }, 0, RPCBodyOn(mine))
+			})
+			expectPanic(t, "RPCBodyOn(nil)", func() { RPCBodyOn(nil) })
+			// Only RPC entry points carry a body; everything else rejects
+			// the pseudo-descriptor at plan resolution.
+			expectPanic(t, "RPCBodyOn on a put plan", func() {
+				(&cxPlan{rk: rk, remotePeer: 1}).add(opPut, RPCBodyOn(mine))
+			})
+		}
+		rk.Barrier()
+	})
+}
+
 func TestPersonaDeferredDistFetchSurvivesHandlerGoroutine(t *testing.T) {
 	// A fetch that arrives before the target constructs its
 	// representative defers the reply. The deferral is pinned to the

@@ -53,12 +53,16 @@ type rpcInvoker func(trk *Rank, src Intrank, seq uint64, args []byte)
 type rpcFFInvoker func(trk *Rank, src Intrank, args []byte)
 
 // rpcAux is the opaque code-reference token that travels with every RPC
-// wire message: the body invoker (request or fire-and-forget form) plus
-// the remote-completion landing notification, when one was attached.
+// wire message: the body invoker (request or fire-and-forget form), the
+// remote-completion landing notification when one was attached, and the
+// target-rank persona the body was addressed to with RPCBodyOn (nil: the
+// target's execution persona). Like the invokers, the persona pointer is
+// a code reference — no wire bytes are added for it.
 type rpcAux struct {
-	inv   rpcInvoker   // rpcReqKind body
-	ffInv rpcFFInvoker // rpcFFKind body
-	rem   remoteCxAux  // target-side landing event (zero when absent)
+	inv      rpcInvoker   // rpcReqKind body
+	ffInv    rpcFFInvoker // rpcFFKind body
+	rem      remoteCxAux  // target-side landing event (zero when absent)
+	bodyPers *Persona     // execution persona named by RPCBodyOn (nil: default)
 }
 
 func mustMarshal(v any) []byte {
@@ -118,6 +122,54 @@ func (rk *Rank) execBody(fn func()) {
 		return
 	}
 	rk.master.LPC(fn)
+}
+
+// execBodyOn runs an incoming RPC body on the persona the initiator named
+// with RPCBodyOn, or falls back to the rank's durable execution persona
+// (execBody) when none was named. Like every persona delivery, the body
+// runs inline only when the harvesting goroutine already holds the named
+// persona; otherwise it lands in that persona's LPC queue, executed when
+// the owning goroutine next makes progress.
+func (rk *Rank) execBodyOn(p *Persona, fn func()) {
+	if p == nil {
+		rk.execBody(fn)
+		return
+	}
+	if p.rk != rk {
+		panic(fmt.Sprintf("upcxx: rank %d: rpc body persona %v belongs to rank %d",
+			rk.me, p, p.rk.me))
+	}
+	if p.onOwnerGoroutine() {
+		fn()
+		return
+	}
+	p.LPC(fn)
+}
+
+// splitBodyPersona peels RPCBodyOn pseudo-descriptors off an RPC's
+// completion set, returning the named target-rank persona (nil when none)
+// and the remaining true completion descriptors. The persona must belong
+// to the target rank — the body executes there — and at most one body
+// address is meaningful per RPC.
+func splitBodyPersona(target Intrank, cxs []Cx) (*Persona, []Cx) {
+	var bp *Persona
+	n := 0
+	for _, cx := range cxs {
+		if cx.kind != cxBody {
+			cxs[n] = cx
+			n++
+			continue
+		}
+		if bp != nil {
+			panic("upcxx: at most one RPCBodyOn descriptor per RPC")
+		}
+		if cx.pers.rk.me != target {
+			panic(fmt.Sprintf("upcxx: RPCBodyOn persona %v belongs to rank %d, but the body executes at rank %d",
+				cx.pers, cx.pers.rk.me, target))
+		}
+		bp = cx.pers
+	}
+	return bp, cxs[:n]
 }
 
 // --- RPC wire form -------------------------------------------------------
@@ -251,9 +303,9 @@ func (w *World) handleRPC(ep *gasnet.Endpoint, src gasnet.Rank, payload []byte, 
 			trk.runRemoteBody(a.rem, initiator, args)
 		}
 		if m.kind == rpcReqKind {
-			trk.execBody(func() { a.inv(trk, Intrank(src), m.seq, m.args) })
+			trk.execBodyOn(a.bodyPers, func() { a.inv(trk, Intrank(src), m.seq, m.args) })
 		} else {
-			trk.execBody(func() { a.ffInv(trk, Intrank(src), m.args) })
+			trk.execBodyOn(a.bodyPers, func() { a.ffInv(trk, Intrank(src), m.args) })
 		}
 	case rpcReplyKind:
 		trk.rpcMu.Lock()
@@ -302,6 +354,7 @@ func rpcOpFor(rk *Rank, target Intrank, kind uint8, seq uint64, argBytes []byte,
 // returned value future regardless of which goroutine's progress observes
 // the reply; completion descriptors may address other personas.
 func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker, cxs []Cx) (Future[R], CxFutures) {
+	bodyPers, cxs := splitBodyPersona(target, cxs)
 	plan := &cxPlan{rk: rk, remotePeer: target}
 	for _, cx := range cxs {
 		plan.add(opRPC, cx)
@@ -324,7 +377,7 @@ func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvok
 		rk.actCount.Add(-1)
 	}
 	rk.rpcMu.Unlock()
-	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcReqKind, seq, argBytes, rpcAux{inv: inv}, plan)}, plan)
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcReqKind, seq, argBytes, rpcAux{inv: inv, bodyPers: bodyPers}, plan)}, plan)
 	return p.Future(), plan.futs
 }
 
@@ -334,11 +387,12 @@ func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvok
 // are captured, and a remote-cx as_rpc descriptor at the target on
 // landing.
 func rpcOneWay(rk *Rank, target Intrank, argBytes []byte, inv rpcFFInvoker, cxs []Cx) CxFutures {
+	bodyPers, cxs := splitBodyPersona(target, cxs)
 	plan := &cxPlan{rk: rk, remotePeer: target}
 	for _, cx := range cxs {
 		plan.add(opRPC, cx)
 	}
-	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcFFKind, 0, argBytes, rpcAux{ffInv: inv}, plan)}, plan)
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcFFKind, 0, argBytes, rpcAux{ffInv: inv, bodyPers: bodyPers}, plan)}, plan)
 	return plan.futs
 }
 
@@ -364,7 +418,9 @@ func (rk *Rank) replyTo(dst Intrank, seq uint64, result []byte) {
 // completion when the argument serialization buffer may be reused, and a
 // RemoteCxAsRPC descriptor executes at the target the moment the request
 // message arrives — before the body. Any delivery may be
-// persona-addressed with On.
+// persona-addressed with On, and an RPCBodyOn descriptor addresses the
+// *body itself* to a named persona of the target rank instead of the
+// target's execution persona.
 func RPCWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A, cxs ...Cx) (Future[R], CxFutures) {
 	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, args []byte) {
 		var a A

@@ -17,6 +17,17 @@ import (
 //	copy device → device, one rank:  a single on-node d2d DMA
 //	copy device → device, two ranks: d2h DMA → wire → h2d DMA
 //
+// When the DMA model is GPUDirect-capable (DMAModel.GPUDirect, a job-wide
+// property of the simulated conduit), every cross-rank leg touching device
+// memory drops its staging hops: the NIC reads the source device segment
+// and writes the destination device segment directly, so the chains above
+// collapse to a single wire hop between the endpoints — two fewer PCIe
+// hops and one less host-bounce copy per fragment. Descriptor *counters*
+// still record the device-memory traffic (split d2d-direct vs d2d-bounced
+// for cross-rank d2d), but no copy-engine occupancy is charged and the
+// wire landing becomes the last landing hop, from which remote-cx
+// signaling and counted-fragment piggybacking fire.
+//
 // Completions are delivered to the initiating endpoint's completion queue
 // exactly as for host transfers, so the runtime's persona routing applies
 // unchanged. Each chain also accepts an optional RemoteAM, enqueued on the
@@ -60,7 +71,9 @@ func (ep *Endpoint) PutSegTag(dst Rank, seg SegID, dstOff uint64, src []byte, on
 		if dst != ep.rank {
 			tag.WireMsg(ep.rank, dst, n)
 		}
-		tag.Hop(obs.StageDMA, dst, n)
+		if dst == ep.rank || !ep.net.gdr {
+			tag.Hop(obs.StageDMA, dst, n)
+		}
 		copy(tb, src)
 		tag.Landing(dst, n)
 		ep.deliverRemote(dst, rem)
@@ -93,6 +106,21 @@ func (ep *Endpoint) PutSegTag(dst Rank, seg SegID, dstOff uint64, src []byte, on
 	tag.Hop(obs.StageCapture, ep.rank, n)
 	tag.WireMsg(ep.rank, dst, n)
 	ackLat := m.Latency(0, intra)
+	if ep.net.gdr {
+		// GPUDirect: the NIC writes device memory as the wire hop lands —
+		// no target copy-engine descriptor, no host staging area. The
+		// wire landing is the last landing hop: remote AMs fire here.
+		eng.injectFrom(int(ep.rank), m.Gap(n, intra), m.Latency(n, intra), func(at time.Time) {
+			tag.Hop(obs.StageWire, dst, n)
+			copy(tb, staged)
+			tag.Landing(dst, n)
+			ep.deliverRemote(dst, rem)
+			if onAck != nil {
+				eng.schedule(at.Add(ackLat), func(time.Time) { ep.enqueueComp(onAck) })
+			}
+		})
+		return
+	}
 	eng.injectFrom(int(ep.rank), m.Gap(n, intra), m.Latency(n, intra), func(at time.Time) {
 		// Landed in the target's host staging area; the target's copy
 		// engine now moves it into device memory, then the ack returns.
@@ -136,7 +164,9 @@ func (ep *Endpoint) GetSegTag(src Rank, seg SegID, srcOff uint64, dst []byte, on
 			tag.WireMsg(ep.rank, src, 0)
 			tag.WireMsg(src, ep.rank, n)
 		}
-		tag.Hop(obs.StageDMA, src, n)
+		if src == ep.rank || !ep.net.gdr {
+			tag.Hop(obs.StageDMA, src, n)
+		}
 		copy(dst, sb)
 		tag.Landing(ep.rank, n)
 		if onDone != nil {
@@ -166,6 +196,22 @@ func (ep *Endpoint) GetSegTag(src Rank, seg SegID, srcOff uint64, dst []byte, on
 	tag.Hop(obs.StageCapture, ep.rank, 0)
 	tag.WireMsg(ep.rank, src, 0)
 	tag.WireMsg(src, ep.rank, n)
+	if ep.net.gdr {
+		// GPUDirect: the source NIC reads device memory directly when it
+		// injects the reply — no d2h descriptor, no host bounce buffer.
+		eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), func(at time.Time) {
+			tag.Hop(obs.StageWire, src, 0)
+			staged := append([]byte(nil), sb...)
+			eng.injectFromAt(int(src), at, m.Gap(n, intra), m.Latency(n, intra), func(time.Time) {
+				copy(dst, staged)
+				tag.Landing(ep.rank, n)
+				if onDone != nil {
+					ep.enqueueComp(onDone)
+				}
+			})
+		})
+		return
+	}
 	// Request hop to the source, d2h DMA into the host bounce buffer,
 	// then the reply carries the payload back over the wire.
 	eng.injectFrom(int(ep.rank), m.Gap(0, intra), m.Latency(0, intra), func(at time.Time) {
@@ -204,10 +250,23 @@ func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRan
 	ep.putBytes.Add(uint64(n))
 	srcEP, dstEP := ep.net.eps[srcRank], ep.net.eps[dstRank]
 	srcDev, dstDev := srcSeg != HostSeg, dstSeg != HostSeg
-	if srcDev && dstDev && srcRank == dstRank {
+	gdr := ep.net.gdr
+	switch {
+	case srcDev && dstDev && srcRank == dstRank:
 		// Collapses to a single on-node d2d descriptor below.
-		srcEP.countDMA(obs.DMAD2D, n)
-	} else {
+		srcEP.countDMA(obs.DMAD2DDirect, n)
+	case srcDev && dstDev && gdr:
+		// GPUDirect cross-rank d2d: both NICs touch device memory
+		// directly — device traffic on both ranks, zero host staging.
+		srcEP.countDMA(obs.DMAD2DDirect, n)
+		dstEP.countDMA(obs.DMAD2DDirect, n)
+	case srcDev && dstDev:
+		// Bounced cross-rank d2d: the d2h/h2d staging halves of one
+		// device-to-device transfer, labeled as such so the split is
+		// visible (byte totals match the pre-split d2h+h2d accounting).
+		srcEP.countDMA(obs.DMAD2DBounced, n)
+		dstEP.countDMA(obs.DMAD2DBounced, n)
+	default:
 		if srcDev {
 			srcEP.countDMA(obs.DMAD2H, n)
 		}
@@ -225,7 +284,7 @@ func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRan
 	db := dstEP.SegByID(dstSeg).Bytes(dstOff, n)
 	if !ep.net.realtime {
 		tag.Hop(obs.StageCapture, ep.rank, 0)
-		if srcDev || dstDev {
+		if (srcDev || dstDev) && (srcRank == dstRank || !gdr) {
 			tag.Hop(obs.StageDMA, srcRank, n)
 		}
 		copy(db, sb)
@@ -261,10 +320,12 @@ func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRan
 			func(time.Time) { ep.enqueueComp(onDone) })
 	}
 
-	// dstSide: payload arrived at dstRank's host side at time at.
+	// dstSide: payload arrived at dstRank at time at — on the host side,
+	// or (GPUDirect) written straight into the destination segment by
+	// the NIC, making the wire landing the chain's last landing hop.
 	dstSide := func(at time.Time) {
 		tag.Hop(obs.StageWire, dstRank, n)
-		if dstDev {
+		if dstDev && !gdr {
 			eng.injectDMAAt(int(dstRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
 				tag.Hop(obs.StageDMA, dstRank, n)
 				copy(db, staged)
@@ -314,7 +375,7 @@ func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRan
 			}
 			return
 		}
-		if srcDev {
+		if srcDev && !gdr {
 			eng.injectDMAAt(int(srcRank), at, dm.Gap(n, false), dm.Latency(n, false), func(at2 time.Time) {
 				tag.Hop(obs.StageDMA, srcRank, n)
 				staged = append([]byte(nil), sb...)
@@ -322,12 +383,14 @@ func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRan
 			})
 			return
 		}
+		// Host source, or (GPUDirect) the NIC reads the device segment
+		// directly at wire injection: no d2h descriptor, no bounce.
 		staged = append([]byte(nil), sb...)
 		wire(at)
 	}
 
 	if srcRank == ep.rank {
-		if srcDev || (srcRank == dstRank && dstDev) {
+		if (srcDev && (srcRank == dstRank || !gdr)) || (srcRank == dstRank && dstDev) {
 			spinFor(dm.Overhead(n))
 		} else {
 			spinFor(m.Overhead(n, ep.net.Intra(ep.rank, dstRank)))

@@ -65,15 +65,28 @@ type DMAModel interface {
 	Gap(n int, d2d bool) time.Duration
 	// Latency is the kickoff-to-first-byte delay of one DMA.
 	Latency(n int, d2d bool) time.Duration
+	// GPUDirect reports whether the NIC can read and write device
+	// memory directly (GPUDirect RDMA). When every endpoint's engine has
+	// the capability, cross-rank device transfers skip the d2h staging
+	// DMA and the host bounce buffer: the wire hop is the landing hop.
+	GPUDirect() bool
+	// FoldGap is the device time one fused reduction fold occupies: a
+	// single kernel launch reading `ways` landed operands of n bytes
+	// each against the accumulator, charged at device-memory speed.
+	FoldGap(n, ways int) time.Duration
 }
 
 // NoDelayDMA is the zero-cost DMA model: device hops are free. Used by
-// tests and whenever the network model is itself zero-delay.
-type NoDelayDMA struct{}
+// tests and whenever the network model is itself zero-delay. GDR marks
+// the engine GPUDirect-capable — cost stays zero, but the conduit
+// routes (and counts) the direct chains.
+type NoDelayDMA struct{ GDR bool }
 
 func (NoDelayDMA) Overhead(int) time.Duration      { return 0 }
 func (NoDelayDMA) Gap(int, bool) time.Duration     { return 0 }
 func (NoDelayDMA) Latency(int, bool) time.Duration { return 0 }
+func (m NoDelayDMA) GPUDirect() bool               { return m.GDR }
+func (NoDelayDMA) FoldGap(int, int) time.Duration  { return 0 }
 
 // PCIeDMA is a linear-cost DMA engine model. Per-byte costs are fractional
 // nanoseconds, kept as float64 ns/byte like LogGP's.
@@ -83,6 +96,7 @@ type PCIeDMA struct {
 	Gp        time.Duration // per-descriptor engine gap
 	GNsPerB   float64       // host↔device per-byte time in ns
 	D2DNsPerB float64       // on-node device↔device per-byte time in ns
+	GDR       bool          // NIC reads/writes device memory directly
 }
 
 func (m *PCIeDMA) Overhead(n int) time.Duration { return m.O }
@@ -96,6 +110,14 @@ func (m *PCIeDMA) Gap(n int, d2d bool) time.Duration {
 }
 
 func (m *PCIeDMA) Latency(n int, d2d bool) time.Duration { return m.L }
+
+func (m *PCIeDMA) GPUDirect() bool { return m.GDR }
+
+// FoldGap charges one kernel launch (the per-descriptor gap) plus a
+// device-speed pass over the ways×n operand bytes the fused fold reads.
+func (m *PCIeDMA) FoldGap(n, ways int) time.Duration {
+	return m.Gp + time.Duration(float64(n*ways)*m.D2DNsPerB)
+}
 
 // PCIe3 returns a DMA model calibrated to a PCIe Gen3 x16 attached
 // accelerator of the paper's era:
@@ -115,4 +137,14 @@ func PCIe3() *PCIeDMA {
 		GNsPerB:   0.085, // ~11.8 GB/s over PCIe
 		D2DNsPerB: 0.008, // ~125 GB/s on-device
 	}
+}
+
+// PCIe3GDR is PCIe3 with GPUDirect RDMA enabled: same engine costs for
+// the hops that remain, but cross-rank device transfers skip the host
+// bounce (the NIC reads/writes device memory directly), so their
+// bandwidth is NIC-bound instead of staging-bound.
+func PCIe3GDR() *PCIeDMA {
+	m := PCIe3()
+	m.GDR = true
+	return m
 }

@@ -30,6 +30,68 @@ func TestDeviceSegmentRegistry(t *testing.T) {
 	ep.SegByID(7)
 }
 
+// TestDeviceSegmentGrow: in-place growth keeps offsets (and therefore
+// every outstanding global pointer) stable, appends the new capacity to
+// the free list with coalescing, and satisfies an allocation that failed
+// before growth. Growing the host segment id or a closed device segment
+// faults.
+func TestDeviceSegmentGrow(t *testing.T) {
+	n := NewNetwork(Config{Ranks: 1})
+	defer n.Close()
+	ep := n.Endpoint(0)
+	id := ep.AddDeviceSegment(64)
+	seg := ep.SegByID(id)
+
+	pat := make([]byte, 48)
+	for i := range pat {
+		pat[i] = byte(i*11 + 5)
+	}
+	off, err := seg.Alloc(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(seg.Bytes(off, 48), pat)
+	if _, err := seg.Alloc(48); err == nil {
+		t.Fatal("second alloc should exhaust the 64-byte segment")
+	}
+
+	ep.GrowDeviceSegment(id, 128)
+	if seg.Size() != 192 {
+		t.Fatalf("grown segment size = %d, want 192", seg.Size())
+	}
+	// Offsets are stable: the pre-growth bytes sit where they were.
+	got := seg.Bytes(off, 48)
+	for i := range pat {
+		if got[i] != pat[i] {
+			t.Fatalf("pre-growth byte %d = %d after growth, want %d", i, got[i], pat[i])
+		}
+	}
+	// The 16-byte tail fragment coalesced with the appended 128 bytes:
+	// a 144-byte allocation fits only in the merged block.
+	big, err := seg.Alloc(144)
+	if err != nil {
+		t.Fatalf("allocation spanning the coalesced growth failed: %v", err)
+	}
+	if big != 48 {
+		t.Fatalf("coalesced block starts at %d, want 48", big)
+	}
+
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-positive growth", func() { seg.Grow(0) })
+	mustPanic("growing the host segment id", func() { ep.GrowDeviceSegment(HostSeg, 64) })
+	mustPanic("growing a wild segment id", func() { ep.GrowDeviceSegment(9, 64) })
+	ep.CloseDeviceSegment(id)
+	mustPanic("growing a closed segment", func() { ep.GrowDeviceSegment(id, 64) })
+}
+
 // pollDone spins ep.Poll until done flips, with a deadline.
 func pollDone(t *testing.T, ep *Endpoint, done *bool) {
 	t.Helper()

@@ -57,6 +57,7 @@ type Network struct {
 	model    Model
 	dma      DMAModel
 	realtime bool
+	gdr      bool // every endpoint's engine is GPUDirect-capable
 	eps      []*Endpoint
 	eng      *engine
 
@@ -131,7 +132,7 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.Obs != nil && cfg.Obs.Ranks() != cfg.Ranks {
 		panic("gasnet: Config.Obs sized for a different job")
 	}
-	n := &Network{cfg: cfg, model: model, dma: dma, realtime: realtime}
+	n := &Network{cfg: cfg, model: model, dma: dma, realtime: realtime, gdr: dma.GPUDirect()}
 	n.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		n.eps[r] = &Endpoint{
@@ -167,6 +168,11 @@ func (n *Network) Endpoint(r Rank) *Endpoint { return n.eps[r] }
 
 // DMAModel returns the device copy-engine cost model in effect.
 func (n *Network) DMAModel() DMAModel { return n.dma }
+
+// GPUDirect reports whether the job's direct NIC↔device datapath is in
+// effect. The simulated conduit has one DMA model for the whole job, so
+// "both endpoints capable" is a job-wide property.
+func (n *Network) GPUDirect() bool { return n.gdr }
 
 // RegisterAM installs a handler and returns its ID. All registration must
 // happen before communication starts (the runtime registers its handlers at
@@ -284,6 +290,42 @@ func (ep *Endpoint) CloseDeviceSegment(id SegID) {
 		panic(fmt.Sprintf("gasnet: rank %d: device segment %d closed twice", ep.rank, id))
 	}
 	ep.devs[id-1] = nil
+}
+
+// GrowDeviceSegment extends device segment id by extra bytes in place.
+// Offsets into the segment are stable across growth, so outstanding
+// GPtrs stay valid; the caller must quiesce transfers touching the
+// segment first (the same contract as CloseDeviceSegment), because
+// in-flight hop chains hold byte slices resolved against the old
+// backing store. Growing a closed or unknown segment faults like a
+// wild/poisoned pointer would.
+func (ep *Endpoint) GrowDeviceSegment(id SegID, extra int) {
+	ep.devMu.Lock()
+	defer ep.devMu.Unlock()
+	if id == HostSeg || int(id) > len(ep.devs) {
+		panic(fmt.Sprintf("gasnet: rank %d: GrowDeviceSegment(%d): no such device segment (%d registered)",
+			ep.rank, id, len(ep.devs)))
+	}
+	seg := ep.devs[id-1]
+	if seg == nil {
+		panic(fmt.Sprintf("gasnet: rank %d device segment %d is closed — grow after CloseDeviceAllocator",
+			ep.rank, id))
+	}
+	seg.Grow(extra)
+}
+
+// ChargeFusedFold accounts one fused reduction kernel launch on this
+// rank's device: `ways` landed child operands of n bytes each folded
+// into the accumulator by a single launch. The launch occupies the
+// device for the model's FoldGap, charged synchronously (folds run on
+// the rank's execution persona, like RunKernel).
+func (ep *Endpoint) ChargeFusedFold(n, ways int) {
+	if ep.ro != nil {
+		ep.ro.FusedFold(ways)
+	}
+	if ep.net.realtime {
+		spinFor(ep.net.dma.FoldGap(n, ways))
+	}
 }
 
 // DeviceSegments returns the number of device segments currently

@@ -62,6 +62,33 @@ func NewSegmentKind(size int, kind Kind) *Segment {
 // Size returns the total segment size in bytes.
 func (s *Segment) Size() int { return len(s.buf) }
 
+// Grow extends the segment by extra bytes. Offsets are stable — the old
+// contents occupy the same offsets in the new backing store — so every
+// outstanding (rank, offset) global pointer into the segment remains
+// valid. The new capacity is appended to the free list, coalescing with
+// a trailing free block.
+//
+// Growth swaps the backing store, and slices previously returned by
+// Bytes alias the *old* store: the caller must quiesce transfers (and
+// drop kernel views) touching this segment before growing, exactly as
+// it must before close/teardown. Concurrent Alloc/Free are safe.
+func (s *Segment) Grow(extra int) {
+	if extra <= 0 {
+		panic(fmt.Sprintf("gasnet: segment growth %d must be positive", extra))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.buf
+	s.buf = make([]byte, len(old)+extra)
+	copy(s.buf, old)
+	nb := block{uint64(len(old)), int64(extra)}
+	if k := len(s.free) - 1; k >= 0 && s.free[k].off+uint64(s.free[k].size) == nb.off {
+		s.free[k].size += nb.size
+	} else {
+		s.free = append(s.free, nb)
+	}
+}
+
 // Kind returns the memory kind backing this segment.
 func (s *Segment) Kind() Kind { return s.kind }
 

@@ -111,17 +111,27 @@ func (v CxVia) String() string {
 }
 
 // DMAKind classifies one device copy-engine descriptor by the memory
-// kinds it bridges.
+// kinds it bridges. Device↔device descriptors split by datapath: direct
+// descriptors never touch host memory (the on-node fabric, or a
+// GPUDirect NIC reading/writing device memory across ranks), while
+// bounced descriptors are the halves of a cross-rank d2d transfer
+// staged through a host bounce buffer (d2h at the source engine, h2d
+// at the destination engine) on a non-GDR conduit.
 type DMAKind uint8
 
 const (
 	DMAH2D DMAKind = iota
 	DMAD2H
-	DMAD2D
+	DMAD2DDirect
+	DMAD2DBounced
 	NumDMAKinds
 )
 
-var dmaKindNames = [NumDMAKinds]string{"h2d", "d2h", "d2d"}
+// DMAD2D is the pre-split name for the direct device↔device kind; the
+// on-node collapse path still counts here.
+const DMAD2D = DMAD2DDirect
+
+var dmaKindNames = [NumDMAKinds]string{"h2d", "d2h", "d2d-direct", "d2d-bounced"}
 
 func (k DMAKind) String() string {
 	if k < NumDMAKinds {
@@ -247,6 +257,12 @@ type RankObs struct {
 	dma      [NumDMAKinds]Count
 	dmaBytes [NumDMAKinds]Count
 
+	// Fused reduction folds executed on this rank's device: kernel
+	// launches and the child operands they consumed (a fused launch
+	// folds every landed child of a tree round at once).
+	fusedFolds    Count
+	fusedChildren Count
+
 	// Wire messages and payload bytes by peer, both directions.
 	wireTxMsgs  []Count
 	wireTxBytes []Count
@@ -319,6 +335,13 @@ func (ro *RankObs) Ring() { ro.rings.Add(1) }
 func (ro *RankObs) DMA(k DMAKind, bytes int) {
 	ro.dma[k].Add(1)
 	ro.dmaBytes[k].Add(uint64(bytes))
+}
+
+// FusedFold counts one fused reduction kernel launch that folded
+// `children` child operands on this rank's device.
+func (ro *RankObs) FusedFold(children int) {
+	ro.fusedFolds.Add(1)
+	ro.fusedChildren.Add(uint64(children))
 }
 
 // wire counts one wire message of n payload bytes from rank `from` to

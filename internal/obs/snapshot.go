@@ -52,6 +52,12 @@ type Snapshot struct {
 	DMA      [NumDMAKinds]uint64 `json:"dma"`
 	DMABytes [NumDMAKinds]uint64 `json:"dma_bytes"`
 
+	// Fused reduction folds: device kernel launches that folded a whole
+	// tree round's landed children at once, and the child operands they
+	// consumed. Decoders of pre-split snapshots see zeros (omitempty).
+	FusedFolds    uint64 `json:"fused_folds,omitempty"`
+	FusedChildren uint64 `json:"fused_fold_children,omitempty"`
+
 	Wire []PeerWire `json:"wire,omitempty"`
 
 	Hist []HistCell `json:"hist,omitempty"`
@@ -87,6 +93,8 @@ func (ro *RankObs) Snapshot() Snapshot {
 		s.DMA[k] = ro.dma[k].Load()
 		s.DMABytes[k] = ro.dmaBytes[k].Load()
 	}
+	s.FusedFolds = ro.fusedFolds.Load()
+	s.FusedChildren = ro.fusedChildren.Load()
 	for p := range ro.wireTxMsgs {
 		pw := PeerWire{
 			Peer:    int32(p),
@@ -201,6 +209,8 @@ func (s *Snapshot) Merge(o *Snapshot) {
 		s.DMA[k] += o.DMA[k]
 		s.DMABytes[k] += o.DMABytes[k]
 	}
+	s.FusedFolds += o.FusedFolds
+	s.FusedChildren += o.FusedChildren
 	wire := map[int32]*PeerWire{}
 	for i := range s.Wire {
 		wire[s.Wire[i].Peer] = &s.Wire[i]
@@ -304,6 +314,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		d.DMA[k] -= prev.DMA[k]
 		d.DMABytes[k] -= prev.DMABytes[k]
 	}
+	d.FusedFolds -= prev.FusedFolds
+	d.FusedChildren -= prev.FusedChildren
 	d.Wire = append([]PeerWire(nil), s.Wire...)
 	for i := range d.Wire {
 		for _, pw := range prev.Wire {
@@ -471,6 +483,9 @@ func Fprint(w io.Writer, s Snapshot) {
 		if s.DMA[k] != 0 {
 			fmt.Fprintf(w, "dma %s: descriptors=%d bytes=%d\n", k, s.DMA[k], s.DMABytes[k])
 		}
+	}
+	if s.FusedFolds != 0 {
+		fmt.Fprintf(w, "dma fused-folds: launches=%d children=%d\n", s.FusedFolds, s.FusedChildren)
 	}
 	for _, pw := range s.Wire {
 		fmt.Fprintf(w, "wire peer %-3d tx=%d msgs/%d B  rx=%d msgs/%d B\n",

@@ -43,6 +43,8 @@ package upcxx
 
 import (
 	core "upcxx/internal/core"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/serial"
 )
 
@@ -127,6 +129,46 @@ var (
 	RunConfig = core.RunConfig
 	// NewWorld creates a job for repeated epochs; Close it when done.
 	NewWorld = core.NewWorld
+)
+
+// Device DMA timing models for Config.DMA (see internal/gasnet). A
+// model's GPUDirect capability decides the cross-rank device datapath:
+// GDR-capable engines let the NIC address device memory directly, so
+// device payloads skip the staging DMA hops and the host bounce buffer.
+type (
+	// DMAModel prices the device copy engine's descriptors.
+	DMAModel = gasnet.DMAModel
+	// NoDelayDMA is the zero-cost engine; set GDR to flip the
+	// capability bit without adding timing.
+	NoDelayDMA = gasnet.NoDelayDMA
+	// PCIeDMA is the calibrated real-time engine.
+	PCIeDMA = gasnet.PCIeDMA
+)
+
+var (
+	// PCIe3 returns the calibrated PCIe gen3 engine (staged copies).
+	PCIe3 = gasnet.PCIe3
+	// PCIe3GDR returns PCIe3 with GPUDirect RDMA enabled.
+	PCIe3GDR = gasnet.PCIe3GDR
+)
+
+// Runtime introspection (Config.Stats; see internal/obs).
+type (
+	// StatsSnapshot is a point-in-time copy of one rank's counters, as
+	// returned by World.StatsMerged (job-wide merge).
+	StatsSnapshot = obs.Snapshot
+	// DMAKind classifies DMA descriptors in StatsSnapshot.DMA.
+	DMAKind = obs.DMAKind
+)
+
+// DMA descriptor kinds: cross-rank device-to-device traffic splits by
+// datapath — direct (GPUDirect, NIC↔device) vs bounced (staged through
+// host bounce buffers).
+const (
+	DMAH2D        = obs.DMAH2D
+	DMAD2H        = obs.DMAD2H
+	DMAD2DDirect  = obs.DMAD2DDirect
+	DMAD2DBounced = obs.DMAD2DBounced
 )
 
 // Personas and cross-thread progress (paper §II; spec §10). A rank's
@@ -276,6 +318,14 @@ func RemoteCxAsLPC(pers *Persona, fn func()) Cx { return core.RemoteCxAsLPC(pers
 // RemoteCxAsRPC executes fn(arg) at the destination rank once the data is
 // visible there — the signaling put.
 func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx { return core.RemoteCxAsRPC(fn, arg) }
+
+// RPCBodyOn addresses the *body* of an RPC to the named persona p of the
+// target rank: instead of executing on whichever goroutine drives that
+// rank's progress, the invocation is delivered to p as an LPC and runs
+// during p's own progress/wait calls. Accepted only by the RPC entry
+// points (RPCWith, RPCFFWith), at most once per call; p must belong to
+// the target rank.
+func RPCBodyOn(p *Persona) Cx { return core.RPCBodyOn(p) }
 
 // One-sided RMA (upcxx::rput/rget and the VIS variants). Every entry
 // point routes through one internal injection path; the …With variants
