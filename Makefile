@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt-check fmt bench bench-smoke bench-json fuzz-smoke examples-run obs-smoke ci
+.PHONY: all build test test-short race vet fmt-check fmt bench bench-smoke bench-json fuzz-smoke examples-run obs-smoke transport-smoke ci
 
 all: build
 
@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEncoderDecoder -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
+	$(GO) test -run '^$$' -fuzz FuzzTransportFrame -fuzztime 10s ./internal/gasnet
 
 # Execute every example end to end at its built-in small scale — examples
 # are run, not just vetted (each finishes in roughly a second on the
@@ -90,6 +91,10 @@ bench-json:
 	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch -json
 	$(GO) run ./cmd/eadd-bench -json
 	$(GO) run ./cmd/sympack-bench -json
+	$(GO) run ./cmd/rma-bench -conduit=shm -json
+	$(GO) run ./cmd/rma-bench -conduit=tcp -json
+	$(GO) run ./cmd/dht-bench -conduit=shm -json
+	$(GO) run ./cmd/dht-bench -conduit=tcp -json
 
 # Observability smoke: quickstart with stats and tracing armed must print
 # a non-empty sampled op timeline, and the obs-threaded runtime must stay
@@ -99,5 +104,19 @@ obs-smoke:
 	$(GO) test -race ./internal/core/ -run Obs
 	$(GO) test -race ./internal/obs/
 
+# Cross-process transport matrix: the race-enabled multi-process test
+# suite (internal/xproc re-executes its test binary as real OS-process
+# ranks over tcp and shm — smoke ops, idle-wait CPU budget, kill-one-rank
+# failure surfacing), then every example end to end as a 4-process world
+# on both real backends.
+transport-smoke:
+	$(GO) test -race -count=1 ./internal/xproc
+	@set -e; for backend in tcp shm; do \
+		for d in examples/*/; do \
+			echo "== UPCXX_CONDUIT=$$backend UPCXX_NPROC=4 go run ./$$d"; \
+			UPCXX_CONDUIT=$$backend UPCXX_NPROC=4 $(GO) run ./$$d; \
+		done; \
+	done
+
 # Tier-1 verification in one command.
-ci: build vet fmt-check test race examples-run obs-smoke
+ci: build vet fmt-check test race examples-run obs-smoke transport-smoke

@@ -41,6 +41,7 @@ var (
 	batch     = flag.Bool("batch", false, "sweep the batched-insert loop (per-home-rank message coalescing) over batch sizes on the real runtime")
 	withStats = flag.Bool("stats", false, "record runtime stats in the real-runtime worlds (via the UPCXX_STATS knob) and dump the merged counters of the last one at exit")
 	jsonOut   = flag.Bool("json", false, "also write every table to BENCH_dht-bench.json")
+	conduit   = flag.String("conduit", "model", "model (in-process simulation, default) or tcp|shm: rerun the insert loops wall-clock over real OS-process ranks")
 )
 
 // lastSnap holds the merged counters of the most recent stats-enabled
@@ -209,6 +210,9 @@ func batchRuns() *stats.Table {
 
 func main() {
 	flag.Parse()
+	if *conduit != "model" {
+		os.Exit(runConduitDHT())
+	}
 	if *withStats {
 		// The real-runtime worlds are created inside internal/dht
 		// helpers with plain configs; the env knob reaches all of them.

@@ -1,0 +1,273 @@
+// Real-conduit mode: -conduit=tcp|shm reruns the bench's core
+// measurements as *wall-clock* numbers over real OS-process ranks,
+// instead of the dilated Aries simulation. The same binary re-executes
+// as the rank processes (core.RunConfig self-spawns on UPCXX_CONDUIT),
+// so every flag is visible to every rank; rank 0 prints and, with
+// -json, writes conduit-tagged rows to BENCH_rma-bench_<conduit>.json
+// so the model/real gap is trackable side by side.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"upcxx/internal/stats"
+
+	core "upcxx/internal/core"
+)
+
+// Registered cross-process RPC bodies for the wall-clock suite.
+
+// echoU64 is the minimal round-trip RPC body.
+func echoU64(trk *core.Rank, x uint64) uint64 { return x }
+
+// sigBump is the signaling put's remote completion: one counter
+// increment after the payload is visible at the target.
+func sigBump(trk *core.Rank, c core.GPtr[uint64]) {
+	core.Local(trk, c, 1)[0]++
+}
+
+func init() {
+	core.RegisterRPC(echoU64)
+	core.RegisterRPCFF(sigBump)
+}
+
+// conduitSizes is the wall-clock latency sweep — small enough to finish
+// in CI, wide enough to show the fixed-cost vs bandwidth regimes.
+var conduitSizes = []int{8, 512, 4096, 65536}
+
+func conduitIters(size int) int {
+	if size >= 65536 {
+		return 200
+	}
+	return 1000
+}
+
+// runConduitBench executes the wall-clock suite over the real backend
+// named by -conduit and returns the process exit code. The parent
+// invocation never returns from RunConfig (it exits into the spawn); the
+// body runs once per rank process.
+func runConduitBench() int {
+	backend := *conduitFlag
+	if core.DistBackend() == "" {
+		// Parent invocation: arm the self-spawn. Rank processes arrive
+		// here with UPCXX_CONDUIT already set.
+		os.Setenv("UPCXX_CONDUIT", backend)
+	}
+	var tables []*stats.Table
+	report := false
+	core.RunConfig(core.Config{Ranks: 2, SegmentSize: 64 << 20}, func(rk *core.Rank) {
+		if rk.N() < 2 {
+			panic("rma-bench -conduit needs at least 2 ranks")
+		}
+		lat, flood := measureConduitRMA(rk)
+		sig := measureConduitSignal(rk)
+		rates := measureConduitRPC(rk)
+		if rk.Me() == 0 {
+			report = true
+			tables = append(tables, lat, flood, sig, rates)
+		}
+		rk.Barrier()
+	})
+	if !report {
+		return 0 // non-zero rank process
+	}
+	fmt.Printf("rma-bench — real %s conduit, wall clock (%d-rank OS-process job, Go %s)\n\n",
+		backend, envRanks(), runtime.Version())
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *jsonOut {
+		cfg := map[string]any{"conduit": backend, "reps": *reps}
+		path := "BENCH_rma-bench_" + backend + ".json"
+		if err := stats.WriteBenchJSON(path, "rma-bench", cfg, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func envRanks() int {
+	if n := core.DistNProc(); n > 0 {
+		return n
+	}
+	return 2
+}
+
+// measureConduitRMA times blocking put round trips and flood put
+// bandwidth from rank 0 to rank 1 over the live wire.
+func measureConduitRMA(rk *core.Rank) (lat, flood *stats.Table) {
+	backend := core.DistBackend()
+	lat = &stats.Table{
+		Title:  fmt.Sprintf("Blocking rput latency, us — %s conduit, wall clock (lower is better)", backend),
+		XLabel: "size",
+		XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	}
+	flood = &stats.Table{
+		Title:  fmt.Sprintf("Flood rput bandwidth, MB/s — %s conduit, wall clock (higher is better)", backend),
+		XLabel: "size",
+		XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.1f", v) },
+	}
+	latS := &stats.Series{Name: fmt.Sprintf("rput (%s, wall)", backend)}
+	floodS := &stats.Series{Name: fmt.Sprintf("rput flood (%s, wall)", backend)}
+
+	maxSz := conduitSizes[len(conduitSizes)-1]
+	mine := core.MustNewArray[byte](rk, maxSz)
+	obj := core.NewDistObject(rk, mine)
+	rk.Barrier()
+	var remote core.GPtr[byte]
+	if rk.Me() == 0 {
+		remote = core.FetchDist[core.GPtr[byte]](rk, obj.ID(), 1).Wait()
+	}
+
+	for _, size := range conduitSizes {
+		iters := conduitIters(size)
+		var bestLat, bestBW float64
+		for rep := 0; rep < *reps; rep++ {
+			rk.Barrier()
+			if rk.Me() == 0 {
+				src := make([]byte, size)
+				core.RPut(rk, src, remote).Wait() // warm
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					core.RPut(rk, src, remote).Wait()
+				}
+				perOp := time.Since(t0).Seconds() / float64(iters)
+				if bestLat == 0 || perOp < bestLat {
+					bestLat = perOp
+				}
+				p := core.NewPromise[core.Unit](rk)
+				t0 = time.Now()
+				for i := 0; i < iters; i++ {
+					core.RPutPromise(rk, src, remote, p)
+				}
+				p.Finalize().Wait()
+				bw := float64(size*iters) / time.Since(t0).Seconds()
+				if bw > bestBW {
+					bestBW = bw
+				}
+			}
+			rk.Barrier()
+		}
+		if rk.Me() == 0 {
+			latS.Add(float64(size), bestLat*1e6)
+			floodS.Add(float64(size), bestBW/1e6)
+		}
+	}
+	lat.Series = []*stats.Series{latS}
+	flood.Series = []*stats.Series{floodS}
+	return lat, flood
+}
+
+// measureConduitSignal times the signaling put as a ping-pong: each
+// bounce is one 8 B put carrying remote-cx; the reported number is the
+// one-way notification latency (half the round trip).
+func measureConduitSignal(rk *core.Rank) *stats.Table {
+	backend := core.DistBackend()
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Signaling put notification, us one-way — %s conduit, wall clock", backend),
+		XLabel: "size",
+		XFmt:   func(v float64) string { return stats.BytesHuman(int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	}
+	s := &stats.Series{Name: fmt.Sprintf("signaling put (%s, wall)", backend)}
+
+	const iters = 500
+	slot := core.MustNewArray[uint64](rk, 1)
+	arr := core.MustNewArray[uint64](rk, 1)
+	obj := core.NewDistObject(rk, [2]core.GPtr[uint64]{slot, arr})
+	rk.Barrier()
+	me := rk.Me()
+	rk.Barrier()
+	if me <= 1 {
+		peerRank := 1 - me
+		peer := core.FetchDist[[2]core.GPtr[uint64]](rk, obj.ID(), peerRank).Wait()
+		local := core.Local(rk, arr, 1)
+		payload := []uint64{42}
+		bounce := func(i int) {
+			core.RPutWith(rk, payload, peer[0], core.OpCxAsFuture(),
+				core.RemoteCxAsRPC(sigBump, peer[1])).Op.Wait()
+			for local[0] < uint64(i+1) {
+				rk.ProgressWait(50 * time.Microsecond)
+			}
+		}
+		wait := func(i int) {
+			for local[0] < uint64(i+1) {
+				rk.ProgressWait(50 * time.Microsecond)
+			}
+			core.RPutWith(rk, payload, peer[0], core.OpCxAsFuture(),
+				core.RemoteCxAsRPC(sigBump, peer[1])).Op.Wait()
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if me == 0 {
+				bounce(i)
+			} else {
+				wait(i)
+			}
+		}
+		if me == 0 {
+			perNotify := time.Since(t0).Seconds() / float64(iters) / 2
+			s.Add(8, perNotify*1e6)
+		}
+	}
+	rk.Barrier()
+	t.Series = []*stats.Series{s}
+	return t
+}
+
+// measureConduitRPC compares the blocking small-RPC rate at batch size 1
+// against the batched flood at B=128 — the wall-clock counterpart of the
+// PR-7 one-frame-per-flush win.
+func measureConduitRPC(rk *core.Rank) *stats.Table {
+	backend := core.DistBackend()
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Small-RPC rate, ops/s — %s conduit, wall clock (higher is better)", backend),
+		XLabel: "batch",
+		XFmt:   func(v float64) string { return fmt.Sprintf("%d", int(v)) },
+		YFmt:   func(v float64) string { return fmt.Sprintf("%.3g", v) },
+	}
+	s := &stats.Series{Name: fmt.Sprintf("rpc echo (%s, wall)", backend)}
+	const iters = 2000
+	for _, bsz := range []int{1, 128} {
+		var best float64
+		for rep := 0; rep < *reps; rep++ {
+			rk.Barrier()
+			if rk.Me() == 0 {
+				t0 := time.Now()
+				if bsz == 1 {
+					for i := 0; i < iters; i++ {
+						core.RPC(rk, 1, echoU64, uint64(i)).Wait()
+					}
+				} else {
+					for done := 0; done < iters; {
+						b := core.NewBatch(rk, 1)
+						var last core.Future[uint64]
+						for j := 0; j < bsz && done < iters; j++ {
+							last = core.BatchRPC(b, echoU64, uint64(done))
+							done++
+						}
+						b.Flush()
+						last.Wait()
+					}
+				}
+				rate := float64(iters) / time.Since(t0).Seconds()
+				if rate > best {
+					best = rate
+				}
+			}
+			rk.Barrier()
+		}
+		if rk.Me() == 0 {
+			s.Add(float64(bsz), best)
+		}
+	}
+	t.Series = []*stats.Series{s}
+	return t
+}

@@ -50,13 +50,14 @@ import (
 )
 
 var (
-	mode      = flag.String("mode", "both", "latency, flood, signal, rpc, batch, both (latency+flood), or all")
-	modelOnly = flag.Bool("model-only", false, "skip the real-time measurement (fast)")
-	maxSize   = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
-	reps      = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
-	dilation  = flag.Int("dilation", 100, "time-dilation factor for measured runs: the simulated network runs k times slower than Aries and results are divided by k, so Go harness jitter (a few us) becomes negligible relative to the modeled microsecond latencies")
-	withStats = flag.Bool("stats", false, "record runtime stats in every measured world; in rpc mode, print the per-layer small-RPC cost breakdown from the latency histograms and a final merged counter dump")
-	jsonOut   = flag.Bool("json", false, "also write every table to BENCH_rma-bench.json")
+	mode        = flag.String("mode", "both", "latency, flood, signal, rpc, batch, both (latency+flood), or all")
+	modelOnly   = flag.Bool("model-only", false, "skip the real-time measurement (fast)")
+	maxSize     = flag.Int("max-size", 4<<20, "largest transfer size in bytes")
+	reps        = flag.Int("reps", 3, "repetitions per point (best is kept, as in the paper)")
+	dilation    = flag.Int("dilation", 100, "time-dilation factor for measured runs: the simulated network runs k times slower than Aries and results are divided by k, so Go harness jitter (a few us) becomes negligible relative to the modeled microsecond latencies")
+	withStats   = flag.Bool("stats", false, "record runtime stats in every measured world; in rpc mode, print the per-layer small-RPC cost breakdown from the latency histograms and a final merged counter dump")
+	jsonOut     = flag.Bool("json", false, "also write every table to BENCH_rma-bench.json")
+	conduitFlag = flag.String("conduit", "model", "conduit: model (in-process simulated, the full Fig-3 suite) | tcp | shm (real OS-process ranks, wall-clock suite)")
 )
 
 // statsCfg reports whether measured worlds should record runtime stats.
@@ -611,6 +612,9 @@ func measureMPIFlood(size int) float64 {
 func main() {
 	flag.Parse()
 	_ = serial.SizeOf[byte] // keep import graph honest under pruning
+	if *conduitFlag != "model" {
+		os.Exit(runConduitBench())
+	}
 	m := expmodel.Haswell()
 	var tables []*stats.Table
 

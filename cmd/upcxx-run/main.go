@@ -1,0 +1,50 @@
+// upcxx-run launches an SPMD program as multiple OS-process ranks over a
+// real transport conduit, the way GASNet's upcxx-run wraps a UPC++
+// binary:
+//
+//	upcxx-run -n 4 -conduit shm ./myprog [args...]
+//
+// Each rank process runs the full program with UPCXX_RANK/UPCXX_NPROC/
+// UPCXX_BOOT_DIR set; the program's upcxx.RunConfig detects the worker
+// environment and binds its world to the one rank. Programs built on
+// upcxx.Run/RunConfig also self-launch without this tool when
+// UPCXX_CONDUIT is set — upcxx-run exists for explicit control over the
+// rank count, backend, and segment size from the command line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	upcxx "upcxx"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of ranks (OS processes)")
+	conduit := flag.String("conduit", "shm", "transport backend: tcp | shm")
+	segsize := flag.Int("segsize", 0, "per-rank shared segment bytes (0: program default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: upcxx-run [-n ranks] [-conduit tcp|shm] [-segsize bytes] prog [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir, err := os.MkdirTemp("", "upcxx-boot-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "upcxx-run: boot dir: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	var extra []string
+	if *segsize > 0 {
+		extra = append(extra, "UPCXX_SEGSIZE="+strconv.Itoa(*segsize))
+	}
+	code := upcxx.LaunchWorld(*n, *conduit, dir, flag.Arg(0), flag.Args()[1:], extra)
+	os.RemoveAll(dir)
+	os.Exit(code)
+}

@@ -27,7 +27,7 @@ package main
 import (
 	"fmt"
 	"math"
-	"runtime"
+	"time"
 
 	"upcxx"
 )
@@ -44,6 +44,10 @@ const (
 func arrive(trk *upcxx.Rank, counter upcxx.GPtr[uint64]) {
 	upcxx.Local(trk, counter, 1)[0]++
 }
+
+// Registered by name so the signaling put's remote completion can be
+// dispatched in a sibling rank process under a real transport conduit.
+func init() { upcxx.RegisterRPCFF(arrive) }
 
 func main() {
 	// A GDR-capable DMA engine on the zero-delay conduit: capability
@@ -65,7 +69,7 @@ func main() {
 		// overwritten by the exchange before every use).
 		upcxx.RunKernel(da, cur, local+2, func(s []float64) {
 			for i := 1; i <= local; i++ {
-				if int(me)*local+(i-1) < ranks*local/2 {
+				if int(me)*local+(i-1) < int(n)*local/2 {
 					s[i] = 1.0
 				}
 			}
@@ -106,9 +110,10 @@ func main() {
 			// in my device halos. The counters are per-iteration, so a
 			// fast neighbor working on it+1 can never confuse us.
 			for arr[it] < 2 {
-				if rk.Progress() == 0 {
-					runtime.Gosched() // let neighbor ranks run on few cores
-				}
+				// One progress pass, then a bounded idle-wait — lets
+				// neighbor ranks (goroutines or sibling processes) run on
+				// few cores instead of spinning against them.
+				rk.ProgressWait(50 * time.Microsecond)
 			}
 			p.Finalize().Wait() // my own pushes have drained too
 
@@ -149,7 +154,7 @@ func main() {
 		stats := rk.World().Network().Endpoint(rk.Me()).Stats()
 		if me == 0 {
 			// Mass is conserved by the periodic Jacobi stencil.
-			want := float64(ranks * local / 2)
+			want := float64(int(n) * local / 2)
 			fmt.Printf("after %d iters: global mass %.3f (want %.3f, drift %.1e)\n",
 				iters, total, want, math.Abs(total-want))
 		}
@@ -162,7 +167,7 @@ func main() {
 			// cross-rank d2d transfer (halo pushes and reduction hops)
 			// went NIC↔device, and the device reduction folded its
 			// children as fused kernels.
-			s := rk.World().StatsMerged()
+			s := rk.World().StatsMergedDist(rk)
 			fmt.Printf("gdr datapath: d2d-direct=%d d2d-bounced=%d; fused folds=%d (%d children)\n",
 				s.DMA[upcxx.DMAD2DDirect], s.DMA[upcxx.DMAD2DBounced],
 				s.FusedFolds, s.FusedChildren)

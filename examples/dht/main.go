@@ -6,6 +6,10 @@
 // Run with:
 //
 //	go run ./examples/dht
+//
+// or as real OS-process ranks over a transport backend:
+//
+//	UPCXX_CONDUIT=shm UPCXX_NPROC=8 go run ./examples/dht
 package main
 
 import (
@@ -19,6 +23,12 @@ import (
 
 const ranks = 8
 
+// appendBytes is the graph-vertex mutator: registered so the home rank
+// can resolve it by name when the update arrives from another process.
+func appendBytes(old, arg []byte) []byte { return append(old, arg...) }
+
+func init() { dht.RegisterMutator(appendBytes) }
+
 func main() {
 	var mu sync.Mutex
 	say := func(format string, args ...any) {
@@ -28,6 +38,7 @@ func main() {
 	}
 
 	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+		n := rk.N() // == ranks in-process; UPCXX_NPROC over a real conduit
 		// Three tables with different wire strategies (collective
 		// construction order matters). The signaling-put table publishes
 		// each landing zone via remote_cx::as_rpc riding the value's rput
@@ -51,7 +62,7 @@ func main() {
 		rk.Barrier()
 
 		// Cross-rank lookups.
-		peer := (rk.Me() + ranks/2) % ranks
+		peer := (rk.Me() + n/2) % n
 		key := uint64(peer)<<32 | 7
 		val := small.Find(key).Wait()
 		say("rank %d: small[%d/7] = %q", rk.Me(), peer, val)
@@ -67,13 +78,11 @@ func main() {
 		// neighbour list; an RPC appends to it at the home rank without
 		// any lock/transfer/writeback cycle.
 		const vertex = uint64(0xbeef)
-		small.Mutate(vertex, func(old []byte) []byte {
-			return append(old, byte(rk.Me()))
-		}).Wait()
+		small.Mutate(vertex, appendBytes, []byte{byte(rk.Me())}).Wait()
 		rk.Barrier()
 		if rk.Me() == 0 {
 			nbs := small.Find(vertex).Wait()
-			say("vertex neighbour list after %d concurrent RPC updates: %v", ranks, nbs)
+			say("vertex neighbour list after %d concurrent RPC updates: %v", n, nbs)
 		}
 		rk.Barrier()
 

@@ -6,6 +6,13 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// or as real OS-process ranks over a transport backend:
+//
+//	UPCXX_CONDUIT=shm UPCXX_NPROC=4 go run ./examples/quickstart
+//
+// RPC bodies that cross process boundaries are package-level functions
+// registered in init (closures cannot travel between processes).
 package main
 
 import (
@@ -14,6 +21,32 @@ import (
 
 	"upcxx"
 )
+
+// Cross-process RPC bodies: registered by name so a real transport
+// backend can dispatch them in sibling rank processes.
+
+func allocLanding(trk *upcxx.Rank, n int) upcxx.GPtr[float64] {
+	return upcxx.MustNewArray[float64](trk, n)
+}
+
+func sumU64(trk *upcxx.Rank, xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func square(trk *upcxx.Rank, x int) int { return x * x }
+
+func incr(trk *upcxx.Rank, x int) int { return x + 1 }
+
+func init() {
+	upcxx.RegisterRPC(allocLanding)
+	upcxx.RegisterRPC(sumU64)
+	upcxx.RegisterRPC(square)
+	upcxx.RegisterRPC(incr)
+}
 
 func main() {
 	const ranks = 4
@@ -25,10 +58,11 @@ func main() {
 	}
 
 	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+		n := int(rk.N()) // == ranks in-process; UPCXX_NPROC over a real conduit
 		// --- Global memory -------------------------------------------
 		// Every rank allocates an array in its shared segment and
 		// publishes the global pointer through a distributed object.
-		mine := upcxx.MustNewArray[uint64](rk, ranks)
+		mine := upcxx.MustNewArray[uint64](rk, n)
 		ptrs := upcxx.NewDistObject(rk, mine)
 		rk.Barrier()
 
@@ -41,15 +75,13 @@ func main() {
 		rk.Barrier()
 
 		left := (rk.Me() - 1 + rk.N()) % rk.N()
-		got := upcxx.GetValue(rk, upcxx.ToGlobal(rk, upcxx.Local(rk, mine, ranks)).Add(int(left))).Wait()
+		got := upcxx.GetValue(rk, upcxx.ToGlobal(rk, upcxx.Local(rk, mine, n)).Add(int(left))).Wait()
 		say("rank %d: left neighbour %d deposited %d", rk.Me(), left, got)
 
 		// --- RPC with completion chaining ------------------------------
 		// Ask the right neighbour to allocate a landing zone, then rput
 		// into it once the pointer arrives (the paper's DHT idiom).
-		lzf := upcxx.RPC(rk, right, func(trk *upcxx.Rank, n int) upcxx.GPtr[float64] {
-			return upcxx.MustNewArray[float64](trk, n)
-		}, 3)
+		lzf := upcxx.RPC(rk, right, allocLanding, 3)
 		done := upcxx.ThenFut(lzf, func(lz upcxx.GPtr[float64]) upcxx.Future[upcxx.Unit] {
 			return upcxx.RPut(rk, []float64{1.5, 2.5, 3.5}, lz)
 		})
@@ -66,13 +98,7 @@ func main() {
 			for i := range args {
 				args[i] = round*10 + uint64(i)
 			}
-			_, fs := upcxx.RPCWith(rk, right, func(trk *upcxx.Rank, xs []uint64) uint64 {
-				var s uint64
-				for _, x := range xs {
-					s += x
-				}
-				return s
-			}, args,
+			_, fs := upcxx.RPCWith(rk, right, sumU64, args,
 				upcxx.SourceCxAsFuture(),
 				upcxx.OpCxAsPromise(replies))
 			fs.Source.Wait() // args is reusable for the next round
@@ -82,7 +108,7 @@ func main() {
 		// --- Promises as completion counters ---------------------------
 		// Issue many puts tracked by one promise (the flood idiom).
 		p := upcxx.NewPromise[upcxx.Unit](rk)
-		for i := 0; i < ranks; i++ {
+		for i := 0; i < n; i++ {
 			upcxx.RPutPromise(rk, []uint64{uint64(100 + i)}, remote.Add(i), p)
 		}
 		p.Finalize().Wait()
@@ -107,7 +133,7 @@ func main() {
 			func(a, b int64) int64 { return a + b }).Wait()
 		if rk.Me() == 0 {
 			say("allreduce(1..%d) = %d; counter = %d",
-				ranks, total, ad.Load(counter).Wait())
+				n, total, ad.Load(counter).Wait())
 		}
 		rk.Barrier()
 
@@ -136,7 +162,7 @@ func main() {
 				go func() {
 					defer wg.Done()
 					defer upcxx.DetachDefaultPersonas() // registry hygiene for per-task goroutines
-					sq := upcxx.RPC(rk, 1, func(trk *upcxx.Rank, x int) int { return x * x }, u+2).Wait()
+					sq := upcxx.RPC(rk, 1, square, u+2).Wait()
 					say("rank 0 user goroutine %d (persona %q): %d² = %d",
 						u, rk.CurrentPersona().Name(), u+2, sq)
 				}()
@@ -159,7 +185,7 @@ func main() {
 				fs.Op.Wait()
 				say("worker persona %q consumed the RPC's operation-cx", worker.Name())
 			}()
-			_, fs := upcxx.RPCWith(rk, 1, func(trk *upcxx.Rank, x int) int { return x + 1 }, 1,
+			_, fs := upcxx.RPCWith(rk, 1, incr, 1,
 				upcxx.OpCxAsFutureOn(worker))
 			handoff <- fs
 			wg.Wait()

@@ -9,11 +9,22 @@
 // Run with:
 //
 //	go run ./examples/sparse-eadd
+//
+// or as real OS-process ranks over a transport backend:
+//
+//	UPCXX_CONDUIT=shm UPCXX_NPROC=4 go run ./examples/sparse-eadd
+//
+// Over a real conduit the UPC++ variants run cross-process (rank 0
+// gathers every sibling's result by RPC for verification); the MPI
+// emulation variants are an in-process comparison study and only run on
+// the in-process conduit.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 
 	"upcxx"
 	"upcxx/internal/matgen"
@@ -23,69 +34,186 @@ import (
 
 const ranks = 6
 
+// Per-process results of the distributed phases, published for the
+// rank-0 verification gather (each rank process holds exactly one).
+var (
+	myStore *sparse.AccumStore
+	myChol  sparse.CholResult
+)
+
+func fetchStore(trk *upcxx.Rank, _ uint8) []byte {
+	b, err := json.Marshal(myStore)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func fetchChol(trk *upcxx.Rank, _ uint8) []byte {
+	b, err := json.Marshal(myChol)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func init() {
+	upcxx.RegisterRPC(fetchStore)
+	upcxx.RegisterRPC(fetchChol)
+}
+
 func main() {
+	nr := ranks
+	if n := upcxx.DistNProc(); n > 0 {
+		nr = n
+	}
+	dist := upcxx.DistActive()
+	// Over a real conduit the whole main runs in every rank process (and
+	// once in the parent launcher, which exits into the spawn at the
+	// first Run); print the SPMD-redundant headlines from rank 0 only.
+	headline := !dist || os.Getenv("UPCXX_RANK") == "0"
+
 	prob := matgen.Generate("demo", matgen.Grid3D{NX: 8, NY: 8, NZ: 8}, 16)
 	tree := sparse.Amalgamate(sparse.BuildFrontTree(prob.A, 0), 0.3)
 	if err := tree.Validate(); err != nil {
 		panic(err)
 	}
-	fmt.Printf("matrix %s: n=%d nnz=%d -> %d fronts, depth %d\n",
-		prob.Name, prob.A.N, prob.A.NNZ(), len(tree.Fronts), tree.MaxLevel())
+	if headline {
+		fmt.Printf("matrix %s: n=%d nnz=%d -> %d fronts, depth %d\n",
+			prob.Name, prob.A.N, prob.A.NNZ(), len(tree.Fronts), tree.MaxLevel())
+	}
 
-	plan := sparse.NewEAddPlan(tree, ranks, 8)
-	fmt.Printf("extend-add plan over %d processes: %d accumulations, %d expected messages on rank 0\n",
-		ranks, plan.TotalEntries, plan.Incoming[0])
+	plan := sparse.NewEAddPlan(tree, nr, 8)
+	if headline {
+		fmt.Printf("extend-add plan over %d processes: %d accumulations, %d expected messages on rank 0\n",
+			nr, plan.TotalEntries, plan.Incoming[0])
+	}
 
 	want := sparse.EAddSerial(plan)
 
-	// UPC++ RPC variant.
-	stores := make([]*sparse.AccumStore, ranks)
-	upcxx.Run(ranks, func(rk *upcxx.Rank) {
+	// UPC++ RPC variant. In-process, every rank's store is reachable
+	// through the shared slice; over a real conduit each rank process
+	// keeps its own and rank 0 gathers them by RPC.
+	stores := make([]*sparse.AccumStore, nr)
+	upcxx.Run(nr, func(rk *upcxx.Rank) {
 		st, el := sparse.EAddUPCXX(rk, plan)
+		if rk.World().Dist() {
+			myStore = st
+			rk.Barrier() // every sibling's store is published
+			if rk.Me() == 0 {
+				fmt.Printf("  UPC++ RPC      : %v\n", el)
+				checkStores(rk, want, fetchStore, "UPC++")
+			}
+			rk.Barrier()
+			return
+		}
 		stores[rk.Me()] = st
 		if rk.Me() == 0 {
 			fmt.Printf("  UPC++ RPC      : %v\n", el)
 		}
 	})
-	check(want, stores, "UPC++")
-
-	// MPI variants on a fresh MPI world.
-	for _, variant := range []struct {
-		name string
-		run  func(*mpi.Proc) *sparse.AccumStore
-	}{
-		{"MPI Alltoallv", func(p *mpi.Proc) *sparse.AccumStore {
-			st, el := sparse.EAddMPIAlltoallv(p, plan)
-			if p.Rank() == 0 {
-				fmt.Printf("  MPI Alltoallv  : %v\n", el)
-			}
-			return st
-		}},
-		{"MPI P2P", func(p *mpi.Proc) *sparse.AccumStore {
-			st, el := sparse.EAddMPIP2P(p, plan)
-			if p.Rank() == 0 {
-				fmt.Printf("  MPI P2P        : %v\n", el)
-			}
-			return st
-		}},
-	} {
-		stores := make([]*sparse.AccumStore, ranks)
-		mpi.Run(ranks, func(p *mpi.Proc) {
-			stores[p.Rank()] = variant.run(p)
-		})
-		check(want, stores, variant.name)
+	if !dist {
+		check(want, stores, "UPC++")
 	}
-	fmt.Println("all three extend-add variants match the serial reference")
+
+	// MPI variants on a fresh MPI world — an in-process emulation used as
+	// the comparison baseline, so it stays on the in-process conduit.
+	if !dist {
+		for _, variant := range []struct {
+			name string
+			run  func(*mpi.Proc) *sparse.AccumStore
+		}{
+			{"MPI Alltoallv", func(p *mpi.Proc) *sparse.AccumStore {
+				st, el := sparse.EAddMPIAlltoallv(p, plan)
+				if p.Rank() == 0 {
+					fmt.Printf("  MPI Alltoallv  : %v\n", el)
+				}
+				return st
+			}},
+			{"MPI P2P", func(p *mpi.Proc) *sparse.AccumStore {
+				st, el := sparse.EAddMPIP2P(p, plan)
+				if p.Rank() == 0 {
+					fmt.Printf("  MPI P2P        : %v\n", el)
+				}
+				return st
+			}},
+		} {
+			stores := make([]*sparse.AccumStore, nr)
+			mpi.Run(nr, func(p *mpi.Proc) {
+				stores[p.Rank()] = variant.run(p)
+			})
+			check(want, stores, variant.name)
+		}
+		fmt.Println("all three extend-add variants match the serial reference")
+	} else if headline {
+		fmt.Println("extend-add UPC++ variant matches the serial reference (MPI emulation variants are in-process only)")
+	}
 
 	// Mini-symPACK: distributed multifrontal Cholesky, verified against a
 	// dense factorization.
 	cholProb := matgen.Generate("chol-demo", matgen.Grid3D{NX: 5, NY: 5, NZ: 5}, 8)
 	cholTree := sparse.Amalgamate(sparse.BuildFrontTree(cholProb.A, 0), 0.3)
-	plan2 := sparse.NewCholPlan(cholProb.A, cholTree, ranks)
-	results := make([]sparse.CholResult, ranks)
-	upcxx.Run(ranks, func(rk *upcxx.Rank) {
-		results[rk.Me()] = sparse.CholV1(rk, plan2)
+	plan2 := sparse.NewCholPlan(cholProb.A, cholTree, nr)
+	results := make([]sparse.CholResult, nr)
+	upcxx.Run(nr, func(rk *upcxx.Rank) {
+		res := sparse.CholV1(rk, plan2)
+		if rk.World().Dist() {
+			myChol = res
+			rk.Barrier()
+			if rk.Me() == 0 {
+				all := []sparse.CholResult{res}
+				for r := int32(1); r < rk.N(); r++ {
+					var remote sparse.CholResult
+					b := upcxx.RPC(rk, r, fetchChol, uint8(0)).Wait()
+					if err := json.Unmarshal(b, &remote); err != nil {
+						panic(err)
+					}
+					all = append(all, remote)
+				}
+				verifyChol(cholProb, all, nr)
+			}
+			rk.Barrier()
+			return
+		}
+		results[rk.Me()] = res
 	})
+	if !dist {
+		verifyChol(cholProb, results, nr)
+	}
+}
+
+// checkStores gathers every sibling rank's accumulation store by RPC,
+// merges them with rank 0's own, and compares against the serial
+// reference (real-conduit analogue of check below).
+func checkStores(rk *upcxx.Rank, want *sparse.AccumStore, fetch func(*upcxx.Rank, uint8) []byte, name string) {
+	got := sparse.NewAccumStore()
+	got.Merge(myStore)
+	for r := int32(1); r < rk.N(); r++ {
+		var remote sparse.AccumStore
+		b := upcxx.RPC(rk, r, fetch, uint8(0)).Wait()
+		if err := json.Unmarshal(b, &remote); err != nil {
+			panic(err)
+		}
+		got.Merge(&remote)
+	}
+	if err := want.Equal(got, 1e-9); err != nil {
+		panic(fmt.Sprintf("%s mismatch: %v", name, err))
+	}
+}
+
+func check(want *sparse.AccumStore, stores []*sparse.AccumStore, name string) {
+	got := sparse.NewAccumStore()
+	for _, s := range stores {
+		got.Merge(s)
+	}
+	if err := want.Equal(got, 1e-9); err != nil {
+		panic(fmt.Sprintf("%s mismatch: %v", name, err))
+	}
+}
+
+// verifyChol checks every rank's eliminated columns against a dense
+// factorization of the same matrix.
+func verifyChol(cholProb *matgen.Problem, results []sparse.CholResult, nr int) {
 	dense := cholProb.A.Dense()
 	if err := sparse.DenseCholesky(dense, cholProb.A.N); err != nil {
 		panic(err)
@@ -100,15 +228,5 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("mini-symPACK over %d ranks: max |L - L_dense| = %.2e (n=%d)\n", ranks, worst, n)
-}
-
-func check(want *sparse.AccumStore, stores []*sparse.AccumStore, name string) {
-	got := sparse.NewAccumStore()
-	for _, s := range stores {
-		got.Merge(s)
-	}
-	if err := want.Equal(got, 1e-9); err != nil {
-		panic(fmt.Sprintf("%s mismatch: %v", name, err))
-	}
+	fmt.Printf("mini-symPACK over %d ranks: max |L - L_dense| = %.2e (n=%d)\n", nr, worst, n)
 }

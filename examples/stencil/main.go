@@ -21,12 +21,16 @@
 // Run with:
 //
 //	go run ./examples/stencil
+//
+// or as real OS-process ranks over a transport backend:
+//
+//	UPCXX_CONDUIT=shm UPCXX_NPROC=4 go run ./examples/stencil
 package main
 
 import (
 	"fmt"
 	"math"
-	"runtime"
+	"time"
 
 	"upcxx"
 )
@@ -49,10 +53,15 @@ func arrive(trk *upcxx.Rank, counter upcxx.GPtr[uint64]) {
 	upcxx.Local(trk, counter, 1)[0]++
 }
 
+// Registered by name so the signaling put's remote completion can be
+// dispatched in a sibling rank process under a real transport conduit.
+func init() { upcxx.RegisterRPCFF(arrive) }
+
 func main() {
-	rows := n / ranks
 	upcxx.Run(ranks, func(rk *upcxx.Rank) {
 		me := int(rk.Me())
+		nr := int(rk.N()) // == ranks in-process; UPCXX_NPROC over a real conduit
+		rows := n / nr
 		// Slab with ghost rows at local row 0 and rows+1, in the shared
 		// segment so neighbours can rput into it, plus per-iteration
 		// arrival counters for the signaling puts.
@@ -81,7 +90,7 @@ func main() {
 			up = upcxx.FetchDist[slots](rk, ptrs.ID(), rk.Me()-1).Wait()
 			nNbr++
 		}
-		if me < ranks-1 {
+		if me < nr-1 {
 			down = upcxx.FetchDist[slots](rk, ptrs.ID(), rk.Me()+1).Wait()
 			nNbr++
 		}
@@ -101,7 +110,7 @@ func main() {
 					upcxx.OpCxAsPromise(p),
 					upcxx.RemoteCxAsRPC(arrive, up.Arr.Add(it)))
 			}
-			if me < ranks-1 {
+			if me < nr-1 {
 				upcxx.RPutWith(rk, g[rows*n:(rows+1)*n], down.Field.Add(0),
 					upcxx.OpCxAsPromise(p),
 					upcxx.RemoteCxAsRPC(arrive, down.Arr.Add(it)))
@@ -110,9 +119,10 @@ func main() {
 			// in my ghosts (per-iteration counters: a fast neighbour on
 			// it+1 can never be confused with this iteration).
 			for arr[it] < nNbr {
-				if rk.Progress() == 0 {
-					runtime.Gosched()
-				}
+				// One progress pass, then a bounded idle-wait: over a real
+				// conduit this parks until a doorbell instead of burning
+				// the core the neighbour process needs.
+				rk.ProgressWait(50 * time.Microsecond)
 			}
 			p.Finalize().Wait() // my own pushes drained; source rows reusable
 
@@ -166,7 +176,7 @@ func main() {
 		if rk.Me() == 0 {
 			prev := math.Inf(1)
 			ok := true
-			for r := int32(0); r < int32(ranks); r++ {
+			for r := int32(0); r < int32(nr); r++ {
 				gp := upcxx.FetchDist[slots](rk, ptrs.ID(), r).Wait()
 				buf := make([]float64, n)
 				upcxx.RGet(rk, gp.Field.Add(1*n), buf).Wait()

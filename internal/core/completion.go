@@ -120,6 +120,7 @@ type Cx struct {
 
 	rpcArgs []byte       // cxRPC serialized arguments
 	rpcInv  rpcFFInvoker // cxRPC invoker (code reference)
+	rpcName string       // cxRPC registry name for cross-process dispatch ("" unregistered)
 }
 
 // On returns a copy of the descriptor addressed to persona p instead of
@@ -224,7 +225,8 @@ func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx {
 		mustUnmarshal(args, &a)
 		fn(trk, a)
 	})
-	return Cx{ev: RemoteDone, kind: cxRPC, rpcArgs: mustMarshal(arg), rpcInv: inv}
+	return Cx{ev: RemoteDone, kind: cxRPC, rpcArgs: mustMarshal(arg), rpcInv: inv,
+		rpcName: registeredName(fn)}
 }
 
 // remoteCxAux is the opaque code-reference half of a target-side
@@ -234,6 +236,7 @@ func RemoteCxAsRPC[A any](fn func(*Rank, A), arg A) Cx {
 type remoteCxAux struct {
 	inv  rpcFFInvoker
 	pers *Persona
+	name string // registry name for cross-process dispatch ("" in-process)
 }
 
 // runRemoteBody delivers one target-side remote-completion body at this
@@ -409,7 +412,7 @@ func (c *cxPlan) add(kind opKind, cx Cx) {
 		c.remoteAM = &gasnet.RemoteAM{
 			Handler: c.rk.w.amRemote,
 			Payload: encodeRemoteCx(c.rk.me, cx.rpcArgs),
-			Aux:     remoteCxAux{inv: cx.rpcInv, pers: cx.pers},
+			Aux:     remoteCxAux{inv: cx.rpcInv, pers: cx.pers, name: cx.rpcName},
 		}
 		return
 	}

@@ -62,30 +62,52 @@ func (d *DistObject[T]) Fetch(from Intrank) Future[T] {
 	return FetchDist[T](d.rk, d.id, from)
 }
 
+// distValueMarshaler erases DistObject's type parameter at the fetch
+// protocol boundary: the target serializes its representative, and the
+// initiator's FetchDist decodes into the concrete T it asked for. The
+// byte-level protocol is what lets one non-generic, registered RPC body
+// serve every instantiation — generic bodies cannot cross a process
+// boundary (see fnreg.go).
+type distValueMarshaler interface{ distValueBytes() []byte }
+
+func (d *DistObject[T]) distValueBytes() []byte { return mustMarshal(d.val) }
+
+// distFetchBody is the target-side half of every dist-object fetch: a
+// deferred-reply RPC body that resolves the ID to the local
+// representative's serialized value, waiting for construction if the
+// target has not reached the matching NewDistObject yet.
+func distFetchBody(trk *Rank, id uint64) Future[[]byte] {
+	trk.distMu.Lock()
+	if o, ok := trk.distObjs[id]; ok {
+		trk.distMu.Unlock()
+		return ReadyFuture(trk, o.(distValueMarshaler).distValueBytes())
+	}
+	// RPC bodies execute on the rank's durable execution persona
+	// (master or progress thread — see Rank.execBody), so the
+	// deferred promise and its waiter outlive whichever goroutine
+	// harvested the message.
+	p := NewPromise[[]byte](trk)
+	trk.distWaits[id] = append(trk.distWaits[id], distWaiter{
+		pers: trk.currentPersona(),
+		fn:   func(obj any) { p.FulfillResult(obj.(distValueMarshaler).distValueBytes()) },
+	})
+	trk.distMu.Unlock()
+	return p.Future()
+}
+
+func init() { RegisterRPCFut(distFetchBody) }
+
 // FetchDist retrieves rank from's representative of the distributed object
 // with the given ID. The fetch is a deferred-reply RPC on the single
 // injection path (RPCFutWith); like every RPC it accepts the full
 // completion vocabulary, though the value future is all a fetch needs.
 func FetchDist[T any](rk *Rank, id DistID, from Intrank) Future[T] {
-	f, _ := RPCFutWith(rk, from, func(trk *Rank, id DistID) Future[T] {
-		trk.distMu.Lock()
-		if o, ok := trk.distObjs[uint64(id)]; ok {
-			trk.distMu.Unlock()
-			return ReadyFuture(trk, o.(*DistObject[T]).val)
-		}
-		// RPC bodies execute on the rank's durable execution persona
-		// (master or progress thread — see Rank.execBody), so the
-		// deferred promise and its waiter outlive whichever goroutine
-		// harvested the message.
-		p := NewPromise[T](trk)
-		trk.distWaits[uint64(id)] = append(trk.distWaits[uint64(id)], distWaiter{
-			pers: trk.currentPersona(),
-			fn:   func(obj any) { p.FulfillResult(obj.(*DistObject[T]).val) },
-		})
-		trk.distMu.Unlock()
-		return p.Future()
-	}, id)
-	return f
+	f, _ := RPCFutWith(rk, from, distFetchBody, uint64(id))
+	return Then(f, func(b []byte) T {
+		var v T
+		mustUnmarshal(b, &v)
+		return v
+	})
 }
 
 // LookupDist resolves a DistID to this rank's local representative, the

@@ -143,6 +143,15 @@ func (f Future[T]) Wait() T {
 		if c.ready {
 			break
 		}
+		if err := rk.w.failed(); err != nil {
+			panic(err)
+		}
+		if rk.w.dist && spins > 128 {
+			// Multi-process waits are dominated by real wire latency:
+			// park in the conduit's notified wait instead of burning a
+			// core spinning (the doorbell or socket reader rings us back).
+			rk.ep.WaitPending(200 * time.Microsecond)
+		}
 		runtime.Gosched()
 		spins++
 		if spins%(1<<16) == 0 {

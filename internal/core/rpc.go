@@ -63,6 +63,7 @@ type rpcAux struct {
 	ffInv    rpcFFInvoker // rpcFFKind body
 	rem      remoteCxAux  // target-side landing event (zero when absent)
 	bodyPers *Persona     // execution persona named by RPCBodyOn (nil: default)
+	invName  string       // registry name for cross-process dispatch ("" in-process)
 }
 
 func mustMarshal(v any) []byte {
@@ -353,7 +354,7 @@ func rpcOpFor(rk *Rank, target Intrank, kind uint8, seq uint64, argBytes []byte,
 // request arrives. The calling goroutine's current persona owns the
 // returned value future regardless of which goroutine's progress observes
 // the reply; completion descriptors may address other personas.
-func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker, cxs []Cx) (Future[R], CxFutures) {
+func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvoker, name string, cxs []Cx) (Future[R], CxFutures) {
 	bodyPers, cxs := splitBodyPersona(target, cxs)
 	plan := &cxPlan{rk: rk, remotePeer: target}
 	for _, cx := range cxs {
@@ -377,7 +378,7 @@ func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvok
 		rk.actCount.Add(-1)
 	}
 	rk.rpcMu.Unlock()
-	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcReqKind, seq, argBytes, rpcAux{inv: inv, bodyPers: bodyPers}, plan)}, plan)
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcReqKind, seq, argBytes, rpcAux{inv: inv, bodyPers: bodyPers, invName: name}, plan)}, plan)
 	return p.Future(), plan.futs
 }
 
@@ -386,13 +387,13 @@ func rpcRoundTrip[R any](rk *Rank, target Intrank, argBytes []byte, inv rpcInvok
 // acknowledgment to wait for), source completion when the argument bytes
 // are captured, and a remote-cx as_rpc descriptor at the target on
 // landing.
-func rpcOneWay(rk *Rank, target Intrank, argBytes []byte, inv rpcFFInvoker, cxs []Cx) CxFutures {
+func rpcOneWay(rk *Rank, target Intrank, argBytes []byte, inv rpcFFInvoker, name string, cxs []Cx) CxFutures {
 	bodyPers, cxs := splitBodyPersona(target, cxs)
 	plan := &cxPlan{rk: rk, remotePeer: target}
 	for _, cx := range cxs {
 		plan.add(opRPC, cx)
 	}
-	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcFFKind, 0, argBytes, rpcAux{ffInv: inv, bodyPers: bodyPers}, plan)}, plan)
+	rk.inject([]rmaOp{rpcOpFor(rk, target, rpcFFKind, 0, argBytes, rpcAux{ffInv: inv, bodyPers: bodyPers, invName: name}, plan)}, plan)
 	return plan.futs
 }
 
@@ -427,7 +428,7 @@ func RPCWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) R, arg A, cxs
 		mustUnmarshal(args, &a)
 		trk.replyTo(src, seq, mustMarshal(fn(trk, a)))
 	})
-	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, cxs)
+	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, rk.wireName(fn), cxs)
 }
 
 // RPCFutWith is RPCWith for a future-returning fn: the reply is deferred
@@ -453,7 +454,7 @@ func RPCFutWith[A, R any](rk *Rank, target Intrank, fn func(*Rank, A) Future[R],
 			inner.c.pers.LPC(reply)
 		}
 	})
-	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, cxs)
+	return rpcRoundTrip[R](rk, target, mustMarshal(arg), inv, rk.wireName(fn), cxs)
 }
 
 // RPCFFWith invokes fn(arg) on the target rank with no acknowledgment or
@@ -467,7 +468,7 @@ func RPCFFWith[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A, cxs ..
 		mustUnmarshal(args, &a)
 		fn(trk, a)
 	})
-	return rpcOneWay(rk, target, mustMarshal(arg), inv, cxs)
+	return rpcOneWay(rk, target, mustMarshal(arg), inv, rk.wireName(fn), cxs)
 }
 
 // RPC invokes fn(arg) on the target rank and returns a future for its
@@ -482,7 +483,7 @@ func RPC0[R any](rk *Rank, target Intrank, fn func(*Rank) R) Future[R] {
 	inv := rpcInvoker(func(trk *Rank, src Intrank, seq uint64, _ []byte) {
 		trk.replyTo(src, seq, mustMarshal(fn(trk)))
 	})
-	f, _ := rpcRoundTrip[R](rk, target, nil, inv, nil)
+	f, _ := rpcRoundTrip[R](rk, target, nil, inv, "", nil)
 	return f
 }
 
@@ -500,7 +501,7 @@ func RPC2[A, B, R any](rk *Rank, target Intrank, fn func(*Rank, A, B) R, a A, b 
 		mustUnmarshal(args[n:], &bv)
 		trk.replyTo(src, seq, mustMarshal(fn(trk, av, bv)))
 	})
-	f, _ := rpcRoundTrip[R](rk, target, argBytes, inv, nil)
+	f, _ := rpcRoundTrip[R](rk, target, argBytes, inv, rk.wireName(fn), nil)
 	return f
 }
 
@@ -521,7 +522,7 @@ func RPCFF[A any](rk *Rank, target Intrank, fn func(*Rank, A), arg A) {
 // RPCFF0 is RPCFF with no argument.
 func RPCFF0(rk *Rank, target Intrank, fn func(*Rank)) {
 	inv := rpcFFInvoker(func(trk *Rank, src Intrank, _ []byte) { fn(trk) })
-	rpcOneWay(rk, target, nil, inv, nil)
+	rpcOneWay(rk, target, nil, inv, "", nil)
 }
 
 // RPCFF2 is RPCFF with two arguments.
@@ -538,5 +539,5 @@ func RPCFF2[A, B any](rk *Rank, target Intrank, fn func(*Rank, A, B), a A, b B) 
 		mustUnmarshal(args[n:], &bv)
 		fn(trk, av, bv)
 	})
-	rpcOneWay(rk, target, argBytes, inv, nil)
+	rpcOneWay(rk, target, argBytes, inv, "", nil)
 }

@@ -172,6 +172,7 @@ type rpcBatchInvoker func(trk *Rank, src Intrank, args []byte) []byte
 type batchBodyAux struct {
 	inv   rpcBatchInvoker // rpcReqKind body
 	ffInv rpcFFInvoker    // rpcFFKind body
+	name  string          // registry name for cross-process dispatch ("" in-process)
 }
 
 // rpcBatchAux is the opaque code-reference token riding a request batch.
@@ -305,7 +306,7 @@ func BatchRPC[A, R any](b *Batch, fn func(*Rank, A) R, arg A) Future[R] {
 	pers := p.c.pers // the current persona, resolved once by NewPromise
 	b.entries = append(b.entries, batchEntry{
 		kind: rpcReqKind,
-		body: batchBodyAux{inv: inv},
+		body: batchBodyAux{inv: inv, name: b.rk.wireName(fn)},
 		onReply: func(res []byte) {
 			pers.LPC(func() {
 				var r R
@@ -329,7 +330,7 @@ func BatchRPCFF[A any](b *Batch, fn func(*Rank, A), arg A) {
 	})
 	b.entries = append(b.entries, batchEntry{
 		kind: rpcFFKind,
-		body: batchBodyAux{ffInv: inv},
+		body: batchBodyAux{ffInv: inv, name: b.rk.wireName(fn)},
 	})
 	b.gatherArg(arg)
 }

@@ -113,6 +113,12 @@ type World struct {
 
 	ranks []*Rank
 
+	// dist marks a multi-process world: this OS process hosts exactly one
+	// rank (self); the others live in sibling processes reached over the
+	// real conduit (see proc.go). ranks[r] is nil for every r != self.
+	dist bool
+	self Intrank
+
 	ptStop chan struct{}
 	ptWG   sync.WaitGroup
 	closed atomic.Bool
@@ -243,6 +249,20 @@ func (rk *Rank) ArmTrace(on bool) {
 // goroutines.
 func (w *World) ProgressThreaded() bool { return w.cfg.ProgressThread }
 
+// Dist reports whether this world is one rank of a multi-process job
+// over a real transport backend (RPC bodies must then be registered —
+// see RegisterRPC).
+func (w *World) Dist() bool { return w.dist }
+
+// failed reports the conduit's peer-failure state: non-nil (wrapping
+// gasnet.ErrPeerLost) once a sibling rank process died mid-job. Progress
+// waits check it so a lost peer surfaces as a panic instead of a hang.
+func (w *World) failed() error { return w.net.Failed() }
+
+// Failed reports whether a peer rank process has been lost (multi-process
+// worlds only; always nil in-process). The error wraps gasnet.ErrPeerLost.
+func (w *World) Failed() error { return w.failed() }
+
 // Close shuts down the progress threads and the conduit. The job must
 // have quiesced.
 func (w *World) Close() {
@@ -263,6 +283,16 @@ func (w *World) Close() {
 // across epochs. Each epoch goroutine holds its rank's master persona for
 // the duration of fn.
 func (w *World) Run(fn func(rk *Rank)) {
+	if w.dist {
+		// One process, one rank: the SPMD fan-out happened at the OS level
+		// (upcxx-run / SpawnSelf); the epoch body runs on this goroutine.
+		rk := w.ranks[w.self]
+		sc := AcquirePersona(rk.master)
+		defer sc.Release()
+		fn(rk)
+		rk.Barrier()
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(w.ranks))
 	for _, rk := range w.ranks {
@@ -284,8 +314,22 @@ func Run(n int, fn func(rk *Rank)) {
 	RunConfig(Config{Ranks: n}, fn)
 }
 
-// RunConfig is Run with an explicit configuration.
+// RunConfig is Run with an explicit configuration. With UPCXX_CONDUIT
+// set to a real backend (tcp, shm) the in-process fan-out is replaced by
+// OS processes: the first RunConfig of a parent process re-executes the
+// binary once per rank and exits with the job's aggregate status, while
+// each spawned rank runs the whole program with every RunConfig bound to
+// its one rank — the SPMD model at the process level.
 func RunConfig(cfg Config, fn func(rk *Rank)) {
+	if DistActive() {
+		if !distWorker() {
+			os.Exit(SpawnSelf(cfg.Ranks))
+		}
+		w := NewWorldDist(cfg)
+		defer w.Close()
+		w.Run(fn)
+		return
+	}
 	w := NewWorld(cfg)
 	defer w.Close()
 	w.Run(fn)
@@ -380,6 +424,25 @@ func (rk *Rank) Progress() int {
 	return rk.progressWith(curState())
 }
 
+// ProgressWait runs one user-level progress pass and, when it finds no
+// work, idles: multi-process worlds park in the conduit's notified wait
+// for up to d (a doorbell or socket delivery wakes the rank early);
+// in-process worlds yield the scheduler. Poll loops — waiting on a
+// signaling put's arrival counter, say — should prefer this over bare
+// Progress+Gosched spinning: on an oversubscribed host a spin loop can
+// burn whole scheduler quanta before a sibling rank process ever runs.
+func (rk *Rank) ProgressWait(d time.Duration) int {
+	n := rk.Progress()
+	if n == 0 {
+		if rk.w.dist {
+			rk.ep.WaitPending(d)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return n
+}
+
 // progressWith is Progress with the goroutine's persona state already
 // resolved; spin loops (Future.Wait) hoist the lookup out of their
 // iterations.
@@ -416,6 +479,9 @@ func (rk *Rank) Discharge() {
 		if n == 0 && rk.defInflight.Load() == 0 {
 			return
 		}
+		if err := rk.w.failed(); err != nil {
+			panic(err)
+		}
 		rk.InternalProgress()
 	}
 }
@@ -439,6 +505,9 @@ func (rk *Rank) Quiesce() {
 		if defEmpty && rk.defInflight.Load() == 0 &&
 			rk.actCount.Load() == 0 && rk.pendingLPCs(gs) == 0 {
 			return
+		}
+		if err := rk.w.failed(); err != nil {
+			panic(err)
 		}
 	}
 }
@@ -474,6 +543,13 @@ func (rk *Rank) deferOp(inject func()) {
 // periods back off to a conduit-notified wait.
 func (rk *Rank) progressLoop(stop <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
+	if rk.w.dist {
+		// Pin the progress endpoint to an OS thread: the real conduit's
+		// idle-wait parks in the scheduler, and a pinned thread keeps the
+		// wakeup path (doorbell → Ring → WaitPending return) on one core.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
 	sc := AcquirePersona(rk.progressP)
 	defer sc.Release()
 	gs := curState()

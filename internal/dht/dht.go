@@ -16,6 +16,9 @@ package dht
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
 
 	core "upcxx/internal/core"
 )
@@ -130,9 +133,8 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 		// RPC of make_lz to obtain the landing zone, then a zero-copy
 		// rput chained with .then — the paper's Fig in §IV-C verbatim.
 		valCopy := val
-		f := core.RPC(d.rk, target, func(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
-			return lookup(trk, a.ID).makeLZ(trk, a.Key, int(a.Len))
-		}, lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
+		f := core.RPC(d.rk, target, makeLZRPC,
+			lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
 		return core.ThenFut(f, func(dest core.GPtr[uint8]) core.Future[core.Unit] {
 			return core.RPut(d.rk, valCopy, dest)
 		})
@@ -142,9 +144,8 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 		// rank once the bytes are visible — a signaling put in place of a
 		// publish round trip.
 		valCopy := val
-		f := core.RPC(d.rk, target, func(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
-			return lookup(trk, a.ID).allocLZ(trk, int(a.Len))
-		}, lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
+		f := core.RPC(d.rk, target, allocLZRPC,
+			lzArgs{ID: d.id, Key: key, Len: int64(len(val))})
 		return core.ThenFut(f, func(dest core.GPtr[uint8]) core.Future[core.Unit] {
 			pub := publishArgs{ID: d.id, Key: key, Zone: lz{Ptr: dest, Len: int64(len(valCopy))}}
 			return core.RPutWith(d.rk, valCopy, dest,
@@ -154,6 +155,32 @@ func (d *DHT) Insert(key uint64, val []byte) core.Future[core.Unit] {
 	default:
 		panic("dht: unknown mode")
 	}
+}
+
+// makeLZRPC is the LandingZone insert body: allocate and publish the
+// landing zone, returning its global pointer for the follow-up rput.
+func makeLZRPC(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
+	return lookup(trk, a.ID).makeLZ(trk, a.Key, int(a.Len))
+}
+
+// allocLZRPC is the SignalingPut insert body: allocate without
+// publishing (publishLZ publishes at remote completion).
+func allocLZRPC(trk *core.Rank, a lzArgs) core.GPtr[uint8] {
+	return lookup(trk, a.ID).allocLZ(trk, int(a.Len))
+}
+
+// Every RPC body crossing rank boundaries is registered by name so the
+// table works identically over the in-process conduit and the real
+// multi-process backends (tcp, shm).
+func init() {
+	core.RegisterRPC(storeRPC)
+	core.RegisterRPC(makeLZRPC)
+	core.RegisterRPC(allocLZRPC)
+	core.RegisterRPC(findValRPC)
+	core.RegisterRPC(findLZRPC)
+	core.RegisterRPC(eraseRPC)
+	core.RegisterRPC(mutateNamedRPC)
+	core.RegisterRPCFF(publishLZ)
 }
 
 // storeRPC is the RPCOnly insert body: copy the viewed value into the
@@ -292,17 +319,9 @@ func (d *DHT) Find(key uint64) core.Future[[]byte] {
 	target := d.Target(key)
 	switch d.mode {
 	case RPCOnly:
-		return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) []byte {
-			return lookup(trk, a.ID).localVal[a.Key]
-		}, findArgs{ID: d.id, Key: key})
+		return core.RPC(d.rk, target, findValRPC, findArgs{ID: d.id, Key: key})
 	case LandingZone, SignalingPut:
-		f := core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) lz {
-			z, ok := lookup(trk, a.ID).localLZ[a.Key]
-			if !ok {
-				return lz{Ptr: core.NilGPtr[uint8]()}
-			}
-			return z
-		}, findArgs{ID: d.id, Key: key})
+		f := core.RPC(d.rk, target, findLZRPC, findArgs{ID: d.id, Key: key})
 		return core.ThenFut(f, func(z lz) core.Future[[]byte] {
 			if z.Ptr.IsNil() {
 				return core.ReadyFuture[[]byte](d.rk, nil)
@@ -317,18 +336,91 @@ func (d *DHT) Find(key uint64) core.Future[[]byte] {
 	}
 }
 
-// Mutate applies fn to the value stored at key on its home rank, storing
-// fn's return value — the paper's graph-vertex neighbour update, which
-// would take a lock/rget/modify/rput/unlock cycle without RPC. fn runs on
-// the home rank; it must be a pure transformation of the supplied bytes.
-func (d *DHT) Mutate(key uint64, fn func(old []byte) []byte) core.Future[core.Unit] {
+// findValRPC is the RPCOnly find body.
+func findValRPC(trk *core.Rank, a findArgs) []byte {
+	return lookup(trk, a.ID).localVal[a.Key]
+}
+
+// findLZRPC is the landing-zone find body: the value itself travels by
+// one-sided rget against the returned zone.
+func findLZRPC(trk *core.Rank, a findArgs) lz {
+	z, ok := lookup(trk, a.ID).localLZ[a.Key]
+	if !ok {
+		return lz{Ptr: core.NilGPtr[uint8]()}
+	}
+	return z
+}
+
+// Mutator registry: Mutate's transformation runs at the key's home rank,
+// so over a real (multi-process) conduit it must travel by name like any
+// RPC body. Register package-level mutators at init; in-process worlds
+// also accept unregistered closures.
+var mutReg = struct {
+	sync.RWMutex
+	byName map[string]func(old, arg []byte) []byte
+	byPtr  map[uintptr]string
+}{
+	byName: make(map[string]func(old, arg []byte) []byte),
+	byPtr:  make(map[uintptr]string),
+}
+
+// RegisterMutator registers fn for cross-process Mutate dispatch and
+// returns its wire name. Call from init() with a package-level function.
+func RegisterMutator(fn func(old, arg []byte) []byte) string {
+	ptr := reflect.ValueOf(fn).Pointer()
+	name := runtime.FuncForPC(ptr).Name()
+	mutReg.Lock()
+	mutReg.byName[name] = fn
+	mutReg.byPtr[ptr] = name
+	mutReg.Unlock()
+	return name
+}
+
+type mutateArgs struct {
+	ID  core.DistID
+	Key uint64
+	Fn  string // registered mutator name
+	Arg []byte
+}
+
+// mutateNamedRPC is the registered Mutate body: resolve the mutator by
+// name and apply it to the home rank's stored value.
+func mutateNamedRPC(trk *core.Rank, a mutateArgs) core.Unit {
+	mutReg.RLock()
+	fn := mutReg.byName[a.Fn]
+	mutReg.RUnlock()
+	if fn == nil {
+		panic(fmt.Sprintf("dht: rank %d has no mutator %q — every rank must RegisterMutator it at init time", trk.Me(), a.Fn))
+	}
+	t := lookup(trk, a.ID)
+	t.localVal[a.Key] = fn(t.localVal[a.Key], a.Arg)
+	return core.Unit{}
+}
+
+// Mutate applies fn(old, arg) to the value stored at key on its home
+// rank, storing the result — the paper's graph-vertex neighbour update,
+// which would take a lock/rget/modify/rput/unlock cycle without RPC. fn
+// runs on the home rank; it must be a pure transformation of the
+// supplied bytes. Over a real conduit fn must be registered with
+// RegisterMutator; in-process any function (or closure) works.
+func (d *DHT) Mutate(key uint64, fn func(old, arg []byte) []byte, arg []byte) core.Future[core.Unit] {
 	if d.mode != RPCOnly {
 		panic("dht: Mutate requires RPCOnly mode (values live in the local map)")
 	}
 	target := d.Target(key)
+	mutReg.RLock()
+	name := mutReg.byPtr[reflect.ValueOf(fn).Pointer()]
+	mutReg.RUnlock()
+	if name != "" {
+		return core.RPC(d.rk, target, mutateNamedRPC,
+			mutateArgs{ID: d.id, Key: key, Fn: name, Arg: arg})
+	}
+	if d.rk.World().Dist() {
+		panic("dht: Mutate over a real conduit requires a mutator registered with dht.RegisterMutator")
+	}
 	return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) core.Unit {
 		t := lookup(trk, a.ID)
-		t.localVal[a.Key] = fn(t.localVal[a.Key])
+		t.localVal[a.Key] = fn(t.localVal[a.Key], arg)
 		return core.Unit{}
 	}, findArgs{ID: d.id, Key: key})
 }
@@ -337,27 +429,29 @@ func (d *DHT) Mutate(key uint64, fn func(old []byte) []byte) core.Future[core.Un
 // In LandingZone mode the zone's segment memory is reclaimed at the home
 // rank.
 func (d *DHT) Erase(key uint64) core.Future[bool] {
-	target := d.Target(key)
-	return core.RPC(d.rk, target, func(trk *core.Rank, a findArgs) bool {
-		t := lookup(trk, a.ID)
-		switch t.mode {
-		case RPCOnly:
-			_, ok := t.localVal[a.Key]
-			delete(t.localVal, a.Key)
-			return ok
-		case LandingZone, SignalingPut:
-			z, ok := t.localLZ[a.Key]
-			if ok {
-				if err := core.Delete(trk, z.Ptr); err != nil {
-					panic(err)
-				}
-				delete(t.localLZ, a.Key)
+	return core.RPC(d.rk, d.Target(key), eraseRPC, findArgs{ID: d.id, Key: key})
+}
+
+// eraseRPC is the erase body, shared by every mode.
+func eraseRPC(trk *core.Rank, a findArgs) bool {
+	t := lookup(trk, a.ID)
+	switch t.mode {
+	case RPCOnly:
+		_, ok := t.localVal[a.Key]
+		delete(t.localVal, a.Key)
+		return ok
+	case LandingZone, SignalingPut:
+		z, ok := t.localLZ[a.Key]
+		if ok {
+			if err := core.Delete(trk, z.Ptr); err != nil {
+				panic(err)
 			}
-			return ok
-		default:
-			panic("dht: unknown mode")
+			delete(t.localLZ, a.Key)
 		}
-	}, findArgs{ID: d.id, Key: key})
+		return ok
+	default:
+		panic("dht: unknown mode")
+	}
 }
 
 // LocalLen returns the number of entries homed on this rank.

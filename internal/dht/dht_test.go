@@ -142,9 +142,9 @@ func TestMutateVertex(t *testing.T) {
 		rk.Barrier()
 		const vertex = uint64(99)
 		// All ranks append their id; home-rank execution serializes them.
-		d.Mutate(vertex, func(old []byte) []byte {
-			return append(old, byte(rk.Me()))
-		}).Wait()
+		d.Mutate(vertex, func(old, arg []byte) []byte {
+			return append(old, arg...)
+		}, []byte{byte(rk.Me())}).Wait()
 		rk.Barrier()
 		got := d.Find(vertex).Wait()
 		if len(got) != 4 {

@@ -1,0 +1,892 @@
+package gasnet
+
+// Real transport conduit: ranks as separate OS processes, AMs and RMA
+// framed over TCP (backend "tcp") or Unix-domain sockets plus an
+// mmap'd shared-memory datapath (backend "shm").
+//
+// Sockets carry length-prefixed frames (frame.go). The shm backend
+// keeps the socket mesh as control path but moves the data path into
+// shared memory: puts/gets against a peer's host segment are direct
+// memcpys into the peer's mapped segment, small frames ride lock-free
+// doorbell rings (ring.go), and idle peers are woken by an fRing
+// doorbell frame over the socket — so an idle rank blocks in epoll
+// (via the reader goroutine's Read) rather than spinning.
+//
+// Per peer there is one reader goroutine (blocks in Read, dispatches
+// frames onto the endpoint's completion/AM queues, never writes) and
+// one writer goroutine (drains a queue with one writev per batch —
+// replies from the reader are routed through the writer queue, which
+// is what makes reader-side acks deadlock-free). Both are pinned with
+// LockOSThread.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"upcxx/internal/obs"
+)
+
+// ErrPeerLost reports that a peer process died or its connection broke
+// while the job was still running. Surviving ranks observe it (wrapped
+// with the peer rank) from Future.Wait / Quiesce rather than hanging.
+var ErrPeerLost = errors.New("gasnet: peer process lost")
+
+// RealConduit configures a real (multi-process) transport backend.
+type RealConduit struct {
+	Backend string        // "tcp" or "shm"
+	Rank    int           // this process's rank
+	BootDir string        // shared bootstrap directory (addr files, sockets, shm files)
+	Timeout time.Duration // bootstrap deadline; 0 = 30s
+}
+
+// AuxCodec serializes AM aux tokens (RPC invoker descriptors) for the
+// wire. In-process backends pass aux by reference; a real transport
+// needs the runtime above to map them to registered-function names.
+// Encoding nil must be representable as zero bytes.
+type AuxCodec interface {
+	EncodeAux(aux any) ([]byte, error)
+	DecodeAux(b []byte) (any, error)
+}
+
+// ConduitInfo is a snapshot of the transport identity and wire counters
+// for tooling (upcxx-info).
+type ConduitInfo struct {
+	Backend     string   `json:"backend"`
+	Ranks       int      `json:"ranks"`
+	Self        int      `json:"self"`
+	PeerAddrs   []string `json:"peer_addrs,omitempty"`
+	ShmSegBytes int      `json:"shm_seg_bytes,omitempty"`
+
+	FramesOut       uint64 `json:"frames_out"`
+	FramesIn        uint64 `json:"frames_in"`
+	BytesOut        uint64 `json:"bytes_out"`
+	BytesIn         uint64 `json:"bytes_in"`
+	RingRecords     uint64 `json:"ring_records"`
+	RingDoorbells   uint64 `json:"ring_doorbells"`
+	SocketFallbacks uint64 `json:"socket_fallbacks"`
+}
+
+type pendingOp struct {
+	onAck  func()       // fPutAck
+	dst    []byte       // fGetRep destination
+	onDone func()       // fGetRep completion
+	onOld  func(uint64) // fAMORep result
+}
+
+type peerConn struct {
+	rank Rank
+	addr string
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu     sync.Mutex
+	wcnd    *sync.Cond
+	wq      [][]byte
+	wclosed bool
+
+	bye atomic.Bool // peer announced clean shutdown
+
+	// shm datapath (nil on tcp backend)
+	rmu  sync.Mutex // serializes in-process producers of ring
+	ring *shmRing   // ring I produce into, inside the peer's file
+	seg  []byte     // peer's mapped host segment
+}
+
+func (p *peerConn) enqueue(fb []byte) {
+	p.wmu.Lock()
+	if !p.wclosed {
+		p.wq = append(p.wq, fb)
+		p.wcnd.Signal()
+	}
+	p.wmu.Unlock()
+}
+
+type shmWorld struct {
+	my      *shmFile
+	peers   []*shmFile
+	inRings []*shmRing // ring i: records produced by rank i, in my file
+}
+
+type transport struct {
+	net     *Network
+	backend string
+	self    Rank
+	n       int
+	aux     AuxCodec
+	ep      *Endpoint
+	peers   []*peerConn
+	ln      net.Listener
+	bell    []byte // pre-encoded fRing doorbell frame
+	shm     *shmWorld
+
+	seq     atomic.Uint64
+	pmu     sync.Mutex
+	pending map[uint64]pendingOp
+
+	failMu  sync.Mutex
+	failErr error
+	hasFail atomic.Bool
+	closing atomic.Bool
+	wg      sync.WaitGroup
+
+	framesOut, framesIn atomic.Uint64
+	bytesOut, bytesIn   atomic.Uint64
+	ringRecs, ringBells atomic.Uint64
+	sockFalls           atomic.Uint64
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+func addrFile(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("addr.%d", rank))
+}
+
+func writeAddrFile(dir string, rank int, addr string) error {
+	tmp := addrFile(dir, rank) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, addrFile(dir, rank))
+}
+
+func pollAddrFile(dir string, rank int, deadline time.Time) (string, error) {
+	for {
+		b, err := os.ReadFile(addrFile(dir, rank))
+		if err == nil && len(b) > 0 {
+			return string(b), nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("gasnet: timeout waiting for rank %d address file", rank)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// newTransport bootstraps the socket mesh (and, for shm, the mapped
+// world files) and starts the per-peer progress goroutines. It blocks
+// until every peer connection is established.
+func newTransport(nw *Network, rc *RealConduit) (*transport, error) {
+	nranks := nw.cfg.Ranks
+	self := Rank(rc.Rank)
+	if rc.Rank < 0 || rc.Rank >= nranks {
+		return nil, fmt.Errorf("gasnet: conduit rank %d out of range [0,%d)", rc.Rank, nranks)
+	}
+	timeout := rc.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	t := &transport{
+		net:     nw,
+		backend: rc.Backend,
+		self:    self,
+		n:       nranks,
+		aux:     nw.cfg.Aux,
+		peers:   make([]*peerConn, nranks),
+		pending: make(map[uint64]pendingOp),
+		bell:    encodeEmpty(fRing),
+	}
+
+	if rc.Backend == "shm" {
+		my, err := createShm(rc.BootDir, rc.Rank, nranks, nw.cfg.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
+		t.shm = &shmWorld{
+			my:      my,
+			peers:   make([]*shmFile, nranks),
+			inRings: make([]*shmRing, nranks),
+		}
+		// The self segment must BE the mapped region so peers' direct
+		// memcpys into it are locally visible.
+		nw.eps[rc.Rank].seg = NewSegmentBacked(my.seg(nranks), true)
+	}
+	t.ep = nw.eps[rc.Rank]
+
+	var ln net.Listener
+	var err error
+	if rc.Backend == "shm" {
+		ln, err = net.Listen("unix", filepath.Join(rc.BootDir, fmt.Sprintf("sock.%d", rc.Rank)))
+	} else {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.ln = ln
+	if err := writeAddrFile(rc.BootDir, rc.Rank, ln.Addr().String()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	// Ranks above us dial in; ranks below us we dial. Each connection
+	// opens with an fHello exchange identifying both sides.
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- t.acceptPeers(nranks-1-rc.Rank, deadline) }()
+	dialErr := t.dialPeers(rc.BootDir, deadline)
+	aerr := <-acceptErr
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	if aerr != nil {
+		return nil, aerr
+	}
+
+	if t.shm != nil {
+		for j := 0; j < nranks; j++ {
+			if j == rc.Rank {
+				continue
+			}
+			pf, err := openShm(rc.BootDir, j, nranks, nw.cfg.SegmentSize, time.Until(deadline))
+			if err != nil {
+				return nil, err
+			}
+			t.shm.peers[j] = pf
+			t.shm.inRings[j] = mapRing(t.shm.my.ring(j))
+			t.peers[j].ring = mapRing(pf.ring(rc.Rank))
+			t.peers[j].seg = pf.seg(nranks)
+		}
+	}
+
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(2)
+		go t.readerLoop(p)
+		go t.writerLoop(p)
+	}
+	return t, nil
+}
+
+func (t *transport) newPeer(rank Rank, conn net.Conn, br *bufio.Reader) *peerConn {
+	p := &peerConn{rank: rank, addr: conn.RemoteAddr().String(), conn: conn, br: br}
+	p.wcnd = sync.NewCond(&p.wmu)
+	return p
+}
+
+func (t *transport) helloExchange(conn net.Conn, br *bufio.Reader, deadline time.Time) (Rank, error) {
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(encodeHello(uint32(t.self), uint32(t.n))); err != nil {
+		return 0, err
+	}
+	body, err := readFrame(br, 64)
+	if err != nil {
+		return 0, err
+	}
+	f, err := decodeFrameBody(body)
+	if err != nil {
+		return 0, err
+	}
+	if f.typ != fHello {
+		return 0, fmt.Errorf("gasnet: expected hello frame, got %#x", f.typ)
+	}
+	if int(f.nranks) != t.n {
+		return 0, fmt.Errorf("gasnet: peer job size %d, want %d", f.nranks, t.n)
+	}
+	if int(f.rank) >= t.n {
+		return 0, fmt.Errorf("gasnet: peer rank %d out of range", f.rank)
+	}
+	conn.SetDeadline(time.Time{})
+	return Rank(f.rank), nil
+}
+
+func (t *transport) dialPeers(dir string, deadline time.Time) error {
+	for j := 0; j < int(t.self); j++ {
+		addr, err := pollAddrFile(dir, j, deadline)
+		if err != nil {
+			return err
+		}
+		network := "tcp"
+		if t.backend == "shm" {
+			network = "unix"
+		}
+		var conn net.Conn
+		for {
+			conn, err = net.DialTimeout(network, addr, time.Until(deadline))
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gasnet: dial rank %d at %s: %w", j, addr, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		br := bufio.NewReaderSize(conn, 1<<16)
+		peer, err := t.helloExchange(conn, br, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("gasnet: handshake with rank %d: %w", j, err)
+		}
+		if peer != Rank(j) {
+			conn.Close()
+			return fmt.Errorf("gasnet: dialed rank %d but peer says it is rank %d", j, peer)
+		}
+		t.peers[j] = t.newPeer(peer, conn, br)
+	}
+	return nil
+}
+
+func (t *transport) acceptPeers(count int, deadline time.Time) error {
+	for k := 0; k < count; k++ {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := t.ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("gasnet: accept: %w", err)
+		}
+		br := bufio.NewReaderSize(conn, 1<<16)
+		peer, err := t.helloExchange(conn, br, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("gasnet: handshake on accepted connection: %w", err)
+		}
+		if peer <= t.self || t.peers[peer] != nil {
+			conn.Close()
+			return fmt.Errorf("gasnet: unexpected connection from rank %d", peer)
+		}
+		t.peers[peer] = t.newPeer(peer, conn, br)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Progress goroutines
+
+func (t *transport) readerLoop(p *peerConn) {
+	runtime.LockOSThread()
+	defer t.wg.Done()
+	for {
+		body, err := readFrame(p.br, frameMaxBody)
+		if err != nil {
+			if t.closing.Load() || p.bye.Load() {
+				return
+			}
+			t.fail(p.rank, err)
+			return
+		}
+		t.framesIn.Add(1)
+		t.bytesIn.Add(uint64(4 + len(body)))
+		t.handleFrame(p, body)
+	}
+}
+
+func (t *transport) writerLoop(p *peerConn) {
+	runtime.LockOSThread()
+	defer t.wg.Done()
+	for {
+		p.wmu.Lock()
+		for len(p.wq) == 0 && !p.wclosed {
+			p.wcnd.Wait()
+		}
+		q := p.wq
+		p.wq = nil
+		closed := p.wclosed
+		p.wmu.Unlock()
+		if len(q) > 0 {
+			bufs := net.Buffers(q)
+			if _, err := bufs.WriteTo(p.conn); err != nil {
+				if !t.closing.Load() && !p.bye.Load() {
+					t.fail(p.rank, err)
+				}
+				// Stop writing; keep draining enqueues so senders never block.
+				p.wmu.Lock()
+				p.wclosed = true
+				p.wq = nil
+				p.wmu.Unlock()
+				return
+			}
+		}
+		if closed {
+			if cw, ok := p.conn.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// send routes one pre-encoded frame (length prefix included) to dst:
+// via the shm doorbell ring when it fits, else the socket writer queue.
+func (t *transport) send(dst Rank, fb []byte) {
+	p := t.peers[dst]
+	if p == nil {
+		return // self or torn down; self-sends never reach the transport
+	}
+	body := fb[4:]
+	if p.ring != nil && len(body) <= ringMaxRec {
+		p.rmu.Lock()
+		pushed, bellNeeded := p.ring.push(body)
+		p.rmu.Unlock()
+		if pushed {
+			t.ringRecs.Add(1)
+			if bellNeeded {
+				t.ringBells.Add(1)
+				p.enqueue(t.bell)
+			}
+			return
+		}
+		t.sockFalls.Add(1)
+	}
+	t.framesOut.Add(1)
+	t.bytesOut.Add(uint64(len(fb)))
+	p.enqueue(fb)
+}
+
+// ---------------------------------------------------------------------------
+// Pending-operation table
+
+func (t *transport) newPending(op pendingOp) uint64 {
+	id := t.seq.Add(1)
+	t.pmu.Lock()
+	t.pending[id] = op
+	t.pmu.Unlock()
+	return id
+}
+
+func (t *transport) takePending(id uint64) (pendingOp, bool) {
+	t.pmu.Lock()
+	op, ok := t.pending[id]
+	if ok {
+		delete(t.pending, id)
+	}
+	t.pmu.Unlock()
+	return op, ok
+}
+
+// ---------------------------------------------------------------------------
+// Aux and remote-AM helpers
+
+func (t *transport) encodeAux(aux any) []byte {
+	if aux == nil {
+		return nil
+	}
+	if t.aux == nil {
+		panic("gasnet: transport carries an aux token but no AuxCodec is configured")
+	}
+	b, err := t.aux.EncodeAux(aux)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (t *transport) decodeAux(b []byte) any {
+	if len(b) == 0 {
+		return nil
+	}
+	if t.aux == nil {
+		panic("gasnet: transport received an aux token but no AuxCodec is configured")
+	}
+	aux, err := t.aux.DecodeAux(b)
+	if err != nil {
+		panic(err)
+	}
+	return aux
+}
+
+// remArm reports whether this send must carry the remote-completion AM:
+// for a counted (multi-fragment) AM only the last-sent fragment carries
+// it — per-peer FIFO ordering makes that the last to land.
+func remArm(rem *RemoteAM) bool {
+	if rem == nil {
+		return false
+	}
+	if rem.frags.Load() > 0 && rem.frags.Add(-1) > 0 {
+		return false
+	}
+	return true
+}
+
+func (t *transport) remWireOf(rem *RemoteAM) *remWire {
+	return &remWire{handler: uint16(rem.Handler), aux: t.encodeAux(rem.Aux), payload: rem.Payload}
+}
+
+// sendRemAM ships an armed remote-completion AM as a standalone fAM —
+// used by the shm fast path, where the data moved by direct memcpy and
+// there is no carrying frame.
+func (t *transport) sendRemAM(dst Rank, rem *RemoteAM) {
+	t.send(dst, encodeAM(uint32(t.self), uint16(rem.Handler), t.encodeAux(rem.Aux), [][]byte{rem.Payload}))
+}
+
+// ---------------------------------------------------------------------------
+// Operations (called from the endpoint entry points when dst != self)
+
+func (t *transport) put(dst Rank, seg SegID, off uint64, src []byte, onAck func(), rem *RemoteAM, tag obs.OpTag) {
+	n := len(src)
+	tag.WireMsg(t.self, dst, n)
+	tag.Hop(obs.StageCapture, t.self, n)
+	p := t.peers[dst]
+	if seg == HostSeg && p != nil && p.seg != nil {
+		// Same-host fast path: write straight into the peer's mapped
+		// segment. The data is globally visible when copy returns, so
+		// operation completion is immediate — no ack round trip.
+		end := off + uint64(n)
+		if end > uint64(len(p.seg)) || end < off {
+			panic(fmt.Sprintf("gasnet: shm put [%d,%d) out of bounds (peer seg %d)", off, end, len(p.seg)))
+		}
+		copy(p.seg[off:end], src)
+		tag.Landing(dst, n)
+		if remArm(rem) {
+			t.sendRemAM(dst, rem) // ring push's release-store publishes the memcpy
+		}
+		if onAck != nil {
+			t.ep.enqueueComp(onAck)
+		}
+		return
+	}
+	var rw *remWire
+	if remArm(rem) {
+		rw = t.remWireOf(rem)
+	}
+	var ackID uint64
+	if onAck != nil {
+		ackID = t.newPending(pendingOp{onAck: onAck})
+	}
+	tag.Landing(dst, n)
+	t.send(dst, encodePut(uint32(t.self), uint16(seg), off, uint32(t.self), ackID, rw, src))
+}
+
+func (t *transport) get(src Rank, seg SegID, off uint64, dst []byte, onDone func(), tag obs.OpTag) {
+	n := len(dst)
+	tag.WireMsg(t.self, src, 0)
+	tag.WireMsg(src, t.self, n)
+	tag.Hop(obs.StageCapture, t.self, 0)
+	p := t.peers[src]
+	if seg == HostSeg && p != nil && p.seg != nil {
+		end := off + uint64(n)
+		if end > uint64(len(p.seg)) || end < off {
+			panic(fmt.Sprintf("gasnet: shm get [%d,%d) out of bounds (peer seg %d)", off, end, len(p.seg)))
+		}
+		copy(dst, p.seg[off:end])
+		tag.Landing(t.self, n)
+		if onDone != nil {
+			t.ep.enqueueComp(onDone)
+		}
+		return
+	}
+	id := t.newPending(pendingOp{dst: dst, onDone: func() {
+		tag.Landing(t.self, n)
+		if onDone != nil {
+			onDone()
+		}
+	}})
+	t.send(src, encodeGet(id, uint16(seg), off, uint32(n)))
+}
+
+// am ships an Active Message whose payload is the concatenation of
+// frags. The frame encode is the single capture copy (zero-copy gather:
+// borrowed fragments go straight into the frame buffer, and are
+// reusable when am returns).
+func (t *transport) am(dst Rank, h HandlerID, frags [][]byte, aux any, tag obs.OpTag) {
+	n := 0
+	for _, f := range frags {
+		n += len(f)
+	}
+	tag.WireMsg(t.self, dst, n)
+	tag.Hop(obs.StageCapture, t.self, n)
+	t.send(dst, encodeAM(uint32(t.self), uint16(h), t.encodeAux(aux), frags))
+	tag.Landing(dst, n)
+}
+
+func (t *transport) amo(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResult func(old uint64), tag obs.OpTag) {
+	tag.WireMsg(t.self, dst, 8)
+	tag.Hop(obs.StageCapture, t.self, 8)
+	p := t.peers[dst]
+	if p != nil && p.seg != nil {
+		// Same-host: execute the atomic directly on the peer's mapped
+		// word — both sides use hardware atomics (shared segment), so
+		// this serializes with the target's own AMOs.
+		if off+8 > uint64(len(p.seg)) {
+			panic(fmt.Sprintf("gasnet: shm AMO at %d out of bounds (peer seg %d)", off, len(p.seg)))
+		}
+		w := (*uint64)(unsafe.Pointer(&p.seg[off]))
+		old := sharedAMO(w, op, op1, op2)
+		tag.Landing(dst, 8)
+		if onResult != nil {
+			t.ep.enqueueComp(func() { onResult(old) })
+		}
+		return
+	}
+	var id uint64
+	if onResult != nil {
+		id = t.newPending(pendingOp{onOld: onResult})
+	}
+	t.send(dst, encodeAMO(id, off, byte(op), op1, op2))
+	tag.Landing(dst, 8)
+}
+
+// copySeg implements third-party and device-aware copies over the
+// transport.
+func (t *transport) copySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func(), rem *RemoteAM, tag obs.OpTag) {
+	switch {
+	case srcRank == t.self:
+		src := t.ep.SegByID(srcSeg).Bytes(srcOff, n)
+		if srcSeg != HostSeg {
+			t.ep.countDMA(obs.DMAD2H, n)
+		}
+		t.put(dstRank, dstSeg, dstOff, src, onDone, rem, tag)
+	case dstRank == t.self:
+		dst := t.ep.SegByID(dstSeg).Bytes(dstOff, n)
+		wrapped := func() {
+			if dstSeg != HostSeg {
+				t.ep.countDMA(obs.DMAH2D, n)
+			}
+			t.ep.deliverRemote(t.self, rem)
+			if onDone != nil {
+				onDone()
+			}
+		}
+		t.get(srcRank, srcSeg, srcOff, dst, wrapped, tag)
+	default:
+		sp, dp := t.peers[srcRank], t.peers[dstRank]
+		if srcSeg == HostSeg && dstSeg == HostSeg && sp != nil && sp.seg != nil && dp != nil && dp.seg != nil {
+			// Same-host third party: one direct memcpy peer to peer.
+			tag.WireMsg(srcRank, dstRank, n)
+			copy(dp.seg[dstOff:dstOff+uint64(n)], sp.seg[srcOff:srcOff+uint64(n)])
+			tag.Landing(dstRank, n)
+			if remArm(rem) {
+				t.sendRemAM(dstRank, rem)
+			}
+			if onDone != nil {
+				t.ep.enqueueComp(onDone)
+			}
+			return
+		}
+		// 2.5-hop relay: ask srcRank to put its bytes to dstRank; the
+		// destination acks us directly (ackRank = initiator).
+		var rw *remWire
+		if remArm(rem) {
+			rw = t.remWireOf(rem)
+		}
+		var ackID uint64
+		if onDone != nil {
+			ackID = t.newPending(pendingOp{onAck: onDone})
+		}
+		tag.WireMsg(t.self, srcRank, 0)
+		tag.WireMsg(srcRank, dstRank, n)
+		t.send(srcRank, encodeCopy(uint32(t.self), uint16(srcSeg), srcOff, uint32(dstRank), uint16(dstSeg), dstOff, uint32(n), uint32(t.self), ackID, rw))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound dispatch
+
+func (t *transport) handleFrame(p *peerConn, body []byte) {
+	f, err := decodeFrameBody(body)
+	if err != nil {
+		t.fail(p.rank, err)
+		return
+	}
+	switch f.typ {
+	case fAM:
+		t.ep.enqueueAM(inboundAM{src: Rank(f.rank), handler: HandlerID(f.handler), payload: f.payload, aux: t.decodeAux(f.aux)})
+	case fPut:
+		seg := t.ep.SegByID(SegID(f.seg))
+		t.ep.syncDirect(func() { copy(seg.Bytes(f.off, len(f.payload)), f.payload) })
+		if SegID(f.seg) != HostSeg {
+			t.ep.countDMA(obs.DMAH2D, len(f.payload))
+		}
+		if f.hasRem {
+			t.ep.enqueueAM(inboundAM{src: Rank(f.rank), handler: HandlerID(f.remHandler), payload: f.remPayload, aux: t.decodeAux(f.remAux)})
+		}
+		if f.ackID != 0 {
+			t.send(Rank(f.ackRank), encodePutAck(f.ackID))
+		}
+	case fPutAck:
+		if op, ok := t.takePending(f.ackID); ok && op.onAck != nil {
+			t.ep.enqueueComp(op.onAck)
+		}
+	case fGet:
+		seg := t.ep.SegByID(SegID(f.seg))
+		var rep []byte
+		t.ep.syncDirect(func() { rep = encodeGetRep(f.reqID, seg.Bytes(f.off, int(f.n))) })
+		if SegID(f.seg) != HostSeg {
+			t.ep.countDMA(obs.DMAD2H, int(f.n))
+		}
+		t.send(p.rank, rep)
+	case fGetRep:
+		if op, ok := t.takePending(f.reqID); ok {
+			t.ep.syncDirect(func() { copy(op.dst, f.payload) })
+			if op.onDone != nil {
+				t.ep.enqueueComp(op.onDone)
+			}
+		}
+	case fAMO:
+		if f.amoOp > byte(AMOCompSwap) {
+			t.fail(p.rank, fmt.Errorf("gasnet: invalid AMO op %d on the wire", f.amoOp))
+			return
+		}
+		var old uint64
+		t.ep.syncDirect(func() { old = t.ep.seg.applyAMO(f.off, AMOOp(f.amoOp), f.amoA, f.amoB) })
+		if f.reqID != 0 {
+			t.send(p.rank, encodeAMORep(f.reqID, old))
+		}
+	case fAMORep:
+		if op, ok := t.takePending(f.reqID); ok && op.onOld != nil {
+			old := f.amoOld
+			t.ep.enqueueComp(func() { op.onOld(old) })
+		}
+	case fCopy:
+		t.handleCopy(f)
+	case fRing:
+		t.drainRing(p)
+	case fBye:
+		p.bye.Store(true)
+		t.drainRing(p)
+	default:
+		t.fail(p.rank, fmt.Errorf("gasnet: unexpected frame type %#x mid-stream", f.typ))
+	}
+}
+
+// handleCopy runs at the copy's source rank: read the local bytes and
+// relay them to the destination as a put whose ack goes straight back
+// to the initiator.
+func (t *transport) handleCopy(f frame) {
+	seg := t.ep.SegByID(SegID(f.seg))
+	if SegID(f.seg) != HostSeg {
+		t.ep.countDMA(obs.DMAD2H, int(f.n))
+	}
+	if Rank(f.dstRank) == t.self {
+		dseg := t.ep.SegByID(SegID(f.dstSeg))
+		t.ep.syncDirect(func() {
+			copy(dseg.Bytes(f.dstOff, int(f.n)), seg.Bytes(f.off, int(f.n)))
+		})
+		if SegID(f.dstSeg) != HostSeg {
+			t.ep.countDMA(obs.DMAH2D, int(f.n))
+		}
+		if f.hasRem {
+			t.ep.enqueueAM(inboundAM{src: Rank(f.rank), handler: HandlerID(f.remHandler), payload: f.remPayload, aux: t.decodeAux(f.remAux)})
+		}
+		if f.ackID != 0 {
+			t.send(Rank(f.ackRank), encodePutAck(f.ackID))
+		}
+		return
+	}
+	var rw *remWire
+	if f.hasRem {
+		rw = &remWire{handler: f.remHandler, aux: f.remAux, payload: f.remPayload}
+	}
+	var relay []byte
+	t.ep.syncDirect(func() {
+		relay = encodePut(f.rank, f.dstSeg, f.dstOff, f.ackRank, f.ackID, rw, seg.Bytes(f.off, int(f.n)))
+	})
+	t.send(Rank(f.dstRank), relay)
+}
+
+func (t *transport) drainRing(p *peerConn) {
+	if t.shm == nil {
+		return
+	}
+	ring := t.shm.inRings[p.rank]
+	if ring == nil {
+		return
+	}
+	ring.drain(func(b []byte) { t.handleFrame(p, b) })
+}
+
+// ---------------------------------------------------------------------------
+// Failure and teardown
+
+func (t *transport) fail(peer Rank, err error) {
+	if t.closing.Load() {
+		return
+	}
+	t.failMu.Lock()
+	if t.failErr == nil {
+		t.failErr = fmt.Errorf("%w: rank %d: %v", ErrPeerLost, peer, err)
+		t.hasFail.Store(true)
+	}
+	t.failMu.Unlock()
+	t.ep.Ring()
+}
+
+func (t *transport) failure() error {
+	if !t.hasFail.Load() {
+		return nil
+	}
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	return t.failErr
+}
+
+// close announces fBye to every peer, drains the writers, and reaps the
+// progress goroutines. Callers quiesce first (World.Run's final
+// barrier), so per-peer FIFO guarantees all useful traffic precedes the
+// bye on the wire.
+func (t *transport) close() {
+	if t.closing.Swap(true) {
+		return
+	}
+	bye := encodeEmpty(fBye)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.enqueue(bye)
+		p.wmu.Lock()
+		p.wclosed = true
+		p.wcnd.Signal()
+		p.wmu.Unlock()
+		// Guard against a hung peer: readers stop within the deadline
+		// even if the peer never sends its bye.
+		p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	}
+	t.wg.Wait()
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	if t.shm != nil {
+		for _, pf := range t.shm.peers {
+			if pf != nil {
+				pf.close()
+			}
+		}
+		t.shm.my.close()
+	}
+}
+
+func (t *transport) info() ConduitInfo {
+	ci := ConduitInfo{
+		Backend:         t.backend,
+		Ranks:           t.n,
+		Self:            int(t.self),
+		FramesOut:       t.framesOut.Load(),
+		FramesIn:        t.framesIn.Load(),
+		BytesOut:        t.bytesOut.Load(),
+		BytesIn:         t.bytesIn.Load(),
+		RingRecords:     t.ringRecs.Load(),
+		RingDoorbells:   t.ringBells.Load(),
+		SocketFallbacks: t.sockFalls.Load(),
+	}
+	ci.PeerAddrs = make([]string, t.n)
+	for r, p := range t.peers {
+		if p != nil {
+			ci.PeerAddrs[r] = p.addr
+		} else if Rank(r) == t.self {
+			ci.PeerAddrs[r] = "self"
+		}
+	}
+	if t.shm != nil {
+		ci.ShmSegBytes = t.shm.my.segN
+	}
+	return ci
+}

@@ -61,6 +61,12 @@ func (ep *Endpoint) PutSegTag(dst Rank, seg SegID, dstOff uint64, src []byte, on
 	n := len(src)
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && dst != ep.rank {
+		// Device-segment puts cross the wire as frames even on shm;
+		// the target counts the h2d descriptor when the data lands.
+		t.put(dst, seg, dstOff, src, onAck, rem, tag)
+		return
+	}
 	tgt := ep.net.eps[dst]
 	tgt.countDMA(obs.DMAH2D, n)
 	// Resolve eagerly: a wild device pointer or out-of-bounds range must
@@ -155,6 +161,10 @@ func (ep *Endpoint) GetSegTag(src Rank, seg SegID, srcOff uint64, dst []byte, on
 	n := len(dst)
 	ep.gets.Add(1)
 	ep.getBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && src != ep.rank {
+		t.get(src, seg, srcOff, dst, onDone, tag)
+		return
+	}
 	rem := ep.net.eps[src]
 	rem.countDMA(obs.DMAD2H, n)
 	sb := rem.SegByID(seg).Bytes(srcOff, n)
@@ -248,6 +258,10 @@ func (ep *Endpoint) CopySeg(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank R
 func (ep *Endpoint) CopySegTag(srcRank Rank, srcSeg SegID, srcOff uint64, dstRank Rank, dstSeg SegID, dstOff uint64, n int, onDone func(), rem *RemoteAM, tag obs.OpTag) {
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && (srcRank != ep.rank || dstRank != ep.rank) {
+		t.copySeg(srcRank, srcSeg, srcOff, dstRank, dstSeg, dstOff, n, onDone, rem, tag)
+		return
+	}
 	srcEP, dstEP := ep.net.eps[srcRank], ep.net.eps[dstRank]
 	srcDev, dstDev := srcSeg != HostSeg, dstSeg != HostSeg
 	gdr := ep.net.gdr

@@ -45,6 +45,13 @@ type Config struct {
 	// descriptors by hop kind, doorbell wakeups, and op-lifecycle hops
 	// into it. nil disables all conduit-side recording.
 	Obs *obs.Obs
+	// Real, when non-nil, selects a real multi-process transport
+	// backend ("tcp" or "shm") instead of the in-process conduit. The
+	// network then hosts only Real.Rank's endpoint; Model must be nil.
+	Real *RealConduit
+	// Aux serializes AM aux tokens across process boundaries (required
+	// for RPC over a real backend). Ignored by in-process backends.
+	Aux AuxCodec
 }
 
 // DefaultSegmentSize is the per-rank segment size when Config leaves it 0.
@@ -60,6 +67,7 @@ type Network struct {
 	gdr      bool // every endpoint's engine is GPUDirect-capable
 	eps      []*Endpoint
 	eng      *engine
+	trans    *transport // real transport backend; nil = in-process conduit
 
 	hmu      sync.Mutex
 	handlers []AMHandler
@@ -134,6 +142,33 @@ func NewNetwork(cfg Config) *Network {
 	}
 	n := &Network{cfg: cfg, model: model, dma: dma, realtime: realtime, gdr: dma.GPUDirect()}
 	n.eps = make([]*Endpoint, cfg.Ranks)
+	if cfg.Real != nil {
+		// Real multi-process backend: this process hosts exactly one
+		// endpoint; every other rank is a separate OS process reached
+		// through the transport. A timing model makes no sense here.
+		if realtime {
+			panic("gasnet: Config.Model must be nil with a real transport backend")
+		}
+		self := cfg.Real.Rank
+		if self < 0 || self >= cfg.Ranks {
+			panic(fmt.Sprintf("gasnet: Real.Rank %d out of range [0,%d)", self, cfg.Ranks))
+		}
+		n.eps[self] = &Endpoint{
+			rank:   Rank(self),
+			net:    n,
+			seg:    NewSegment(cfg.SegmentSize),
+			notify: make(chan struct{}, 1),
+		}
+		if cfg.Obs != nil {
+			n.eps[self].ro = cfg.Obs.Rank(self)
+		}
+		t, err := newTransport(n, cfg.Real)
+		if err != nil {
+			panic(fmt.Sprintf("gasnet: transport bootstrap failed: %v", err))
+		}
+		n.trans = t
+		return n
+	}
 	for r := 0; r < cfg.Ranks; r++ {
 		n.eps[r] = &Endpoint{
 			rank:   Rank(r),
@@ -149,6 +184,34 @@ func NewNetwork(cfg Config) *Network {
 		n.eng = newEngine(cfg.Ranks)
 	}
 	return n
+}
+
+// Conduit names the active conduit backend: "model" for the in-process
+// simulated conduit, or the real backend name ("tcp", "shm").
+func (n *Network) Conduit() string {
+	if n.trans != nil {
+		return n.trans.backend
+	}
+	return "model"
+}
+
+// ConduitInfo snapshots the real backend's identity and wire counters;
+// the zero value (Backend "model") is returned for in-process conduits.
+func (n *Network) ConduitInfo() ConduitInfo {
+	if n.trans != nil {
+		return n.trans.info()
+	}
+	return ConduitInfo{Backend: "model", Ranks: n.cfg.Ranks}
+}
+
+// Failed reports a transport-level job failure (a peer process died):
+// nil while healthy, an error wrapping ErrPeerLost after a peer is
+// lost. In-process conduits never fail.
+func (n *Network) Failed() error {
+	if n.trans != nil {
+		return n.trans.failure()
+	}
+	return nil
 }
 
 // Ranks returns the job size.
@@ -204,6 +267,9 @@ func (n *Network) Close() {
 	}
 	if n.eng != nil {
 		n.eng.stop()
+	}
+	if n.trans != nil {
+		n.trans.close()
 	}
 }
 
@@ -392,6 +458,21 @@ func (ep *Endpoint) countDMA(k obs.DMAKind, n int) {
 		ep.net.dmaTrace = append(ep.net.dmaTrace, DMAHop{Rank: ep.rank, Bytes: n, Kind: k})
 		ep.net.dmaMu.Unlock()
 	}
+}
+
+// syncDirect runs fn — a delivery goroutine's direct touch of segment
+// memory or a user buffer (a one-sided put landing, a get serving) —
+// under the endpoint queue lock. Every polling goroutine acquires that
+// lock each progress pass, so the access is ordered against user-code
+// reads and writes of the same memory: the conduit's ack/barrier
+// protocol already provides the real-time ordering, but it runs through
+// *other processes*, where the race detector cannot follow it; the lock
+// turns it into a happens-before edge it can. fn must not enqueue
+// (enqueueComp/enqueueAM re-lock the same mutex).
+func (ep *Endpoint) syncDirect(fn func()) {
+	ep.qmu.Lock()
+	defer ep.qmu.Unlock()
+	fn()
 }
 
 func (ep *Endpoint) enqueueComp(f func()) {
@@ -592,6 +673,10 @@ func (ep *Endpoint) put(dst Rank, dstOff uint64, src []byte, onAck func(), rem *
 	n := len(src)
 	ep.puts.Add(1)
 	ep.putBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && dst != ep.rank {
+		t.put(dst, HostSeg, dstOff, src, onAck, rem, tag)
+		return
+	}
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
 	tag.WireMsg(ep.rank, dst, n)
@@ -636,6 +721,10 @@ func (ep *Endpoint) get(src Rank, srcOff uint64, dst []byte, onDone func(), tag 
 	n := len(dst)
 	ep.gets.Add(1)
 	ep.getBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && src != ep.rank {
+		t.get(src, HostSeg, srcOff, dst, onDone, tag)
+		return
+	}
 	rem := ep.net.eps[src]
 	intra := ep.net.Intra(ep.rank, src)
 	tag.WireMsg(ep.rank, src, 0)
@@ -689,6 +778,11 @@ func (ep *Endpoint) AMTag(dst Rank, h HandlerID, payload []byte, aux any, tag ob
 	n := len(payload)
 	ep.ams.Add(1)
 	ep.amBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && dst != ep.rank {
+		// The frame encode is the capture copy; no extra staging.
+		t.am(dst, h, [][]byte{payload}, aux, tag)
+		return
+	}
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
 	staged := append([]byte(nil), payload...)
@@ -727,6 +821,13 @@ func (ep *Endpoint) AMTagV(dst Rank, h HandlerID, frags [][]byte, aux any, tag o
 	}
 	ep.ams.Add(1)
 	ep.amBytes.Add(uint64(n))
+	if t := ep.net.trans; t != nil && dst != ep.rank {
+		// Borrowed fragments are encoded straight into the frame
+		// buffer — the single capture copy — and are reusable on
+		// return, preserving the gather-capture contract.
+		t.am(dst, h, frags, aux, tag)
+		return
+	}
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
 	tag.WireMsg(ep.rank, dst, n)
@@ -768,6 +869,10 @@ func (ep *Endpoint) AMO(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResul
 // AMOTag is AMO carrying the initiator's observability tag.
 func (ep *Endpoint) AMOTag(dst Rank, off uint64, op AMOOp, op1, op2 uint64, onResult func(old uint64), tag obs.OpTag) {
 	ep.amos.Add(1)
+	if t := ep.net.trans; t != nil && dst != ep.rank {
+		t.amo(dst, off, op, op1, op2, onResult, tag)
+		return
+	}
 	tgt := ep.net.eps[dst]
 	intra := ep.net.Intra(ep.rank, dst)
 	tag.WireMsg(ep.rank, dst, 8)

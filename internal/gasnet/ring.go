@@ -1,0 +1,154 @@
+package gasnet
+
+// Lock-free SPSC doorbell ring over shared memory.
+//
+// Each rank's mmap'd file holds one ring region per producer rank:
+// ring i in rank r's file is written only by rank i (the producer) and
+// drained only by rank r (the consumer). Within one producer process a
+// local mutex serializes concurrent pushers, so cross-process access
+// stays single-producer/single-consumer.
+//
+// Layout of a ring region (ringBytes total):
+//
+//	+0    head  u64   (producer cursor; monotonically increasing)
+//	+64   tail  u64   (consumer cursor; separate cache line)
+//	+128  data  [ringCap]byte
+//
+// Records are `u32 len | body` where body is a transport frame body
+// (no socket length prefix). A wrapMark length means "skip to the next
+// wrap"; a pad too small to hold the 4-byte marker is skipped
+// implicitly by position arithmetic.
+//
+// Doorbell protocol (resolves the lost-wakeup race): the producer
+// STORES the new head, then LOADS tail; if tail still equals the
+// pre-push head, the consumer may have gone (or may be going) to
+// sleep having seen no work, so the producer sends an fRing doorbell
+// over the socket. Both sides use seq-cst atomics, so either the
+// consumer's final head-load observes the new head, or the producer's
+// tail-load observes the caught-up tail and rings.
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	ringBytes  = 1 << 16
+	ringHdr    = 128
+	ringCap    = ringBytes - ringHdr
+	ringMaxRec = 4096 // max body bytes per record; larger frames fall back to the socket
+)
+
+const wrapMark = ^uint32(0)
+
+type shmRing struct {
+	head *uint64
+	tail *uint64
+	data []byte
+}
+
+func mapRing(region []byte) *shmRing {
+	if len(region) < ringBytes {
+		panic("gasnet: shm ring region too small")
+	}
+	return &shmRing{
+		head: (*uint64)(unsafe.Pointer(&region[0])),
+		tail: (*uint64)(unsafe.Pointer(&region[64])),
+		data: region[ringHdr:ringBytes],
+	}
+}
+
+func ringPutU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func ringGetU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// push appends one record. Returns (pushed, needBell): pushed=false
+// means the ring is full (caller falls back to the socket);
+// needBell=true means the consumer may be idle and the caller must
+// send a doorbell frame over the socket.
+func (r *shmRing) push(body []byte) (pushed, needBell bool) {
+	n := len(body)
+	if n == 0 || n > ringMaxRec {
+		return false, false
+	}
+	need := 4 + n
+	h0 := atomic.LoadUint64(r.head)
+	tail := atomic.LoadUint64(r.tail)
+	free := ringCap - int(h0-tail)
+	pos := int(h0 % ringCap)
+	avail := ringCap - pos
+	pad := 0
+	if avail < need {
+		// Not enough contiguous room: pad to the wrap point.
+		pad = avail
+		if free < pad+need {
+			return false, false
+		}
+		if avail >= 4 {
+			ringPutU32(r.data[pos:], wrapMark)
+		}
+		pos = 0
+	} else if free < need {
+		return false, false
+	}
+	ringPutU32(r.data[pos:], uint32(n))
+	copy(r.data[pos+4:], body)
+	atomic.StoreUint64(r.head, h0+uint64(pad+need))
+	// Store-then-load: if the consumer has already drained everything
+	// we pushed before (tail caught up to h0), it may be about to
+	// sleep without seeing this record — ring the socket doorbell.
+	if atomic.LoadUint64(r.tail) == h0 {
+		needBell = true
+	}
+	return true, needBell
+}
+
+// drain consumes all available records, invoking fn on each body. The
+// body slice aliases shared memory and is only valid during fn; fn
+// must copy anything it retains (decodeFrameBody aliases, so drain
+// copies records out first).
+func (r *shmRing) drain(fn func(body []byte)) int {
+	count := 0
+	tail := atomic.LoadUint64(r.tail)
+	for {
+		head := atomic.LoadUint64(r.head)
+		if tail == head {
+			break
+		}
+		pos := int(tail % ringCap)
+		avail := ringCap - pos
+		if avail < 4 {
+			// Implicit pad: too small for a marker.
+			tail += uint64(avail)
+			atomic.StoreUint64(r.tail, tail)
+			continue
+		}
+		n := ringGetU32(r.data[pos:])
+		if n == wrapMark {
+			tail += uint64(avail)
+			atomic.StoreUint64(r.tail, tail)
+			continue
+		}
+		if n == 0 || n > ringMaxRec || pos+4+int(n) > ringCap {
+			// Corrupt record: resynchronize by draining to head. The
+			// transport layers a validity check on each decoded body,
+			// so corruption surfaces as a transport failure there.
+			atomic.StoreUint64(r.tail, head)
+			return count
+		}
+		body := make([]byte, n)
+		copy(body, r.data[pos+4:pos+4+int(n)])
+		tail += uint64(4 + n)
+		atomic.StoreUint64(r.tail, tail)
+		fn(body)
+		count++
+	}
+	return count
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // Segment is one rank's registered shared-memory region: the slab of
@@ -18,8 +20,10 @@ import (
 // synchronized as real RDMA, i.e. not at all — racing transfers race, and
 // callers must order them, exactly as the paper requires of UPC++ users.
 type Segment struct {
-	buf  []byte
-	kind Kind // memory kind backing this segment (host or device)
+	buf    []byte
+	kind   Kind // memory kind backing this segment (host or device)
+	backed bool // backing store supplied by the caller (mmap); Grow forbidden
+	shared bool // other processes access the words: atomics must use the hardware
 
 	mu    sync.Mutex
 	free  []block          // sorted by offset, coalesced
@@ -59,6 +63,25 @@ func NewSegmentKind(size int, kind Kind) *Segment {
 	}
 }
 
+// NewSegmentBacked wraps caller-supplied memory (an mmap'd shared region)
+// as a host-kind segment. shared marks the words as cross-process visible:
+// NIC-side atomics then use hardware atomic instructions instead of the
+// in-process amoMu, so a remote rank's direct CAS on the mapped words and
+// this rank's own AMOs serialize correctly.
+func NewSegmentBacked(buf []byte, shared bool) *Segment {
+	if len(buf) == 0 {
+		panic("gasnet: backed segment must be non-empty")
+	}
+	return &Segment{
+		buf:    buf,
+		kind:   KindHost,
+		backed: true,
+		shared: shared,
+		free:   []block{{0, int64(len(buf))}},
+		sizes:  make(map[uint64]int64),
+	}
+}
+
 // Size returns the total segment size in bytes.
 func (s *Segment) Size() int { return len(s.buf) }
 
@@ -75,6 +98,9 @@ func (s *Segment) Size() int { return len(s.buf) }
 func (s *Segment) Grow(extra int) {
 	if extra <= 0 {
 		panic(fmt.Sprintf("gasnet: segment growth %d must be positive", extra))
+	}
+	if s.backed {
+		panic("gasnet: cannot grow a backed (mmap'd) segment — its size is fixed at registration")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -178,17 +204,34 @@ func (s *Segment) Bytes(off uint64, n int) []byte {
 	return s.buf[off:end:end]
 }
 
+// wordAt returns the 8-byte word at off as an atomically-addressable
+// *uint64. Allocations are segAlign(16)-aligned and the backing store is
+// page- or heap-aligned, so any in-bounds 8-aligned offset is safe; the
+// little-endian byte layout matches binary.LittleEndian on the supported
+// platforms.
+func (s *Segment) wordAt(off uint64) *uint64 {
+	w := s.Bytes(off, 8)
+	return (*uint64)(unsafe.Pointer(&w[0]))
+}
+
 // ReadU64 reads the 8-byte little-endian word at off under the segment's
-// atomic domain lock.
+// atomic domain (lock, or hardware atomic for shared segments).
 func (s *Segment) ReadU64(off uint64) uint64 {
+	if s.shared {
+		return atomic.LoadUint64(s.wordAt(off))
+	}
 	s.amoMu.Lock()
 	defer s.amoMu.Unlock()
 	return binary.LittleEndian.Uint64(s.Bytes(off, 8))
 }
 
 // WriteU64 writes the 8-byte little-endian word at off under the segment's
-// atomic domain lock.
+// atomic domain (lock, or hardware atomic for shared segments).
 func (s *Segment) WriteU64(off uint64, v uint64) {
+	if s.shared {
+		atomic.StoreUint64(s.wordAt(off), v)
+		return
+	}
 	s.amoMu.Lock()
 	defer s.amoMu.Unlock()
 	binary.LittleEndian.PutUint64(s.Bytes(off, 8), v)
@@ -236,49 +279,68 @@ func (op AMOOp) String() string {
 	}
 }
 
+// amoNext computes the stored value of op given the previous word value
+// and the operands.
+func amoNext(old uint64, op AMOOp, operand1, operand2 uint64) uint64 {
+	switch op {
+	case AMOLoad:
+		return old
+	case AMOStore:
+		return operand1
+	case AMOAdd:
+		return old + operand1
+	case AMOAnd:
+		return old & operand1
+	case AMOOr:
+		return old | operand1
+	case AMOXor:
+		return old ^ operand1
+	case AMOMin:
+		if int64(operand1) < int64(old) {
+			return operand1
+		}
+		return old
+	case AMOMax:
+		if int64(operand1) > int64(old) {
+			return operand1
+		}
+		return old
+	case AMOCompSwap:
+		if old == operand1 {
+			return operand2
+		}
+		return old
+	default:
+		panic(fmt.Sprintf("gasnet: unknown AMO op %d", op))
+	}
+}
+
+// sharedAMO executes op on the atomically-addressable word w with a
+// hardware CAS loop — the path for cross-process shared words, where an
+// in-process mutex cannot serialize against other processes.
+func sharedAMO(w *uint64, op AMOOp, operand1, operand2 uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(w)
+		next := amoNext(old, op, operand1, operand2)
+		if next == old || atomic.CompareAndSwapUint64(w, old, next) {
+			return old
+		}
+	}
+}
+
 // applyAMO executes op on the 64-bit word at off, returning the previous
-// value. It runs under the segment's atomic domain lock — this is the
-// "NIC-side" execution path: no target CPU involvement.
+// value. This is the "NIC-side" execution path: no target CPU
+// involvement. Private segments serialize under the atomic domain lock;
+// shared (cross-process mmap'd) segments use hardware atomics so remote
+// processes' direct CAS on the same words stays correct.
 func (s *Segment) applyAMO(off uint64, op AMOOp, operand1, operand2 uint64) uint64 {
+	if s.shared {
+		return sharedAMO(s.wordAt(off), op, operand1, operand2)
+	}
 	s.amoMu.Lock()
 	defer s.amoMu.Unlock()
 	w := s.Bytes(off, 8)
 	old := binary.LittleEndian.Uint64(w)
-	var next uint64
-	switch op {
-	case AMOLoad:
-		next = old
-	case AMOStore:
-		next = operand1
-	case AMOAdd:
-		next = old + operand1
-	case AMOAnd:
-		next = old & operand1
-	case AMOOr:
-		next = old | operand1
-	case AMOXor:
-		next = old ^ operand1
-	case AMOMin:
-		if int64(operand1) < int64(old) {
-			next = operand1
-		} else {
-			next = old
-		}
-	case AMOMax:
-		if int64(operand1) > int64(old) {
-			next = operand1
-		} else {
-			next = old
-		}
-	case AMOCompSwap:
-		if old == operand1 {
-			next = operand2
-		} else {
-			next = old
-		}
-	default:
-		panic(fmt.Sprintf("gasnet: unknown AMO op %d", op))
-	}
-	binary.LittleEndian.PutUint64(w, next)
+	binary.LittleEndian.PutUint64(w, amoNext(old, op, operand1, operand2))
 	return old
 }

@@ -282,6 +282,10 @@ func EAddUPCXX(rk *core.Rank, plan *EAddPlan) (*AccumStore, time.Duration) {
 	return d.store, elapsed
 }
 
+// Registered by name so the accum callback can be dispatched in sibling
+// rank processes under a real transport conduit.
+func init() { core.RegisterRPC2(eaddAccumRPC) }
+
 // eaddAccumRPC is the accum callback of Fig 6/7: it runs at the
 // destination, traverses the view (a window into the network buffer),
 // accumulates into the local fragments, and signals the counting promise.

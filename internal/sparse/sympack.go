@@ -182,6 +182,10 @@ type cbArgs struct {
 	CB     core.View[float64]
 }
 
+// Registered by name so contribution blocks can land in sibling rank
+// processes under a real transport conduit.
+func init() { core.RegisterRPC(cholAccumRPC) }
+
 // cholAccumRPC lands a child's contribution block at the parent's owner.
 func cholAccumRPC(trk *core.Rank, a cbArgs) core.Unit {
 	obj, ok := core.LookupDist[*cholState](trk, a.ID)

@@ -61,6 +61,11 @@ type devSlotArgs struct {
 	Child int64
 }
 
+func init() {
+	core.RegisterRPC(devSlotRPC)
+	core.RegisterRPCFF(devCBArrive)
+}
+
 // devSlotRPC returns the landing slot the parent's owner carved for this
 // child's contribution block.
 func devSlotRPC(trk *core.Rank, a devSlotArgs) core.GPtr[float64] {

@@ -1,0 +1,6 @@
+// Package xproc holds the cross-process conduit test matrix: race-enabled
+// smoke tests that launch this test binary as real OS-process ranks over
+// the tcp and shm backends (see xproc_test.go). The package itself has no
+// library code — the tests re-exec the test executable through
+// core.LaunchWorld and dispatch to worker scenarios in TestMain.
+package xproc

@@ -1,0 +1,275 @@
+// Cross-process conduit matrix: every scenario here runs as a real
+// multi-process job — the test re-executes its own binary once per rank
+// through core.LaunchWorld, and TestMain dispatches the spawned copies
+// (which arrive with UPCXX_RANK set) to a worker scenario instead of the
+// test runner. Because the workers are the same race-instrumented
+// executable, `go test -race ./internal/xproc` extends the race detector
+// across every rank process of every scenario.
+//
+// Scenarios:
+//
+//	smoke — put, get, rpc, batch-rpc, signaling-put, allreduce, each
+//	        verified at the wire's far side; run at 2 and 4 ranks on
+//	        both backends.
+//	idle  — ranks sit in ProgressWait for 600ms of wall time and assert
+//	        (via getrusage) that the idle-wait parks instead of spinning:
+//	        CPU burned must stay under a third of the wall time.
+//	kill  — one rank vanishes mid-job (os.Exit with no shutdown
+//	        handshake); the survivors must observe an error wrapping
+//	        gasnet.ErrPeerLost instead of hanging, and prove it by
+//	        dropping marker files the parent test asserts on.
+package xproc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"upcxx/internal/gasnet"
+
+	core "upcxx/internal/core"
+)
+
+// Registered RPC bodies for the smoke scenario (cross-process dispatch
+// is by function name).
+
+func xprocEcho(trk *core.Rank, x uint64) uint64 { return x + 1 }
+
+func xprocBump(trk *core.Rank, c core.GPtr[uint64]) {
+	core.Local(trk, c, 1)[0]++
+}
+
+func init() {
+	core.RegisterRPC(xprocEcho)
+	core.RegisterRPCFF(xprocBump)
+}
+
+// TestMain dispatches spawned rank processes to their worker scenario;
+// the parent invocation (no UPCXX_RANK) runs the normal test binary.
+func TestMain(m *testing.M) {
+	if scen := os.Getenv("XPROC_SCENARIO"); scen != "" && os.Getenv("UPCXX_RANK") != "" {
+		os.Exit(runWorker(scen))
+	}
+	os.Exit(m.Run())
+}
+
+// launch runs this test binary as an n-rank job over backend with the
+// given scenario and returns the job's aggregate exit code.
+func launch(t *testing.T, backend string, n int, scenario string, extraEnv ...string) int {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	dir := t.TempDir()
+	env := append([]string{"XPROC_SCENARIO=" + scenario}, extraEnv...)
+	return core.LaunchWorld(n, backend, dir, exe, nil, env)
+}
+
+var backends = []string{"tcp", "shm"}
+
+func TestSmoke(t *testing.T) {
+	for _, backend := range backends {
+		for _, n := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/%dranks", backend, n), func(t *testing.T) {
+				if code := launch(t, backend, n, "smoke"); code != 0 {
+					t.Fatalf("smoke job over %s with %d ranks exited %d", backend, n, code)
+				}
+			})
+		}
+	}
+}
+
+func TestIdleWaitParks(t *testing.T) {
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			if code := launch(t, backend, 2, "idle"); code != 0 {
+				t.Fatalf("idle job over %s exited %d (idle-wait burned too much CPU?)", backend, code)
+			}
+		})
+	}
+}
+
+func TestKilledRankSurfacesPeerLost(t *testing.T) {
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			mark := t.TempDir()
+			// The victim exits with status 0 so the launcher does not
+			// tear the survivors down before they can observe the loss;
+			// the assertion is the survivors' marker files, not the
+			// job's exit code.
+			if code := launch(t, backend, 3, "kill", "XPROC_MARK="+mark); code != 0 {
+				t.Fatalf("kill job over %s exited %d (a survivor hung or saw the wrong error)", backend, code)
+			}
+			for _, r := range []int{0, 2} {
+				b, err := os.ReadFile(filepath.Join(mark, fmt.Sprintf("survivor-%d", r)))
+				if err != nil {
+					t.Fatalf("surviving rank %d left no ErrPeerLost marker: %v", r, err)
+				}
+				t.Logf("rank %d observed: %s", r, b)
+			}
+		})
+	}
+}
+
+// --- worker side --------------------------------------------------------
+
+func runWorker(scen string) (code int) {
+	core.RunConfig(core.Config{SegmentSize: 32 << 20}, func(rk *core.Rank) {
+		switch scen {
+		case "smoke":
+			smokeBody(rk)
+		case "idle":
+			code = idleBody(rk)
+		case "kill":
+			killBody(rk) // never returns
+		default:
+			fmt.Fprintf(os.Stderr, "xproc: unknown scenario %q\n", scen)
+			code = 2
+		}
+	})
+	return code
+}
+
+func expect(cond bool, format string, args ...any) {
+	if !cond {
+		panic("xproc: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// smokeBody exercises one of each wire operation, verifying payloads at
+// the receiving side.
+func smokeBody(rk *core.Rank) {
+	me, n := rk.Me(), rk.N()
+	right, left := (me+1)%n, (me-1+n)%n
+
+	arr := core.MustNewArray[uint64](rk, 8)
+	cnt := core.MustNewArray[uint64](rk, 1)
+	type slots struct {
+		Arr core.GPtr[uint64]
+		Cnt core.GPtr[uint64]
+	}
+	obj := core.NewDistObject(rk, slots{arr, cnt})
+	rk.Barrier()
+	rs := core.FetchDist[slots](rk, obj.ID(), right).Wait()
+	ls := core.FetchDist[slots](rk, obj.ID(), left).Wait()
+	loc := core.Local(rk, arr, 8)
+
+	// put: stamp rank-tagged values into the right neighbour's slots.
+	src := make([]uint64, 4)
+	for i := range src {
+		src[i] = uint64(me)*100 + uint64(i) + 1
+	}
+	core.RPut(rk, src, rs.Arr).Wait()
+	rk.Barrier()
+	for i := 0; i < 4; i++ {
+		expect(loc[i] == uint64(left)*100+uint64(i)+1,
+			"put: rank %d slot %d = %d, want from rank %d", me, i, loc[i], left)
+	}
+
+	// get: publish locally, then read the left neighbour's upper slots.
+	for i := 0; i < 4; i++ {
+		loc[4+i] = uint64(me)*1000 + uint64(i)
+	}
+	rk.Barrier()
+	got := make([]uint64, 4)
+	core.RGet(rk, ls.Arr.Add(4), got).Wait()
+	for i := range got {
+		expect(got[i] == uint64(left)*1000+uint64(i),
+			"get: rank %d read %d from rank %d slot %d", me, got[i], left, 4+i)
+	}
+
+	// rpc: round trip with a registered body.
+	r := core.RPC(rk, right, xprocEcho, uint64(me)*7).Wait()
+	expect(r == uint64(me)*7+1, "rpc: echo(%d) = %d", me*7, r)
+
+	// batch-rpc: one frame, many calls.
+	b := core.NewBatch(rk, right)
+	futs := make([]core.Future[uint64], 64)
+	for i := range futs {
+		futs[i] = core.BatchRPC(b, xprocEcho, uint64(i))
+	}
+	b.Flush()
+	for i, f := range futs {
+		expect(f.Wait() == uint64(i)+1, "batch-rpc: call %d", i)
+	}
+
+	// signaling-put: payload plus remote-cx notification in one message.
+	core.RPutWith(rk, src[:1], rs.Arr, core.OpCxAsFuture(),
+		core.RemoteCxAsRPC(xprocBump, rs.Cnt)).Op.Wait()
+	myCnt := core.Local(rk, cnt, 1)
+	for myCnt[0] < 1 {
+		rk.ProgressWait(50 * time.Microsecond)
+	}
+
+	// allreduce: the collective's completion doubles as the epoch sync.
+	sum := core.AllReduce(rk.WorldTeam(), int64(me)+1,
+		func(a, b int64) int64 { return a + b }).Wait()
+	expect(sum == int64(n)*(int64(n)+1)/2, "allreduce: sum %d over %d ranks", sum, n)
+	rk.Barrier()
+}
+
+func tvDur(t syscall.Timeval) time.Duration {
+	return time.Duration(t.Sec)*time.Second + time.Duration(t.Usec)*time.Microsecond
+}
+
+// idleBody asserts satellite 1: an idle rank parked in ProgressWait must
+// not spin. 600ms of idle wall time may cost at most 200ms of CPU (a
+// busy-poll loop would burn the full 600ms on its core).
+func idleBody(rk *core.Rank) int {
+	rk.Barrier() // bootstrap and connection setup excluded from the budget
+	var ru0 syscall.Rusage
+	syscall.Getrusage(syscall.RUSAGE_SELF, &ru0)
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		rk.ProgressWait(5 * time.Millisecond)
+	}
+	var ru1 syscall.Rusage
+	syscall.Getrusage(syscall.RUSAGE_SELF, &ru1)
+	cpu := tvDur(ru1.Utime) + tvDur(ru1.Stime) - tvDur(ru0.Utime) - tvDur(ru0.Stime)
+	rk.Barrier()
+	if cpu > 200*time.Millisecond {
+		fmt.Fprintf(os.Stderr, "xproc idle: rank %d burned %v CPU over 600ms of idle wait\n", rk.Me(), cpu)
+		return 1
+	}
+	return 0
+}
+
+// killBody makes rank 1 vanish mid-job; the survivors poll the conduit's
+// failure state (plain progress passes — blocking waits would turn the
+// loss into a panic) and prove they saw ErrPeerLost via marker files.
+// Every path exits the process directly: with a rank gone there is no
+// final barrier to return to.
+func killBody(rk *core.Rank) {
+	rk.Barrier() // every conduit connection is up before the loss
+	if rk.Me() == 1 {
+		// Exit 0 with no shutdown handshake: to the peers this is
+		// indistinguishable from a crash, but the launcher (which kills
+		// the job on the first non-zero exit) leaves the survivors
+		// running long enough to observe it.
+		os.Exit(0)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for rk.World().Failed() == nil {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "xproc kill: rank %d never observed the lost peer\n", rk.Me())
+			os.Exit(1)
+		}
+		rk.ProgressWait(time.Millisecond)
+	}
+	err := rk.World().Failed()
+	if !errors.Is(err, gasnet.ErrPeerLost) {
+		fmt.Fprintf(os.Stderr, "xproc kill: rank %d saw %v, want ErrPeerLost\n", rk.Me(), err)
+		os.Exit(1)
+	}
+	mark := filepath.Join(os.Getenv("XPROC_MARK"), fmt.Sprintf("survivor-%d", rk.Me()))
+	if werr := os.WriteFile(mark, []byte(err.Error()), 0o666); werr != nil {
+		fmt.Fprintf(os.Stderr, "xproc kill: rank %d marker: %v\n", rk.Me(), werr)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -131,6 +131,56 @@ var (
 	NewWorld = core.NewWorld
 )
 
+// Real transport conduit (multi-process ranks; see internal/gasnet's
+// tcp/shm backends and internal/core/proc.go's bootstrap).
+type (
+	// ConduitInfo identifies the active real backend: peer addresses,
+	// shm segment size, and wire counters (World.Network().ConduitInfo).
+	ConduitInfo = gasnet.ConduitInfo
+)
+
+var (
+	// ErrPeerLost is wrapped by every error World.Failed reports after a
+	// sibling rank process dies mid-job.
+	ErrPeerLost = gasnet.ErrPeerLost
+	// DistActive reports whether UPCXX_CONDUIT selects a real
+	// multi-process backend for this process.
+	DistActive = core.DistActive
+	// DistBackend names the selected real backend ("tcp", "shm"), or ""
+	// for the in-process conduit.
+	DistBackend = core.DistBackend
+	// DistNProc returns the rank-process count of the active
+	// multi-process job, or 0 for in-process worlds (and in the parent
+	// launcher before UPCXX_NPROC is fixed).
+	DistNProc = core.DistNProc
+	// LaunchWorld spawns a binary as an n-rank SPMD job over a real
+	// backend and waits (the upcxx-run entry point).
+	LaunchWorld = core.LaunchWorld
+	// SpawnSelf re-executes this binary as an n-rank job (what RunConfig
+	// does automatically when UPCXX_CONDUIT is set).
+	SpawnSelf = core.SpawnSelf
+	// NewWorldDist builds this process's single-rank view of a
+	// multi-process job from the bootstrap environment.
+	NewWorldDist = core.NewWorldDist
+)
+
+// RegisterRPC registers a round-trip RPC body for cross-process dispatch
+// (real transport backends ship function *names*, not code pointers).
+// Register package-level, non-generic functions from init().
+func RegisterRPC[A, R any](fn func(*Rank, A) R) string { return core.RegisterRPC(fn) }
+
+// RegisterRPC2 registers a two-argument round-trip RPC body for
+// cross-process dispatch.
+func RegisterRPC2[A, B, R any](fn func(*Rank, A, B) R) string { return core.RegisterRPC2(fn) }
+
+// RegisterRPCFF registers a fire-and-forget RPC body (also the
+// RemoteCxAsRPC form) for cross-process dispatch.
+func RegisterRPCFF[A any](fn func(*Rank, A)) string { return core.RegisterRPCFF(fn) }
+
+// RegisterRPCFut registers a future-returning (deferred-reply) RPC body
+// for cross-process dispatch.
+func RegisterRPCFut[A, R any](fn func(*Rank, A) Future[R]) string { return core.RegisterRPCFut(fn) }
+
 // Device DMA timing models for Config.DMA (see internal/gasnet). A
 // model's GPUDirect capability decides the cross-rank device datapath:
 // GDR-capable engines let the NIC address device memory directly, so
