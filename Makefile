@@ -24,12 +24,16 @@ test-short:
 # observability layer (concurrent counter recording, trace rings, the
 # counter-conformance matrix) on top of it, and the batched-RPC datapath
 # (the {batched-rpc} × {future,promise,LPC} × {self,cross} completion
-# matrix, zero-copy capture, doorbell coalescing).
+# matrix, zero-copy capture, doorbell coalescing), and the async-task
+# runtime's conformance matrix ({AsyncAt,AsyncAtFF,Finish} × {self,cross}
+# × {steal on,off} × {LogGP,in-process} plus groups, worker concurrency,
+# and the spawn→steal→execute trace pipeline).
 race:
 	$(GO) test -race ./internal/core/ -run 'Persona|Kinds|Cx|Coll|Obs|Batch'
 	$(GO) test -race ./internal/dht/ -run 'ConcurrentUsers|BatchInserter'
 	$(GO) test -race ./internal/gasnet/ -run 'Kinds|DeviceSegment'
 	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/task/
 
 # Short fuzz windows over the wire-format targets (the seed corpora also
 # run as plain tests in every `make test`).
@@ -44,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzScalarSliceRoundTrip -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalArbitrary -fuzztime 10s ./internal/serial
 	$(GO) test -run '^$$' -fuzz FuzzTransportFrame -fuzztime 10s ./internal/gasnet
+	$(GO) test -run '^$$' -fuzz FuzzTaskWire -fuzztime 10s ./internal/task
 
 # Execute every example end to end at its built-in small scale — examples
 # are run, not just vetted (each finishes in roughly a second on the
@@ -80,6 +85,7 @@ bench-smoke:
 	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch
 	$(GO) run ./cmd/eadd-bench
 	$(GO) run ./cmd/sympack-bench
+	$(GO) run ./cmd/task-bench -spawns 256 -tasks 128 -grain 2ms -batches 2,8
 
 # Machine-readable benchmark tables: every figure tool writes its
 # BENCH_<tool>.json (model-only / tiny sizes here — the schema and the
@@ -91,6 +97,7 @@ bench-json:
 	$(GO) run ./cmd/dht-bench -inserts 4 -pipelined -batch -json
 	$(GO) run ./cmd/eadd-bench -json
 	$(GO) run ./cmd/sympack-bench -json
+	$(GO) run ./cmd/task-bench -spawns 256 -tasks 128 -grain 2ms -batches 2,8 -json
 	$(GO) run ./cmd/rma-bench -conduit=shm -json
 	$(GO) run ./cmd/rma-bench -conduit=tcp -json
 	$(GO) run ./cmd/dht-bench -conduit=shm -json
@@ -107,8 +114,9 @@ obs-smoke:
 # Cross-process transport matrix: the race-enabled multi-process test
 # suite (internal/xproc re-executes its test binary as real OS-process
 # ranks over tcp and shm — smoke ops, idle-wait CPU budget, kill-one-rank
-# failure surfacing), then every example end to end as a 4-process world
-# on both real backends.
+# failure surfacing, the task runtime's cross-process steal/Finish job,
+# and kill-one-rank under Finish asserting ErrPeerLost), then every
+# example end to end as a 4-process world on both real backends.
 transport-smoke:
 	$(GO) test -race -count=1 ./internal/xproc
 	@set -e; for backend in tcp shm; do \

@@ -298,7 +298,35 @@ func main() {
 			host.Series = append(host.Series, meas)
 		}
 	}
+	// Auto-tuned comparison row: CollRadix 0 with a real-time model makes
+	// the world pick its radix from the closed-form LogGP tree time at
+	// creation (dilation scales every candidate equally, so the dilated
+	// worlds pick the same radix the undilated model predicts).
+	autoModel := &stats.Series{Name: "auto (model)"}
+	var autoMeas *stats.Series
+	if !*modelOnly {
+		autoMeas = &stats.Series{Name: "auto (measured)"}
+	}
+	picks := make([]string, 0, len(ranks))
+	for _, p := range ranks {
+		pick := core.AutoRadix(aries, p)
+		name := "default"
+		if pick > 0 {
+			name = radixName(pick)
+		}
+		picks = append(picks, fmt.Sprintf("%d ranks -> %s", p, name))
+		autoModel.Add(float64(p), 2*bcastModel(p, pick, collHeader, aries).Seconds()*1e6)
+		if autoMeas != nil {
+			autoMeas.Add(float64(p), measureRound(p, 0)*1e6)
+		}
+	}
+	host.Series = append(host.Series, autoModel)
+	if autoMeas != nil {
+		host.Series = append(host.Series, autoMeas)
+	}
+
 	host.Fprint(os.Stdout)
+	fmt.Printf("auto-tuned radix (CollRadix 0 + model): %s\n", strings.Join(picks, ", "))
 	fmt.Println()
 	tables := []*stats.Table{host}
 

@@ -2,6 +2,7 @@ package upcxx
 
 import (
 	"fmt"
+	"time"
 
 	"upcxx/internal/gasnet"
 	"upcxx/internal/obs"
@@ -133,6 +134,65 @@ func topoForRadix(radix, p int) collTopo {
 // tooling (cmd/coll-bench's closed-form LogGP model) and tests.
 func CollTopoChildren(radix, rr, p int) []int {
 	return topoForRadix(radix, p).Children(rr, p)
+}
+
+// autoRadixCandidates are the k-nomial radices AutoRadix compares. Radix
+// 2 (binomial, maximal depth / minimal fan-out) anchors one end; 16
+// (shallow, fan-out-heavy) the other.
+var autoRadixCandidates = [...]int{2, 3, 4, 8, 16}
+
+// CollTreeTime is the closed-form completion time of one small-message
+// k-nomial broadcast round set over p ranks under model m: each parent
+// serializes one (o + gap) per child on its NIC before the wire latency
+// L, so larger radices trade tree depth against per-node fan-out. This
+// is the same recurrence cmd/coll-bench plots against the measured
+// engine; AutoRadix minimizes it.
+func CollTreeTime(m gasnet.Model, radix, p, nbytes int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	topo := topoForRadix(radix, p)
+	// ready[rr] is when relative rank rr holds the payload; children of
+	// rr receive at ready[rr] + (i+1)*(o+gap) + L in fan-out order. The
+	// k-nomial child lists are ordered nearest-subtree-first, and every
+	// child's relative rank exceeds its parent's, so one ascending pass
+	// settles every rank.
+	ready := make([]time.Duration, p)
+	var last time.Duration
+	for rr := 0; rr < p; rr++ {
+		if ready[rr] > last {
+			last = ready[rr]
+		}
+		t := ready[rr]
+		for _, c := range topo.Children(rr, p) {
+			t += m.Overhead(nbytes, false) + m.Gap(nbytes, false)
+			ready[c] = t + m.Latency(nbytes, false)
+		}
+	}
+	return last
+}
+
+// AutoRadix picks the collective radix for a job of p ranks from the
+// machine model's o/g/L: the candidate k-nomial radix with the lowest
+// modeled small-message broadcast completion time. Config.CollRadix = 0
+// routes through here at world creation when a real-time model is
+// configured, replacing the static binomial default; a model with no
+// cost structure (every candidate ties at zero) keeps the default.
+func AutoRadix(m gasnet.Model, p int) int {
+	if m == nil || p <= collFlatMax {
+		return 0
+	}
+	best, bestT := 0, time.Duration(-1)
+	for _, k := range autoRadixCandidates {
+		t := CollTreeTime(m, k, p, 8)
+		if bestT < 0 || t < bestT {
+			best, bestT = k, t
+		}
+	}
+	if bestT == 0 {
+		return 0 // zero-delay model: no trade to tune
+	}
+	return best
 }
 
 // --- wire format ---------------------------------------------------------
@@ -736,6 +796,101 @@ func gatherBytesAt(t *Team, root Intrank, data []byte) Future[[][]byte] {
 				fulfillFromEngine(prom, out)
 				e.finish(key, st, plan)
 			}
+		}
+	})
+	return prom.Future()
+}
+
+// --- tree exchange (gather up, result down) -------------------------------
+
+// collFrames encodes a set of (team rank, payload) frames — the unit a
+// tree gather aggregates hop by hop.
+func encodeCollFrames(frames map[uint32][]byte) []byte {
+	e := serial.NewEncoder(nil)
+	e.PutUvarint(uint64(len(frames)))
+	for r, b := range frames {
+		e.PutU32(r)
+		e.PutUvarint(uint64(len(b)))
+		e.PutRaw(b)
+	}
+	return e.Bytes()
+}
+
+func decodeCollFrames(rk *Rank, data []byte, into map[uint32][]byte) {
+	d := serial.NewDecoder(data)
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		r := d.U32()
+		l := d.Uvarint()
+		into[r] = d.Raw(int(l))
+	}
+	if d.Err() != nil || d.Finish() != nil {
+		panic(fmt.Sprintf("upcxx: rank %d malformed tree-gather frame set", rk.me))
+	}
+}
+
+// exchangeBytesTree is the non-blocking tree exchange team construction
+// rides: every member contributes one byte payload; payloads aggregate
+// up the team's tree (collGather rounds, each hop concatenating its
+// subtree's frames), the root applies reduce to all p payloads indexed
+// by team rank, and the result fans back down the same tree (collBcast
+// rounds). The returned future yields the result bytes on every member.
+// Contrast gatherBytesAt: the root absorbs its tree degree in messages
+// instead of p-1, so team churn scales with the topology like every
+// other collective.
+func exchangeBytesTree(t *Team, data []byte, reduce func([][]byte) []byte) Future[[]byte] {
+	rk := t.rk
+	prom := NewPromise[[]byte](rk)
+	e := rk.coll
+	e.enter(t, func(key collKey, st *collState) {
+		p := int(t.RankN())
+		plan := &cxPlan{rk: rk, remotePeer: rk.me}
+		if p == 1 {
+			fulfillFromEngine(prom, reduce([][]byte{data}))
+			e.finish(key, st, plan)
+			return
+		}
+		topo := e.topoFor(p)
+		rr := int(t.me)
+		children := topo.Children(rr, p)
+		frames := map[uint32][]byte{uint32(rr): data}
+		need, got := len(children), 0
+		down := func(res []byte) {
+			for _, c := range children {
+				e.sendMsg(t, Intrank(c), collMsg{team: key.team, seq: key.seq,
+					kind: collBcast, round: collRoundDown, src: uint32(t.me), data: res})
+			}
+			fulfillFromEngine(prom, res)
+			e.finish(key, st, plan)
+		}
+		up := func() {
+			if rr == 0 {
+				all := make([][]byte, p)
+				for r, b := range frames {
+					all[r] = b
+				}
+				down(reduce(all))
+				return
+			}
+			e.sendMsg(t, Intrank(topo.Parent(rr, p)), collMsg{team: key.team, seq: key.seq,
+				kind: collGather, round: collRoundUp, src: uint32(t.me), data: encodeCollFrames(frames)})
+		}
+		st.recv = func(m collMsg) {
+			switch m.kind {
+			case collGather:
+				decodeCollFrames(rk, m.data, frames)
+				got++
+				if got == need {
+					up()
+				}
+			case collBcast:
+				down(m.data)
+			default:
+				panic(fmt.Sprintf("upcxx: rank %d: unexpected %s message in a tree exchange", rk.me, collKindName(m.kind)))
+			}
+		}
+		if need == 0 {
+			up()
 		}
 	})
 	return prom.Future()

@@ -542,3 +542,130 @@ func TestCollLastLandingPiggyback(t *testing.T) {
 		rk.Barrier()
 	})
 }
+
+// --- team split over the tree exchange ------------------------------------
+
+// TestCollSplitAsyncTree splits non-power-of-two teams under every
+// topology class — including trees deep enough that the split's
+// gather/fan-out genuinely aggregates hop by hop — and pins the
+// (color, key, world) ordering contract plus nested splits of split
+// teams.
+func TestCollSplitAsyncTree(t *testing.T) {
+	for _, radix := range []int{0, 1, 3} {
+		for _, p := range []int{5, 7} {
+			radix, p := radix, p
+			t.Run(fmt.Sprintf("radix=%d/p=%d", radix, p), func(t *testing.T) {
+				RunConfig(Config{Ranks: p, CollRadix: radix}, func(rk *Rank) {
+					world := rk.WorldTeam()
+					me := int(rk.Me())
+					// Negated keys: team order must follow key, not world rank.
+					sub := world.SplitAsync(me%2, -me).Wait()
+					var want []Intrank
+					for r := p - 1; r >= 0; r-- {
+						if r%2 == me%2 {
+							want = append(want, Intrank(r))
+						}
+					}
+					if int(sub.RankN()) != len(want) {
+						t.Errorf("rank %d: split size %d, want %d", me, sub.RankN(), len(want))
+					}
+					for i, wr := range want {
+						if sub.WorldRank(Intrank(i)) != wr {
+							t.Errorf("rank %d: split[%d] = %d, want %d", me, i, sub.WorldRank(Intrank(i)), wr)
+						}
+						if wr == rk.Me() && sub.RankMe() != Intrank(i) {
+							t.Errorf("rank %d: RankMe = %d, want %d", me, sub.RankMe(), i)
+						}
+					}
+					// Collectives on the split team, then a nested split back
+					// to singletons: team IDs must stay distinct and usable.
+					sum := AllReduce(sub, int64(1), func(a, b int64) int64 { return a + b }).Wait()
+					if sum != int64(len(want)) {
+						t.Errorf("rank %d: allreduce on split team = %d, want %d", me, sum, len(want))
+					}
+					solo := sub.Split(me, 0)
+					if solo.RankN() != 1 || solo.RankMe() != 0 || solo.ID() == sub.ID() || solo.ID() == world.ID() {
+						t.Errorf("rank %d: nested split %v invalid (parent %v)", me, solo, sub)
+					}
+					rk.Barrier()
+				})
+			})
+		}
+	}
+}
+
+// TestCollSplitAsyncOverlap pins the non-blocking contract: a member can
+// initiate the split, run unrelated communication to completion, and
+// only then force the team future.
+func TestCollSplitAsyncOverlap(t *testing.T) {
+	const p = 6
+	RunConfig(Config{Ranks: p}, func(rk *Rank) {
+		world := rk.WorldTeam()
+		ft := world.SplitAsync(int(rk.Me())%3, int(rk.Me()))
+		sum := AllReduce(world, int64(1), func(a, b int64) int64 { return a + b }).Wait()
+		if sum != p {
+			t.Errorf("rank %d: overlapped allreduce = %d, want %d", rk.Me(), sum, p)
+		}
+		sub := ft.Wait()
+		if sub.RankN() != 2 {
+			t.Errorf("rank %d: split size %d, want 2", rk.Me(), sub.RankN())
+		}
+		rk.Barrier()
+	})
+}
+
+// --- LogGP radix auto-tuning ----------------------------------------------
+
+// TestCollAutoRadix pins the auto-tuner: argmin of the closed-form tree
+// time over the candidate set, flat/small-team and zero-cost-model
+// guards, and the world-creation hook that routes CollRadix = 0 through
+// it when a machine model is configured.
+func TestCollAutoRadix(t *testing.T) {
+	m := gasnet.Aries()
+	if AutoRadix(nil, 64) != 0 {
+		t.Errorf("AutoRadix(nil) must keep the static default")
+	}
+	if got := AutoRadix(m, collFlatMax); got != 0 {
+		t.Errorf("AutoRadix(p=%d) = %d, want 0 (flat cut-over)", collFlatMax, got)
+	}
+	for _, p := range []int{8, 17, 64, 256} {
+		got := AutoRadix(m, p)
+		bestT := time.Duration(-1)
+		best := 0
+		for _, k := range autoRadixCandidates {
+			tt := CollTreeTime(m, k, p, 8)
+			if tt <= 0 {
+				t.Fatalf("CollTreeTime(radix=%d, p=%d) = %v, want > 0", k, p, tt)
+			}
+			if bestT < 0 || tt < bestT {
+				best, bestT = k, tt
+			}
+		}
+		if got != best {
+			t.Errorf("AutoRadix(p=%d) = %d, want argmin %d", p, got, best)
+		}
+	}
+	// Deeper trees cost more rounds under a latency-dominated model:
+	// binomial must beat flat for a latency-bound size, and the tuned
+	// radix must never lose to the binomial default.
+	for _, p := range []int{8, 64} {
+		tuned := CollTreeTime(m, AutoRadix(m, p), p, 8)
+		if bin := CollTreeTime(m, 2, p, 8); tuned > bin {
+			t.Errorf("p=%d: tuned radix slower than binomial (%v > %v)", p, tuned, bin)
+		}
+	}
+	// World-creation hook: a modeled world auto-tunes, an unmodeled one
+	// keeps the default, and an explicit radix wins over the tuner.
+	w := NewWorld(Config{Ranks: 8, Model: m})
+	if want := AutoRadix(m, 8); w.Rank(0).coll.radix != want {
+		t.Errorf("modeled world radix = %d, want auto-tuned %d", w.Rank(0).coll.radix, want)
+	}
+	w2 := NewWorld(Config{Ranks: 8})
+	if w2.Rank(0).coll.radix != 0 {
+		t.Errorf("unmodeled world radix = %d, want 0 (static default)", w2.Rank(0).coll.radix)
+	}
+	w3 := NewWorld(Config{Ranks: 8, Model: m, CollRadix: 3})
+	if w3.Rank(0).coll.radix != 3 {
+		t.Errorf("explicit radix = %d, want 3", w3.Rank(0).coll.radix)
+	}
+}

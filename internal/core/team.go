@@ -140,11 +140,15 @@ type splitGroup struct {
 	Members []Intrank // world ranks in team order
 }
 
-// Split partitions the team: members passing equal colors form a new team,
-// ordered by (key, world rank). It is a blocking collective over the
-// parent team, like upcxx::team::split. All members must call it in
-// matching order.
-func (t *Team) Split(color, key int) *Team {
+// SplitAsync begins a non-blocking split of the team: members passing
+// equal colors form a new team, ordered by (key, world rank). The
+// color/key entries aggregate up the parent team's collective tree and
+// the computed groups fan back down it (one exchangeBytesTree — O(tree
+// degree) messages per member, never a flat gather at the root), so team
+// construction scales with the same topology as every other collective
+// and overlaps with unrelated work until the future is forced. All
+// members must initiate it in matching collective order.
+func (t *Team) SplitAsync(color, key int) Future[*Team] {
 	rk := t.rk
 	rk.teamMu.Lock()
 	idx := rk.splitSeqs[t.id]
@@ -152,12 +156,9 @@ func (t *Team) Split(color, key int) *Team {
 	rk.teamMu.Unlock()
 
 	me := splitEntry{Color: int64(color), Key: int64(key), World: rk.me}
-	gathered := gatherBytesAt(t, 0, mustMarshal(me)).Wait()
-
-	var groups []splitGroup
-	if t.me == 0 {
-		entries := make([]splitEntry, len(gathered))
-		for i, b := range gathered {
+	grouped := exchangeBytesTree(t, mustMarshal(me), func(all [][]byte) []byte {
+		entries := make([]splitEntry, len(all))
+		for i, b := range all {
 			mustUnmarshal(b, &entries[i])
 		}
 		sort.Slice(entries, func(i, j int) bool {
@@ -170,6 +171,7 @@ func (t *Team) Split(color, key int) *Team {
 			}
 			return a.World < b.World
 		})
+		var groups []splitGroup
 		for _, e := range entries {
 			if len(groups) == 0 || groups[len(groups)-1].Color != e.Color {
 				groups = append(groups, splitGroup{Color: e.Color})
@@ -177,23 +179,30 @@ func (t *Team) Split(color, key int) *Team {
 			g := &groups[len(groups)-1]
 			g.Members = append(g.Members, e.World)
 		}
-	}
-	groups = Broadcast(t, 0, groups).Wait()
-
-	for _, g := range groups {
-		if g.Color != int64(color) {
-			continue
+		return mustMarshal(groups)
+	})
+	return Then(grouped, func(b []byte) *Team {
+		var groups []splitGroup
+		mustUnmarshal(b, &groups)
+		for _, g := range groups {
+			if g.Color != int64(color) {
+				continue
+			}
+			nt := &Team{rk: rk, id: splitTeamID(t.id, idx, g.Color), ranks: g.Members}
+			nt.buildIndex()
+			nt.me = nt.FromWorld(rk.me)
+			if nt.me < 0 {
+				continue
+			}
+			return nt
 		}
-		nt := &Team{rk: rk, id: splitTeamID(t.id, idx, g.Color), ranks: g.Members}
-		nt.buildIndex()
-		nt.me = nt.FromWorld(rk.me)
-		if nt.me < 0 {
-			continue
-		}
-		return nt
-	}
-	panic(fmt.Sprintf("upcxx: rank %d not present in any split group", rk.me))
+		panic(fmt.Sprintf("upcxx: rank %d not present in any split group", rk.me))
+	})
 }
+
+// Split partitions the team, blocking until the new team is constructed,
+// like upcxx::team::split. All members must call it in matching order.
+func (t *Team) Split(color, key int) *Team { return t.SplitAsync(color, key).Wait() }
 
 func splitTeamID(parent uint64, idx uint64, color int64) uint64 {
 	h := fnv.New64a()

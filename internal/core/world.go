@@ -47,10 +47,14 @@ type Config struct {
 	// rank computes.
 	ProgressThread bool
 	// CollRadix selects the collective tree topology: 0 (the default)
-	// uses a binomial tree (radix 2), k >= 2 a k-nomial tree of that
-	// radix, and 1 the flat tree (the root exchanges with every member
-	// directly). Teams of at most 4 ranks always use the flat tree. All
-	// ranks share one Config, so the shapes agree job-wide.
+	// auto-tunes the radix from the machine model when Config.Model is a
+	// real-time LogGP model (AutoRadix picks the k-nomial radix whose
+	// modeled o/g/L tree-completion time is lowest for this job size)
+	// and otherwise uses a binomial tree (radix 2); k >= 2 forces a
+	// k-nomial tree of that radix, and 1 the flat tree (the root
+	// exchanges with every member directly). Teams of at most 4 ranks
+	// always use the flat tree. All ranks share one Config, so the
+	// shapes agree job-wide.
 	CollRadix int
 	// Stats enables the runtime introspection layer (internal/obs):
 	// per-rank counters, latency histograms, and the op-lifecycle trace
@@ -133,6 +137,9 @@ func NewWorld(cfg Config) *World {
 		cfg.WaitTimeout = 60 * time.Second
 	}
 	cfg.envObsConfig()
+	if cfg.CollRadix == 0 && cfg.Model != nil {
+		cfg.CollRadix = AutoRadix(cfg.Model, cfg.Ranks)
+	}
 	w := &World{cfg: cfg}
 	if cfg.Stats {
 		w.obs = obs.New(cfg.Ranks, obs.Options{
@@ -236,6 +243,13 @@ func (rk *Rank) Stats() obs.Snapshot {
 
 // StatsEnabled reports whether the introspection layer is recording.
 func (rk *Rank) StatsEnabled() bool { return rk.ro != nil }
+
+// RankObs exposes this rank's raw observability recorder for runtime
+// layers built on the facade (the distributed task runtime records its
+// lifecycle counters and trace hops through it). Nil when the world was
+// created without Config.Stats — callers nil-check, like every internal
+// instrumentation point does.
+func (rk *Rank) RankObs() *obs.RankObs { return rk.ro }
 
 // ArmTrace arms (or disarms) op-lifecycle tracing for operations this
 // rank initiates. A no-op when stats are disabled.

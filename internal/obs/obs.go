@@ -56,11 +56,18 @@ const (
 	KindColl
 	KindRPC
 	KindCollRound
+	// KindTask classifies task-lifecycle trace events recorded by the
+	// distributed task runtime (internal/task). Tasks are not injected
+	// operations — their messages already count as the RPCs they lower
+	// to — so the per-kind op/byte counters stay zero for this kind; it
+	// exists to tag trace ring events.
+	KindTask
 	NumOpKinds
 )
 
 var opKindNames = [NumOpKinds]string{
 	"put", "get", "copy", "atomic", "am", "collective", "rpc", "coll-round",
+	"task",
 }
 
 // String returns the kind mnemonic.
@@ -138,6 +145,37 @@ func (k DMAKind) String() string {
 		return dmaKindNames[k]
 	}
 	return "dma?"
+}
+
+// TaskStat indexes one counter of the distributed task runtime
+// (internal/task). Spawned counts at the spawning rank, Executed at the
+// executing rank (the pair the 4-counter termination detector sums
+// job-wide); Stolen counts tasks a thief gained, Migrated tasks a victim
+// gave up; StealReqs/StealFails are steal attempts issued and the subset
+// that came back empty; DetectRounds counts termination-detector waves.
+type TaskStat uint8
+
+const (
+	TaskSpawned TaskStat = iota
+	TaskExecuted
+	TaskStolen
+	TaskMigrated
+	TaskStealReqs
+	TaskStealFails
+	TaskDetectRounds
+	NumTaskStats
+)
+
+var taskStatNames = [NumTaskStats]string{
+	"spawned", "executed", "stolen", "migrated", "steal-reqs", "steal-fails", "detector-rounds",
+}
+
+// String returns the stat mnemonic.
+func (s TaskStat) String() string {
+	if s < NumTaskStats {
+		return taskStatNames[s]
+	}
+	return "task-stat?"
 }
 
 // Count is a cache-line-padded atomic counter: hot counters incremented
@@ -263,6 +301,9 @@ type RankObs struct {
 	fusedFolds    Count
 	fusedChildren Count
 
+	// Distributed task runtime counters (internal/task), by TaskStat.
+	tasks [NumTaskStats]Count
+
 	// Wire messages and payload bytes by peer, both directions.
 	wireTxMsgs  []Count
 	wireTxBytes []Count
@@ -342,6 +383,42 @@ func (ro *RankObs) DMA(k DMAKind, bytes int) {
 func (ro *RankObs) FusedFold(children int) {
 	ro.fusedFolds.Add(1)
 	ro.fusedChildren.Add(uint64(children))
+}
+
+// CountTask adds n to one task-runtime counter.
+func (ro *RankObs) CountTask(s TaskStat, n int) { ro.tasks[s].Add(uint64(n)) }
+
+// TaskStart accounts one task spawned at this rank and, while tracing is
+// armed and the 1-in-N sampler selects it, records the spawn event and
+// returns the nonzero trace ID that rides the task's descriptor through
+// enqueue/steal/execute/complete hops. Task trace IDs share the rank's
+// op sequence space, so a task's timeline never collides with a traced
+// operation's.
+func (ro *RankObs) TaskStart(bytes int) uint64 {
+	ro.tasks[TaskSpawned].Add(1)
+	seq := ro.seq.Add(1)
+	if ro.armed.Load() && seq%ro.o.sample == 0 {
+		ro.ring.record(Event{ID: seq, Stage: StageTaskSpawn, Kind: KindTask, At: ro.rank, Bytes: int64(bytes), T: ro.now()})
+		return seq
+	}
+	return 0
+}
+
+// TaskHop records one lifecycle event of a traced task into the task's
+// *home* rank's ring (mirroring op hops, which record into the
+// initiator's ring), tagged with this rank as the hop's location. No-op
+// for untraced tasks (id 0) and, in multi-process worlds, for hops of
+// tasks whose home rank lives in another process (its ring is not
+// reachable; the home-side events still record there).
+func (ro *RankObs) TaskHop(home int32, stage Stage, id uint64, bytes int) {
+	if id == 0 || home < 0 || int(home) >= len(ro.o.ranks) {
+		return
+	}
+	hro := ro.o.ranks[home]
+	if !hro.armed.Load() {
+		return
+	}
+	hro.ring.record(Event{ID: id, Stage: stage, Kind: KindTask, At: ro.rank, Bytes: int64(bytes), T: hro.now()})
 }
 
 // wire counts one wire message of n payload bytes from rank `from` to

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -283,4 +284,88 @@ func TestArmedConcurrentTracing(t *testing.T) {
 	if s.TraceDropped == 0 {
 		t.Error("expected drops from a 32-deep ring under 1600 events")
 	}
+}
+
+// TestTaskCountersZeroValueOmission pins the task counters' back-compat
+// contract: a rank that never touched the task runtime marshals with no
+// "tasks" field at all (so pre-task-runtime decoders and Merge peers see
+// exactly the shape they always did), while a rank that did records a
+// dense TaskStat-indexed vector that Merge and Delta fold elementwise.
+func TestTaskCountersZeroValueOmission(t *testing.T) {
+	ob := New(2, Options{})
+	idle := ob.Rank(0).Snapshot()
+	b, err := json.Marshal(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"tasks"`)) {
+		t.Fatalf("idle snapshot leaked a tasks field: %s", b)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tasks != nil {
+		t.Fatalf("decoded idle snapshot grew Tasks = %v", back.Tasks)
+	}
+
+	busy := ob.Rank(1)
+	busy.CountTask(TaskSpawned, 3)
+	busy.CountTask(TaskExecuted, 2)
+	busy.CountTask(TaskStealFails, 1)
+	bs := busy.Snapshot()
+	if len(bs.Tasks) != int(NumTaskStats) || bs.Tasks[TaskSpawned] != 3 || bs.Tasks[TaskStealFails] != 1 {
+		t.Fatalf("busy snapshot tasks = %v", bs.Tasks)
+	}
+
+	// Merging idle (no field) into busy and busy into idle both work.
+	m := idle
+	m.Merge(&bs)
+	if m.Tasks[TaskExecuted] != 2 {
+		t.Fatalf("merge idle←busy tasks = %v", m.Tasks)
+	}
+	m2 := bs
+	m2.Merge(&idle)
+	if m2.Tasks[TaskSpawned] != 3 {
+		t.Fatalf("merge busy←idle tasks = %v", m2.Tasks)
+	}
+
+	busy.CountTask(TaskSpawned, 4)
+	d := busy.Snapshot().Delta(bs)
+	if d.Tasks[TaskSpawned] != 4 || d.Tasks[TaskExecuted] != 0 {
+		t.Fatalf("delta tasks = %v", d.Tasks)
+	}
+}
+
+// TestTaskTraceTimeline pins the task-lifecycle trace: a sampled task's
+// spawn/enqueue/steal/execute/complete hops — recorded from two
+// different ranks — reassemble into one timeline in the home rank's
+// ring.
+func TestTaskTraceTimeline(t *testing.T) {
+	ob := New(2, Options{TraceDepth: 64})
+	home, thief := ob.Rank(0), ob.Rank(1)
+	id := home.TaskStart(16)
+	if id == 0 {
+		t.Fatal("armed tracing did not sample the task")
+	}
+	home.TaskHop(0, StageTaskEnq, id, 16)
+	thief.TaskHop(0, StageTaskSteal, id, 16)
+	thief.TaskHop(0, StageTaskExec, id, 16)
+	thief.TaskHop(0, StageTaskDone, id, 0)
+	tl := home.Snapshot().Timeline(id)
+	want := []Stage{StageTaskSpawn, StageTaskEnq, StageTaskSteal, StageTaskExec, StageTaskDone}
+	if len(tl) != len(want) {
+		t.Fatalf("timeline has %d events, want %d: %v", len(tl), len(want), tl)
+	}
+	for i, ev := range tl {
+		if ev.Stage != want[i] || ev.Kind != KindTask {
+			t.Fatalf("event %d = %+v, want stage %s", i, ev, want[i])
+		}
+	}
+	if tl[2].At != 1 {
+		t.Fatalf("steal hop recorded at rank %d, want 1", tl[2].At)
+	}
+	// Hops recorded against an out-of-process home rank are dropped, not
+	// misfiled.
+	thief.TaskHop(7, StageTaskExec, id, 0)
 }

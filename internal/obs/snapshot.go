@@ -58,6 +58,13 @@ type Snapshot struct {
 	FusedFolds    uint64 `json:"fused_folds,omitempty"`
 	FusedChildren uint64 `json:"fused_fold_children,omitempty"`
 
+	// Tasks is the distributed task runtime's counters indexed by
+	// TaskStat, present only when the rank ran tasks: a rank (or a
+	// pre-task-runtime snapshot) that never touched the runtime omits the
+	// field entirely, so decoders and Merge peers of either vintage
+	// interoperate (the zero-value omission test pins this).
+	Tasks []uint64 `json:"tasks,omitempty"`
+
 	Wire []PeerWire `json:"wire,omitempty"`
 
 	Hist []HistCell `json:"hist,omitempty"`
@@ -95,6 +102,14 @@ func (ro *RankObs) Snapshot() Snapshot {
 	}
 	s.FusedFolds = ro.fusedFolds.Load()
 	s.FusedChildren = ro.fusedChildren.Load()
+	for st := TaskStat(0); st < NumTaskStats; st++ {
+		if v := ro.tasks[st].Load(); v != 0 {
+			if s.Tasks == nil {
+				s.Tasks = make([]uint64, NumTaskStats)
+			}
+			s.Tasks[st] = v
+		}
+	}
 	for p := range ro.wireTxMsgs {
 		pw := PeerWire{
 			Peer:    int32(p),
@@ -211,6 +226,14 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	}
 	s.FusedFolds += o.FusedFolds
 	s.FusedChildren += o.FusedChildren
+	if len(o.Tasks) > 0 {
+		if len(s.Tasks) < len(o.Tasks) {
+			s.Tasks = append(s.Tasks, make([]uint64, len(o.Tasks)-len(s.Tasks))...)
+		}
+		for st, v := range o.Tasks {
+			s.Tasks[st] += v
+		}
+	}
 	wire := map[int32]*PeerWire{}
 	for i := range s.Wire {
 		wire[s.Wire[i].Peer] = &s.Wire[i]
@@ -316,6 +339,14 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 	d.FusedFolds -= prev.FusedFolds
 	d.FusedChildren -= prev.FusedChildren
+	if len(s.Tasks) > 0 {
+		d.Tasks = append([]uint64(nil), s.Tasks...)
+		for st := range d.Tasks {
+			if st < len(prev.Tasks) {
+				d.Tasks[st] -= prev.Tasks[st]
+			}
+		}
+	}
 	d.Wire = append([]PeerWire(nil), s.Wire...)
 	for i := range d.Wire {
 		for _, pw := range prev.Wire {
@@ -486,6 +517,18 @@ func Fprint(w io.Writer, s Snapshot) {
 	}
 	if s.FusedFolds != 0 {
 		fmt.Fprintf(w, "dma fused-folds: launches=%d children=%d\n", s.FusedFolds, s.FusedChildren)
+	}
+	if len(s.Tasks) > 0 {
+		task := func(st TaskStat) uint64 {
+			if int(st) < len(s.Tasks) {
+				return s.Tasks[st]
+			}
+			return 0
+		}
+		fmt.Fprintf(w, "tasks: spawned=%d executed=%d stolen=%d migrated=%d\n",
+			task(TaskSpawned), task(TaskExecuted), task(TaskStolen), task(TaskMigrated))
+		fmt.Fprintf(w, "steals: reqs=%d fails=%d detector-rounds=%d\n",
+			task(TaskStealReqs), task(TaskStealFails), task(TaskDetectRounds))
 	}
 	for _, pw := range s.Wire {
 		fmt.Fprintf(w, "wire peer %-3d tx=%d msgs/%d B  rx=%d msgs/%d B\n",

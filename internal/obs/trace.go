@@ -26,11 +26,29 @@ const (
 	// StageDelivered: the operation-complete edge fired back at the
 	// initiator and completions were delivered.
 	StageDelivered
+
+	// Task-lifecycle stages, recorded by the distributed task runtime
+	// (internal/task) through RankObs.TaskStart/TaskHop. A task's hops
+	// record into its *home* rank's ring (like op hops record into the
+	// initiator's), so one spawn→enqueue→[steal→enqueue→]execute→complete
+	// chain reassembles with Snapshot.Timeline.
+
+	// StageTaskSpawn: AsyncAt/AsyncAtFF accepted the task at its home rank.
+	StageTaskSpawn
+	// StageTaskEnq: the task entered a rank's ready deque (home or remote).
+	StageTaskEnq
+	// StageTaskSteal: a thief migrated the task out of a victim's deque.
+	StageTaskSteal
+	// StageTaskExec: a worker began executing the task body.
+	StageTaskExec
+	// StageTaskDone: the body returned (and any result was shipped home).
+	StageTaskDone
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"inject", "capture", "wire", "dma", "landing", "delivered",
+	"spawn", "enqueue", "steal", "execute", "complete",
 }
 
 // String returns the stage mnemonic.

@@ -1,0 +1,106 @@
+package task
+
+// Work stealing. A rank whose queue runs dry picks a victim and sends a
+// one-way steal request; the victim pops a batch of its oldest tasks and
+// ships them back — every migrated frame plus the steal reply — as ONE
+// batched-RPC message (core.NewBatch), so a successful steal costs the
+// thief one request AM and the victim one reply AM regardless of batch
+// size. At most one steal is outstanding per rank: steal traffic stays
+// bounded by the number of idle ranks, and a failed steal (empty reply)
+// backs off through the worker's idle progression rather than hammering
+// the next victim in a tight loop.
+
+import (
+	core "upcxx/internal/core"
+	"upcxx/internal/obs"
+)
+
+// stealReq asks a victim for up to Max tasks on behalf of Thief.
+type stealReq struct {
+	Thief int32
+	Max   uint32
+}
+
+// stealAck closes the thief's outstanding steal; N tasks were migrated
+// in the same batch, ordered before the ack.
+type stealAck struct {
+	Victim int32
+	N      uint32
+}
+
+// maybeSteal sends one steal request if stealing is enabled, the local
+// queue is empty, and no request is already outstanding.
+func (rt *Runtime) maybeSteal() {
+	if rt.cfg.NoSteal || rt.rk.N() < 2 {
+		return
+	}
+	if !rt.stealing.CompareAndSwap(false, true) {
+		return
+	}
+	victim := rt.nextVictim()
+	if ro := rt.rk.RankObs(); ro != nil {
+		ro.CountTask(obs.TaskStealReqs, 1)
+	}
+	core.RPCFF(rt.rk, victim, stealReqBody, stealReq{
+		Thief: int32(rt.rk.Me()),
+		Max:   uint32(rt.cfg.stealBatch()),
+	})
+}
+
+// nextVictim rotates through the other ranks from a jittered start, so
+// a fleet of simultaneously-idle thieves fans out instead of mobbing
+// rank (me+1).
+func (rt *Runtime) nextVictim() core.Intrank {
+	n := int(rt.rk.N())
+	me := int(rt.rk.Me())
+	if rt.victimSeq.Load() == 0 {
+		rt.victimSeq.Store(uint32(jitter(n-1) + 1))
+	}
+	step := int(rt.victimSeq.Add(1))
+	v := (me + 1 + step%(n-1)) % n
+	if v == me {
+		v = (v + 1) % n
+	}
+	return core.Intrank(v)
+}
+
+// stealReqBody runs at the victim (exec persona): pop the oldest batch,
+// mark each frame stolen, and flush frames + ack as one wire message.
+func stealReqBody(trk *core.Rank, req stealReq) {
+	thief := core.Intrank(req.Thief)
+	var recs []rec
+	if rt := Of(trk); rt != nil {
+		recs = rt.popOldest(int(req.Max))
+	}
+	b := core.NewBatch(trk, thief)
+	for _, r := range recs {
+		r.Flags |= flagStolen
+		core.BatchRPCFF(b, taskEnqueueBody, encodeRec(r))
+	}
+	core.BatchRPCFF(b, stealAckBody, stealAck{Victim: int32(trk.Me()), N: uint32(len(recs))})
+	b.Flush()
+	if len(recs) > 0 {
+		if ro := trk.RankObs(); ro != nil {
+			ro.CountTask(obs.TaskMigrated, len(recs))
+		}
+	}
+}
+
+// stealAckBody runs at the thief (exec persona): the migrated frames in
+// the same batch have already been enqueued (the batch executes in
+// order), so clearing the outstanding flag here means a worker that
+// immediately re-steals has already seen this batch's loot.
+func stealAckBody(trk *core.Rank, ack stealAck) {
+	rt := Of(trk)
+	if rt == nil {
+		// A request sent by a since-stopped runtime; its ack (necessarily
+		// empty: Stop follows quiescence) has nothing to close.
+		return
+	}
+	if ack.N == 0 {
+		if ro := trk.RankObs(); ro != nil {
+			ro.CountTask(obs.TaskStealFails, 1)
+		}
+	}
+	rt.stealing.Store(false)
+}

@@ -18,6 +18,13 @@
 //	        handshake); the survivors must observe an error wrapping
 //	        gasnet.ErrPeerLost instead of hanging, and prove it by
 //	        dropping marker files the parent test asserts on.
+//	task  — the async-task runtime across real processes: a skewed
+//	        fire-and-forget workload (every task at rank 0) drained by
+//	        work stealing, a result-bearing AsyncAt round trip, and a
+//	        Finish whose termination count is verified by allreduce.
+//	taskkill — one rank dies before joining the termination detector;
+//	        the survivors' Finish must surface ErrPeerLost instead of
+//	        spinning detector waves forever, proven by marker files.
 package xproc
 
 import (
@@ -25,11 +32,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/task"
 
 	core "upcxx/internal/core"
 )
@@ -43,9 +52,23 @@ func xprocBump(trk *core.Rank, c core.GPtr[uint64]) {
 	core.Local(trk, c, 1)[0]++
 }
 
+// Task bodies for the task scenarios; xprocTaskRuns counts executions
+// in this OS process, whichever rank they were spawned at.
+
+var xprocTaskRuns atomic.Uint64
+
+func xprocTaskWork(trk *core.Rank, us int64) {
+	time.Sleep(time.Duration(us) * time.Microsecond)
+	xprocTaskRuns.Add(1)
+}
+
+func xprocTaskEcho(trk *core.Rank, x uint64) uint64 { return x * 3 }
+
 func init() {
 	core.RegisterRPC(xprocEcho)
 	core.RegisterRPCFF(xprocBump)
+	task.RegisterFF(xprocTaskWork)
+	task.Register(xprocTaskEcho)
 }
 
 // TestMain dispatches spawned rank processes to their worker scenario;
@@ -116,6 +139,34 @@ func TestKilledRankSurfacesPeerLost(t *testing.T) {
 	}
 }
 
+func TestTaskRuntimeXProc(t *testing.T) {
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			if code := launch(t, backend, 4, "task"); code != 0 {
+				t.Fatalf("task job over %s exited %d", backend, code)
+			}
+		})
+	}
+}
+
+func TestTaskFinishSurfacesPeerLost(t *testing.T) {
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			mark := t.TempDir()
+			if code := launch(t, backend, 3, "taskkill", "XPROC_MARK="+mark); code != 0 {
+				t.Fatalf("taskkill job over %s exited %d (a survivor hung in Finish or saw the wrong error)", backend, code)
+			}
+			for _, r := range []int{0, 2} {
+				b, err := os.ReadFile(filepath.Join(mark, fmt.Sprintf("survivor-%d", r)))
+				if err != nil {
+					t.Fatalf("surviving rank %d's Finish left no ErrPeerLost marker: %v", r, err)
+				}
+				t.Logf("rank %d Finish returned: %s", r, b)
+			}
+		})
+	}
+}
+
 // --- worker side --------------------------------------------------------
 
 func runWorker(scen string) (code int) {
@@ -127,6 +178,10 @@ func runWorker(scen string) (code int) {
 			code = idleBody(rk)
 		case "kill":
 			killBody(rk) // never returns
+		case "task":
+			taskBody(rk)
+		case "taskkill":
+			taskKillBody(rk) // never returns
 		default:
 			fmt.Fprintf(os.Stderr, "xproc: unknown scenario %q\n", scen)
 			code = 2
@@ -237,6 +292,68 @@ func idleBody(rk *core.Rank) int {
 		return 1
 	}
 	return 0
+}
+
+// taskBody runs the async-task runtime across real rank processes: a
+// result-bearing AsyncAt round trip, then a skewed fire-and-forget
+// workload — every task spawned at rank 0 with a sleep grain — that only
+// drains in reasonable time if idle ranks steal across the wire. Finish
+// certifies global quiescence; the allreduced execution count certifies
+// no task was lost or duplicated in migration.
+func taskBody(rk *core.Rank) {
+	me, n := rk.Me(), rk.N()
+	rt := task.New(rk, task.Config{Workers: 2, StealBatch: 4})
+	defer rt.Stop()
+	rk.Barrier()
+
+	// Result-bearing round trip: the result leg crosses the wire back.
+	r := task.HelpWait(rt, task.AsyncAt(rt, (me+1)%n, xprocTaskEcho, uint64(me)*5+1))
+	expect(r == (uint64(me)*5+1)*3, "task: echo at rank %d returned %d", me, r)
+
+	const total = 64
+	if me == 0 {
+		for i := 0; i < total; i++ {
+			task.AsyncAtFF(rt, 0, xprocTaskWork, 500)
+		}
+	}
+	if err := rt.Finish(); err != nil {
+		panic(fmt.Sprintf("xproc task: rank %d Finish: %v", me, err))
+	}
+	sum := core.AllReduce(rk.WorldTeam(), xprocTaskRuns.Load(),
+		func(a, b uint64) uint64 { return a + b }).Wait()
+	expect(sum == total, "task: %d executions across ranks, want %d", sum, total)
+	rk.Barrier()
+}
+
+// taskKillBody kills rank 1 before it joins the termination detector;
+// the survivors' Finish must fail fast with ErrPeerLost rather than
+// waiting forever on a detector wave the dead rank will never join.
+// Like killBody, every path exits the process directly.
+func taskKillBody(rk *core.Rank) {
+	rt := task.New(rk, task.Config{Workers: 1})
+	rk.Barrier()
+	if rk.Me() == 1 {
+		os.Exit(0) // see killBody: clean exit keeps the launcher away
+	}
+	go func() { // watchdog: a hung Finish must fail the job, not stall it
+		time.Sleep(20 * time.Second)
+		fmt.Fprintf(os.Stderr, "xproc taskkill: rank %d Finish never returned\n", rk.Me())
+		os.Exit(1)
+	}()
+	for i := 0; i < 4; i++ {
+		task.AsyncAtFF(rt, rk.Me(), xprocTaskWork, 100)
+	}
+	err := rt.Finish()
+	if !errors.Is(err, gasnet.ErrPeerLost) {
+		fmt.Fprintf(os.Stderr, "xproc taskkill: rank %d Finish returned %v, want ErrPeerLost\n", rk.Me(), err)
+		os.Exit(1)
+	}
+	mark := filepath.Join(os.Getenv("XPROC_MARK"), fmt.Sprintf("survivor-%d", rk.Me()))
+	if werr := os.WriteFile(mark, []byte(err.Error()), 0o666); werr != nil {
+		fmt.Fprintf(os.Stderr, "xproc taskkill: rank %d marker: %v\n", rk.Me(), werr)
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 // killBody makes rank 1 vanish mid-job; the survivors poll the conduit's

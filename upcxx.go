@@ -46,6 +46,7 @@ import (
 	"upcxx/internal/gasnet"
 	"upcxx/internal/obs"
 	"upcxx/internal/serial"
+	"upcxx/internal/task"
 )
 
 // Scalar constrains element types that may cross the network as raw
@@ -702,3 +703,74 @@ func Gather[T any](t *Team, root Intrank, val T) Future[[]T] { return core.Gathe
 
 // AllGather collects every member's value on every member.
 func AllGather[T any](t *Team, val T) Future[[]T] { return core.AllGather(t, val) }
+
+// Distributed async-task runtime (internal/task): AsyncAt ships a
+// registered function and its serialized argument to any rank and
+// returns a future for the result; per-rank worker personas execute,
+// idle ranks steal batched work from busy ones, and Finish detects
+// global quiescence with a four-counter wave protocol instead of a
+// barrier. Everything lowers onto the registered-RPC wire, so tasks run
+// over every conduit and show up in the introspection layer
+// (StatsSnapshot.Tasks, task-stage trace events).
+
+type (
+	// TaskRuntime is one rank's task engine; create it on every rank
+	// with NewTaskRuntime before tasks cross ranks.
+	TaskRuntime = task.Runtime
+	// TaskConfig tunes workers and stealing for one rank's runtime.
+	TaskConfig = task.Config
+	// TaskGroup awaits a set of fire-and-forget spawns by credit
+	// counting, locally to the spawning rank (TaskRuntime.NewGroup).
+	TaskGroup = task.Group
+)
+
+var (
+	// NewTaskRuntime creates and starts a rank's task runtime.
+	NewTaskRuntime = task.New
+	// TaskRuntimeOf returns a rank's runtime (nil before NewTaskRuntime).
+	TaskRuntimeOf = task.Of
+)
+
+// RegisterTask registers a result-bearing task body for cross-rank
+// dispatch. Like RegisterRPC: package-level, non-generic, from init().
+func RegisterTask[A, R any](fn func(*Rank, A) R) string { return task.Register(fn) }
+
+// RegisterTaskFF registers a fire-and-forget task body.
+func RegisterTaskFF[A any](fn func(*Rank, A)) string { return task.RegisterFF(fn) }
+
+// AsyncAt spawns fn(arg) on the target rank and returns a future for
+// the result, owned by the calling persona. The task may execute on any
+// of the target's workers — or on a thief rank that steals it.
+func AsyncAt[A, R any](rt *TaskRuntime, target Intrank, fn func(*Rank, A) R, arg A) Future[R] {
+	return task.AsyncAt(rt, target, fn, arg)
+}
+
+// AsyncAtFF spawns fn(arg) on the target rank fire-and-forget; await it
+// through TaskRuntime.Finish (collective) or a TaskGroup (local).
+func AsyncAtFF[A any](rt *TaskRuntime, target Intrank, fn func(*Rank, A), arg A) {
+	task.AsyncAtFF(rt, target, fn, arg)
+}
+
+// GroupAsyncAt spawns fn(arg) on the target rank under a task group
+// created on this rank; g.Wait drains the group's credit balance.
+func GroupAsyncAt[A any](g *TaskGroup, target Intrank, fn func(*Rank, A), arg A) {
+	task.GroupAsyncAt(g, target, fn, arg)
+}
+
+// TaskHelpWait blocks on f like Future.Wait while lending the calling
+// goroutine to the task queue (executing and stealing work meanwhile).
+func TaskHelpWait[T any](rt *TaskRuntime, f Future[T]) T { return task.HelpWait(rt, f) }
+
+// TaskStat indexes StatsSnapshot.Tasks.
+type TaskStat = obs.TaskStat
+
+// Task-runtime counters (StatsSnapshot.Tasks, present once any task ran).
+const (
+	TaskSpawned      = obs.TaskSpawned
+	TaskExecuted     = obs.TaskExecuted
+	TaskStolen       = obs.TaskStolen
+	TaskMigrated     = obs.TaskMigrated
+	TaskStealReqs    = obs.TaskStealReqs
+	TaskStealFails   = obs.TaskStealFails
+	TaskDetectRounds = obs.TaskDetectRounds
+)
